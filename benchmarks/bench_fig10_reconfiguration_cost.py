@@ -1,0 +1,96 @@
+"""Figure 10 — reconfiguration cost of FFD vs Entropy on 200-node scenarios.
+
+For every VM count of the paper's sweep (54 to 486 VMs on 200 nodes), random
+configurations are generated, the sample decision module selects the vjobs to
+run, and the cost of the plan produced by the First-Fit-Decreasing baseline is
+compared with the cost of the plan produced by the CP optimizer.
+
+The paper draws 30 samples per point and gives the optimizer 40 seconds; to
+keep the harness fast this benchmark uses fewer samples and a shorter time
+budget (both configurable through the module constants below).  The shape to
+check: Entropy's plans are dramatically cheaper than FFD's, and the gap widens
+as the number of VMs (hence of possible movements) grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import (
+    CostComparison,
+    average_cost_reduction,
+    mean_costs_by_vm_count,
+)
+from repro.analysis.report import format_fraction, series
+from repro.core import ClusterContextSwitch, build_plan, plan_cost
+from repro.decision import ConsolidationDecisionModule
+from repro.workloads import TraceConfigurationGenerator, paper_vm_counts
+
+#: Samples per VM count (the paper uses 30).
+SAMPLES_PER_POINT = 2
+#: CP time budget per context switch, seconds (the paper uses 40).
+OPTIMIZER_TIMEOUT_S = 3.0
+#: VM counts to evaluate (the paper sweeps 54..486 by steps of 54).
+VM_COUNTS = paper_vm_counts()
+
+
+def _one_sample(vm_count: int, sample: int, module: ConsolidationDecisionModule):
+    generator = TraceConfigurationGenerator(seed=1_000 * vm_count + sample)
+    scenario = generator.generate(vm_count)
+    decision = module.decide(scenario.configuration, scenario.queue)
+    if decision.fallback_target is None:
+        return None
+    ffd_plan = build_plan(
+        scenario.configuration, decision.fallback_target, scenario.vjob_of_vm()
+    )
+    ffd_cost = plan_cost(ffd_plan).total
+    switcher = ClusterContextSwitch(optimizer_timeout=OPTIMIZER_TIMEOUT_S)
+    report = switcher.compute(
+        scenario.configuration,
+        decision.vm_states,
+        vjob_of_vm=scenario.vjob_of_vm(),
+        fallback_target=decision.fallback_target,
+    )
+    return CostComparison(
+        vm_count=vm_count, ffd_cost=ffd_cost, entropy_cost=report.total_cost
+    )
+
+
+def _sweep() -> list[CostComparison]:
+    module = ConsolidationDecisionModule()
+    comparisons: list[CostComparison] = []
+    for vm_count in VM_COUNTS:
+        for sample in range(SAMPLES_PER_POINT):
+            comparison = _one_sample(vm_count, sample, module)
+            if comparison is not None:
+                comparisons.append(comparison)
+    return comparisons
+
+
+def bench_figure10_reconfiguration_cost(benchmark):
+    comparisons = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            vm_count,
+            f"{ffd:,.0f}",
+            f"{entropy:,.0f}",
+            format_fraction(1 - entropy / ffd if ffd else 0.0),
+        )
+        for vm_count, ffd, entropy in mean_costs_by_vm_count(comparisons)
+    ]
+    print()
+    print(series(
+        "Figure 10 — reconfiguration cost on 200 nodes (mean per VM count)",
+        ["VMs", "FFD cost", "Entropy cost", "reduction"],
+        rows,
+    ))
+    reduction = average_cost_reduction(comparisons)
+    print(f"average cost reduction: {format_fraction(reduction)} (paper: ~95%)")
+
+    # Shape checks: Entropy always at most as expensive as FFD, large average
+    # reduction, and a growing gap with the number of VMs.
+    assert all(c.entropy_cost <= c.ffd_cost for c in comparisons)
+    assert reduction >= 0.4
+    means = mean_costs_by_vm_count(comparisons)
+    first_gap = means[0][1] - means[0][2]
+    last_gap = means[-1][1] - means[-1][2]
+    assert last_gap >= first_gap

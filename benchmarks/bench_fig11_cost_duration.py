@@ -1,0 +1,66 @@
+"""Figure 11 — cost and duration of the context switches of the cluster run.
+
+Replays the Section 5.2 campaign (8 vjobs of 9 VMs on 11 nodes) under the
+Entropy loop and prints, for every cluster-wide context switch performed, its
+cost (Section 4.2 model) and its wall-clock duration on the simulated testbed.
+
+The shape to check (paper): switches that only run/stop/migrate VMs have a
+small cost and complete in seconds; switches that also suspend and resume VMs
+cost much more and take minutes; cost and duration grow together; most resumes
+happen on the node that performed the suspend (locality).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import cost_duration_pairs, switch_statistics
+from repro.analysis.report import format_fraction, format_seconds, series
+
+
+def bench_figure11_cost_duration(benchmark, entropy_run):
+    pairs = benchmark(cost_duration_pairs, entropy_run.switches)
+
+    rows = []
+    for record in entropy_run.switches:
+        if not record.action_count:
+            continue
+        rows.append(
+            (
+                f"{record.time / 60:.1f}",
+                record.cost,
+                format_seconds(record.duration),
+                record.runs,
+                record.stops,
+                record.migrations,
+                record.suspends,
+                record.resumes,
+                record.local_resumes,
+            )
+        )
+    print()
+    print(series(
+        "Figure 11 — cost and duration of each cluster-wide context switch",
+        ["minute", "cost", "duration", "run", "stop", "migr", "susp", "res", "res local"],
+        rows,
+    ))
+
+    stats = switch_statistics(entropy_run.switches)
+    print(
+        f"{stats.count} context switches, average duration "
+        f"{format_seconds(stats.average_duration)}, max cost {stats.max_cost}, "
+        f"local resumes {format_fraction(stats.local_resume_fraction)}"
+    )
+
+    assert stats.count >= 3
+    # cheap switches are fast, expensive switches are slow
+    cheap = [duration for cost, duration in pairs if cost == 0]
+    expensive = [duration for cost, duration in pairs if cost >= 2048]
+    if cheap and expensive:
+        assert max(cheap) <= min(expensive) + 60.0
+    # suspends/resumes only appear in the costly switches
+    for record in entropy_run.switches:
+        if record.suspends or record.resumes:
+            assert record.cost > 0
+    # resume locality: the cost function favours resuming where the suspend
+    # happened (21 of 28 resumes in the paper)
+    if stats.total_resumes:
+        assert stats.local_resume_fraction >= 0.5

@@ -1,0 +1,85 @@
+"""Figure 3 — duration of each VM context-switch operation vs memory size.
+
+Regenerates the three panels of Figure 3: (a) run/migrate/stop, (b) suspend
+(local vs pushed with scp/rsync), (c) resume (local vs remote), for the four
+memory sizes used in the paper.  The shape to check: run/stop durations are
+memory independent (≈6 s / ≈25 s), migrate/suspend/resume grow linearly with
+memory, and the remote variants cost about twice the local ones.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import series
+from repro.config import VM_MEMORY_SIZES_MB
+from repro.sim import FAST_STOP_HYPERVISOR, HypervisorModel, TransferMethod
+
+
+def _figure3a(model: HypervisorModel) -> list[tuple]:
+    return [
+        (
+            memory,
+            round(model.run_duration(memory), 1),
+            round(model.stop_duration(memory), 1),
+            round(FAST_STOP_HYPERVISOR.stop_duration(memory), 1),
+            round(model.migrate_duration(memory), 1),
+        )
+        for memory in VM_MEMORY_SIZES_MB
+    ]
+
+
+def _figure3b(scp: HypervisorModel, rsync: HypervisorModel) -> list[tuple]:
+    return [
+        (
+            memory,
+            round(scp.suspend_duration(memory, local=True), 1),
+            round(scp.suspend_duration(memory, local=False), 1),
+            round(rsync.suspend_duration(memory, local=False), 1),
+        )
+        for memory in VM_MEMORY_SIZES_MB
+    ]
+
+
+def _figure3c(scp: HypervisorModel, rsync: HypervisorModel) -> list[tuple]:
+    return [
+        (
+            memory,
+            round(scp.resume_duration(memory, local=True), 1),
+            round(scp.resume_duration(memory, local=False), 1),
+            round(rsync.resume_duration(memory, local=False), 1),
+        )
+        for memory in VM_MEMORY_SIZES_MB
+    ]
+
+
+def bench_figure3_action_durations(benchmark):
+    scp = HypervisorModel(transfer_method=TransferMethod.SCP)
+    rsync = HypervisorModel(transfer_method=TransferMethod.RSYNC)
+
+    rows_a = benchmark(_figure3a, scp)
+    rows_b = _figure3b(scp, rsync)
+    rows_c = _figure3c(scp, rsync)
+
+    print()
+    print(series(
+        "Figure 3a — run / stop / migrate (seconds)",
+        ["memory MB", "run", "clean stop", "hard stop", "migrate"],
+        rows_a,
+    ))
+    print(series(
+        "Figure 3b — suspend (seconds)",
+        ["memory MB", "local", "local+scp", "local+rsync"],
+        rows_b,
+    ))
+    print(series(
+        "Figure 3c — resume (seconds)",
+        ["memory MB", "local", "local+scp", "local+rsync"],
+        rows_c,
+    ))
+
+    # sanity of the reproduced shape
+    assert rows_a[0][1] == rows_a[-1][1]                      # run memory independent
+    assert rows_a[-1][4] > rows_a[0][4]                        # migrate grows with memory
+    for memory, local, scp_remote, rsync_remote in rows_b:
+        assert 1.8 <= scp_remote / local <= 2.2
+        assert rsync_remote <= scp_remote
+    assert rows_c[-1][2] >= 120.0                              # 2 GB remote resume in minutes

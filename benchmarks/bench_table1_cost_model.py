@@ -1,0 +1,66 @@
+"""Table 1 — the local cost of every action in the cost model.
+
+Regenerates the table and checks its defining properties: migrate and suspend
+cost the memory demand of the manipulated VM, a resume costs the memory demand
+when it is local and twice that when it is remote, run and stop cost a
+constant (0) regardless of the VM size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import series
+from repro.config import VM_MEMORY_SIZES_MB
+from repro.core.actions import Migrate, Resume, Run, Stop, Suspend
+from repro.model import Configuration, VirtualMachine, make_working_nodes
+
+
+def _build_configuration() -> Configuration:
+    configuration = Configuration(
+        nodes=make_working_nodes(2, cpu_capacity=2, memory_capacity=8192)
+    )
+    for memory in VM_MEMORY_SIZES_MB:
+        running = VirtualMachine(f"run-{memory}", memory=memory, cpu_demand=1)
+        sleeping = VirtualMachine(f"sleep-{memory}", memory=memory, cpu_demand=1)
+        waiting = VirtualMachine(f"wait-{memory}", memory=memory, cpu_demand=1)
+        configuration.add_vm(running)
+        configuration.add_vm(sleeping)
+        configuration.add_vm(waiting)
+        configuration.set_running(f"run-{memory}", "node-0")
+        configuration.set_sleeping(f"sleep-{memory}", "node-0")
+    return configuration
+
+
+def _table1(configuration: Configuration) -> list[tuple]:
+    rows = []
+    for memory in VM_MEMORY_SIZES_MB:
+        rows.append(
+            (
+                memory,
+                Migrate(f"run-{memory}", "node-0", "node-1").cost(configuration),
+                Run(f"wait-{memory}", "node-1").cost(configuration),
+                Stop(f"run-{memory}", "node-0").cost(configuration),
+                Suspend(f"run-{memory}", "node-0").cost(configuration),
+                Resume(f"sleep-{memory}", "node-0", "node-0").cost(configuration),
+                Resume(f"sleep-{memory}", "node-0", "node-1").cost(configuration),
+            )
+        )
+    return rows
+
+
+def bench_table1_cost_model(benchmark):
+    configuration = _build_configuration()
+    rows = benchmark(_table1, configuration)
+
+    print()
+    print(series(
+        "Table 1 — local action costs (Dm = memory demand, MB)",
+        ["Dm(vm)", "migrate", "run", "stop", "suspend", "resume local", "resume remote"],
+        rows,
+    ))
+
+    for memory, migrate, run, stop, suspend, local, remote in rows:
+        assert migrate == memory
+        assert suspend == memory
+        assert local == memory
+        assert remote == 2 * memory
+        assert run == 0 and stop == 0

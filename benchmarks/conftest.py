@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints it as a plain-text series (the same tables are summarized in
+EXPERIMENTS.md).  The heavyweight simulations are computed once per session and
+shared between the benchmarks that read different figures out of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy import EntropySimulation, StaticAllocationSimulator
+from repro.workloads import paper_cluster_nodes, paper_experiment_vjobs
+
+
+#: Size of the cluster campaign (the paper runs 8 vjobs x 9 VMs on 11 nodes).
+CAMPAIGN_VJOBS = 8
+CAMPAIGN_VMS_PER_VJOB = 9
+OPTIMIZER_TIMEOUT_S = 3.0
+
+
+@pytest.fixture(scope="session")
+def campaign_workloads():
+    return paper_experiment_vjobs(count=CAMPAIGN_VJOBS, vm_count=CAMPAIGN_VMS_PER_VJOB)
+
+
+@pytest.fixture(scope="session")
+def campaign_nodes():
+    return paper_cluster_nodes()
+
+
+@pytest.fixture(scope="session")
+def entropy_run(campaign_nodes, campaign_workloads):
+    """The Section 5.2 campaign under Entropy (dynamic consolidation)."""
+    simulation = EntropySimulation(
+        campaign_nodes, campaign_workloads, optimizer_timeout=OPTIMIZER_TIMEOUT_S
+    )
+    return simulation.run()
+
+
+@pytest.fixture(scope="session")
+def static_run(campaign_nodes, campaign_workloads):
+    """The same campaign under the FCFS static-allocation baseline."""
+    return StaticAllocationSimulator(campaign_nodes, campaign_workloads).run()

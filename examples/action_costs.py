@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Cost of each VM context-switch operation (Section 2.3, Figure 3).
+
+Prints the modelled duration of every VM action (run, stop, migrate, suspend,
+resume) for the memory sizes used in the paper, distinguishing local from
+remote suspend/resume — the calibration behind the simulated testbed and the
+justification of the Table 1 cost model.
+
+Run with::
+
+    python examples/action_costs.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import series
+from repro.sim import DEFAULT_HYPERVISOR, FAST_STOP_HYPERVISOR
+from repro.config import VM_MEMORY_SIZES_MB
+
+
+def main() -> None:
+    model = DEFAULT_HYPERVISOR
+
+    rows = []
+    for memory in VM_MEMORY_SIZES_MB:
+        rows.append(
+            (
+                memory,
+                f"{model.run_duration(memory):.0f}s",
+                f"{model.stop_duration(memory):.0f}s",
+                f"{FAST_STOP_HYPERVISOR.stop_duration(memory):.0f}s",
+                f"{model.migrate_duration(memory):.1f}s",
+            )
+        )
+    print(
+        series(
+            "Figure 3a — run / stop / migrate durations",
+            ["memory (MB)", "run", "clean stop", "hard stop", "migrate"],
+            rows,
+        )
+    )
+
+    rows = []
+    for memory in VM_MEMORY_SIZES_MB:
+        rows.append(
+            (
+                memory,
+                f"{model.suspend_duration(memory, local=True):.1f}s",
+                f"{model.suspend_duration(memory, local=False):.1f}s",
+                f"{model.resume_duration(memory, local=True):.1f}s",
+                f"{model.resume_duration(memory, local=False):.1f}s",
+            )
+        )
+    print(
+        series(
+            "Figures 3b/3c — suspend and resume durations, local vs remote",
+            ["memory (MB)", "suspend local", "suspend remote", "resume local", "resume remote"],
+            rows,
+        )
+    )
+
+    print(
+        "Table 1 cost model: migrate/suspend cost Dm(vm), resume costs Dm(vm) "
+        "locally and 2*Dm(vm) remotely, run/stop cost a constant (0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Quickstart: plan and execute one cluster-wide context switch.
+
+A tiny cluster of three dual-core nodes hosts two running vjobs when a third
+one arrives.  The cluster cannot run everything at once, so the decision module
+suspends the lowest-priority vjob and starts the newcomer; the cluster-wide
+context switch computes the cheapest viable placement, sequences the actions
+into pools and executes them on the simulated testbed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_seconds, series
+from repro.core import ClusterContextSwitch, plan_cost
+from repro.decision import ConsolidationDecisionModule
+from repro.model import Configuration, VJob, VJobQueue, VirtualMachine, make_working_nodes
+from repro.sim import PlanExecutor, SimulatedCluster
+
+
+def build_vjob(name: str, vm_count: int, memory: int, priority: int) -> VJob:
+    vms = [
+        VirtualMachine(name=f"{name}.vm{i}", memory=memory, cpu_demand=1, vjob=name)
+        for i in range(vm_count)
+    ]
+    return VJob(name=name, vms=vms, priority=priority)
+
+
+def main() -> None:
+    # -- 1. describe the cluster and the submitted vjobs ---------------------
+    nodes = make_working_nodes(3, cpu_capacity=2, memory_capacity=3584)
+    alpha = build_vjob("alpha", vm_count=3, memory=1024, priority=1)
+    gamma = build_vjob("gamma", vm_count=2, memory=1024, priority=2)
+    # beta was submitted last: it is the first to be suspended when the
+    # cluster becomes too small for everyone.
+    beta = build_vjob("beta", vm_count=2, memory=2048, priority=3)
+    queue = VJobQueue([alpha, beta, gamma])
+
+    # alpha and beta are already running, gamma just arrived
+    configuration = Configuration(nodes=nodes)
+    for vjob in (alpha, beta, gamma):
+        for vm in vjob.vms:
+            configuration.add_vm(vm)
+    alpha.run()
+    beta.run()
+    configuration.set_running("alpha.vm0", "node-0")
+    configuration.set_running("alpha.vm1", "node-0")
+    configuration.set_running("alpha.vm2", "node-1")
+    configuration.set_running("beta.vm0", "node-1")
+    configuration.set_running("beta.vm1", "node-2")
+
+    print("initial configuration viable:", configuration.is_viable())
+
+    # -- 2. the decision module selects the vjobs that should run ------------
+    module = ConsolidationDecisionModule()
+    decision = module.decide(configuration, queue)
+    print("vjob states wanted by the decision module:")
+    for vjob_name, state in decision.vjob_states.items():
+        print(f"  {vjob_name}: {state.value}")
+
+    # -- 3. the cluster-wide context switch plans the transition -------------
+    switcher = ClusterContextSwitch(optimizer_timeout=5.0)
+    report = switcher.compute(
+        configuration,
+        decision.vm_states,
+        vjob_of_vm=module.vjob_index(queue),
+        fallback_target=decision.fallback_target,
+    )
+    print()
+    print(report.plan)
+    breakdown = plan_cost(report.plan)
+    print(f"plan cost (Table 1 model): {breakdown.total}")
+
+    # -- 4. execute it on the simulated testbed ------------------------------
+    cluster = SimulatedCluster(nodes=nodes)
+    for vm in configuration.vms:
+        cluster.add_vm(vm)
+    for vm_name, node in configuration.placement().items():
+        cluster.configuration.set_running(vm_name, node)
+    execution = PlanExecutor().execute(report.plan, cluster)
+    print(f"context switch duration: {format_seconds(execution.duration)}")
+
+    rows = [
+        (
+            item.action.kind.value,
+            item.action.vm,
+            f"{item.start:.1f}s",
+            f"{item.duration:.1f}s",
+        )
+        for item in execution.actions
+    ]
+    print()
+    print(series("executed actions", ["action", "vm", "start", "duration"], rows))
+    print("final configuration viable:", cluster.configuration.is_viable())
+
+
+if __name__ == "__main__":
+    main()

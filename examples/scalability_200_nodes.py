@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Scalability of the context-switch optimization (Section 5.1, Figure 10).
+
+Generates random 200-node configurations hosting an increasing number of VMs
+(grouped into vjobs of 9 or 18 VMs running NASGrid-like workloads), lets the
+sample decision module choose which vjobs should run, and compares the cost of
+the reconfiguration plan produced by the First-Fit-Decreasing baseline with the
+cost of the plan produced by Entropy's CP optimizer.
+
+Run with::
+
+    python examples/scalability_200_nodes.py [--samples 2] [--timeout 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.metrics import CostComparison, average_cost_reduction, mean_costs_by_vm_count
+from repro.analysis.report import format_fraction, series
+from repro.core import ClusterContextSwitch, build_plan, plan_cost
+from repro.decision import ConsolidationDecisionModule
+from repro.workloads import TraceConfigurationGenerator, paper_vm_counts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=2, help="samples per VM count (paper: 30)")
+    parser.add_argument("--timeout", type=float, default=5.0, help="CP time budget in seconds (paper: 40)")
+    parser.add_argument("--max-vms", type=int, default=270, help="largest VM count to evaluate")
+    args = parser.parse_args()
+
+    vm_counts = [count for count in paper_vm_counts() if count <= args.max_vms]
+    module = ConsolidationDecisionModule()
+    comparisons: list[CostComparison] = []
+
+    for vm_count in vm_counts:
+        for sample in range(args.samples):
+            generator = TraceConfigurationGenerator(seed=1000 * vm_count + sample)
+            scenario = generator.generate(vm_count)
+            decision = module.decide(scenario.configuration, scenario.queue)
+            if decision.fallback_target is None:
+                continue
+            ffd_cost = plan_cost(
+                build_plan(
+                    scenario.configuration,
+                    decision.fallback_target,
+                    scenario.vjob_of_vm(),
+                )
+            ).total
+            switcher = ClusterContextSwitch(optimizer_timeout=args.timeout)
+            report = switcher.compute(
+                scenario.configuration,
+                decision.vm_states,
+                vjob_of_vm=scenario.vjob_of_vm(),
+                fallback_target=decision.fallback_target,
+            )
+            comparisons.append(
+                CostComparison(
+                    vm_count=vm_count, ffd_cost=ffd_cost, entropy_cost=report.total_cost
+                )
+            )
+            print(
+                f"  {vm_count:4d} VMs sample {sample}: FFD {ffd_cost:>10d}  "
+                f"Entropy {report.total_cost:>10d}"
+            )
+
+    rows = [
+        (count, f"{ffd:.0f}", f"{entropy:.0f}", format_fraction(1 - entropy / ffd if ffd else 0.0))
+        for count, ffd, entropy in mean_costs_by_vm_count(comparisons)
+    ]
+    print()
+    print(
+        series(
+            "Figure 10 — reconfiguration cost, 200 nodes",
+            ["VMs", "FFD cost", "Entropy cost", "reduction"],
+            rows,
+        )
+    )
+    print(
+        "average cost reduction:",
+        format_fraction(average_cost_reduction(comparisons)),
+        "(the paper reports ~95%)",
+    )
+
+
+if __name__ == "__main__":
+    main()

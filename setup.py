@@ -1,0 +1,20 @@
+"""Legacy setup script.
+
+Kept so ``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable installs (the metadata itself lives in ``pyproject.toml``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Cluster-Wide Context Switch of Virtualized Jobs' "
+        "(Hermenier et al., HPDC 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

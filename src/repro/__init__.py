@@ -1,0 +1,61 @@
+"""Reproduction of "Cluster-Wide Context Switch of Virtualized Jobs".
+
+Hermenier, Lèbre, Menaud — INRIA RR-6929 / HPDC 2010.
+
+The package provides:
+
+* :mod:`repro.model` — nodes, VMs, vjobs, configurations, viability;
+* :mod:`repro.cp` — a finite-domain constraint solver (Choco replacement);
+* :mod:`repro.core` — the cluster-wide context switch: actions, cost model,
+  reconfiguration graphs/plans, planner and CP optimizer;
+* :mod:`repro.decision` — decision modules (FFD, RJSP, dynamic consolidation,
+  FCFS + EASY backfilling baseline);
+* :mod:`repro.sim` — a discrete-event cluster simulator calibrated on the
+  paper's measurements (Xen/Ganglia/NFS substitute);
+* :mod:`repro.entropy` — the observe/decide/plan/execute control loop;
+* :mod:`repro.workloads` — NASGrid-like vjobs and configuration generators;
+* :mod:`repro.analysis` — metrics and report helpers for the experiments.
+"""
+
+from . import config
+from .core import (
+    ClusterContextSwitch,
+    ContextSwitchOptimizer,
+    ReconfigurationPlan,
+    ReconfigurationPlanner,
+    build_plan,
+    plan_cost,
+)
+from .model import (
+    Configuration,
+    Node,
+    ResourceVector,
+    VirtualMachine,
+    VJob,
+    VJobQueue,
+    VJobState,
+    VMState,
+    make_working_nodes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "ClusterContextSwitch",
+    "ContextSwitchOptimizer",
+    "ReconfigurationPlan",
+    "ReconfigurationPlanner",
+    "build_plan",
+    "plan_cost",
+    "Configuration",
+    "Node",
+    "ResourceVector",
+    "VirtualMachine",
+    "VJob",
+    "VJobQueue",
+    "VJobState",
+    "VMState",
+    "make_working_nodes",
+    "__version__",
+]

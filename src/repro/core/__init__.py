@@ -1,0 +1,67 @@
+"""The paper's primary contribution: the cluster-wide context switch.
+
+Actions and their cost model (Table 1), reconfiguration graphs and plans,
+the pool-based planner that resolves sequential and inter-dependent
+constraints (Section 4.1), the plan cost model (Section 4.2) and the
+constraint-programming optimizer (Section 4.3).
+"""
+
+from .actions import (
+    Action,
+    ActionKind,
+    Migrate,
+    Resume,
+    Run,
+    Stop,
+    Suspend,
+    required_resources,
+)
+from .context_switch import ClusterContextSwitch, ContextSwitchReport
+from .cost import ActionCost, PlanCost, minimum_possible_cost, plan_cost, total_cost
+from .graph import Edge, ReconfigurationGraph
+from .optimizer import ContextSwitchOptimizer, OptimizationResult
+from .placement import (
+    Ban,
+    Fence,
+    Gather,
+    PlacementConstraint,
+    Spread,
+    check_constraints,
+)
+from .plan import Pool, ReconfigurationPlan, merge_pools, plan_from_pools
+from .planner import PlannerOptions, ReconfigurationPlanner, build_plan
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Migrate",
+    "Resume",
+    "Run",
+    "Stop",
+    "Suspend",
+    "required_resources",
+    "ClusterContextSwitch",
+    "ContextSwitchReport",
+    "ActionCost",
+    "PlanCost",
+    "minimum_possible_cost",
+    "plan_cost",
+    "total_cost",
+    "Edge",
+    "ReconfigurationGraph",
+    "ContextSwitchOptimizer",
+    "OptimizationResult",
+    "Ban",
+    "Fence",
+    "Gather",
+    "PlacementConstraint",
+    "Spread",
+    "check_constraints",
+    "Pool",
+    "ReconfigurationPlan",
+    "merge_pools",
+    "plan_from_pools",
+    "PlannerOptions",
+    "ReconfigurationPlanner",
+    "build_plan",
+]

@@ -1,0 +1,113 @@
+"""High-level entry point to the cluster-wide context switch.
+
+The :class:`ClusterContextSwitch` facade ties the pieces of Section 4 together:
+the decision module supplies the desired state of each VM, the optimizer picks
+a cheap viable placement, the planner sequences the actions into pools, and the
+cost model prices the resulting plan.  This is the object the Entropy control
+loop (:mod:`repro.entropy.loop`) manipulates at every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..model.configuration import Configuration
+from ..model.vm import VMState
+from .cost import PlanCost, plan_cost
+from .optimizer import ContextSwitchOptimizer, OptimizationResult
+from .placement import PlacementConstraint
+from .plan import ReconfigurationPlan
+from .planner import PlannerOptions, ReconfigurationPlanner
+
+
+@dataclass
+class ContextSwitchReport:
+    """Everything a caller needs to know about one cluster-wide context
+    switch: the target configuration, the feasible plan reaching it, and its
+    cost breakdown."""
+
+    current: Configuration
+    target: Configuration
+    plan: ReconfigurationPlan
+    cost: PlanCost
+    used_fallback: bool = False
+
+    @property
+    def total_cost(self) -> int:
+        return self.cost.total
+
+    def summary(self) -> dict[str, int]:
+        data = self.plan.summary()
+        data["cost"] = self.total_cost
+        return data
+
+
+class ClusterContextSwitch:
+    """Compute cluster-wide context switches between configurations."""
+
+    def __init__(
+        self,
+        optimizer_timeout: float = 40.0,
+        planner_options: Optional[PlannerOptions] = None,
+        use_optimizer: bool = True,
+    ) -> None:
+        self.planner = ReconfigurationPlanner(planner_options)
+        self.optimizer = ContextSwitchOptimizer(
+            timeout=optimizer_timeout, planner_options=planner_options
+        )
+        self.use_optimizer = use_optimizer
+
+    # ------------------------------------------------------------------ #
+
+    def compute(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        vjob_of_vm: Optional[Mapping[str, str]] = None,
+        fallback_target: Optional[Configuration] = None,
+        constraints: Sequence[PlacementConstraint] = (),
+    ) -> ContextSwitchReport:
+        """Derive a target configuration from desired VM states and plan the
+        switch towards it.
+
+        When ``use_optimizer`` is False the ``fallback_target`` (e.g. an FFD
+        placement) is planned directly, reproducing the baseline behaviour of
+        Section 5.1.  ``constraints`` are placement relations
+        (:mod:`repro.core.placement`) the target must honour.
+        """
+        if self.use_optimizer:
+            result: OptimizationResult = self.optimizer.optimize(
+                current,
+                target_states,
+                vjob_of_vm=vjob_of_vm,
+                fallback_target=fallback_target,
+                constraints=constraints,
+            )
+            return ContextSwitchReport(
+                current=current,
+                target=result.target,
+                plan=result.plan,
+                cost=plan_cost(result.plan),
+                used_fallback=result.used_fallback,
+            )
+        if fallback_target is None:
+            raise ValueError(
+                "use_optimizer=False requires an explicit fallback_target"
+            )
+        return self.plan_to(current, fallback_target, vjob_of_vm)
+
+    def plan_to(
+        self,
+        current: Configuration,
+        target: Configuration,
+        vjob_of_vm: Optional[Mapping[str, str]] = None,
+    ) -> ContextSwitchReport:
+        """Plan the switch towards an explicit target configuration."""
+        plan = self.planner.build(current, target, vjob_of_vm)
+        return ContextSwitchReport(
+            current=current,
+            target=target,
+            plan=plan,
+            cost=plan_cost(plan),
+        )

@@ -1,0 +1,144 @@
+"""Reconfiguration graphs (Section 4.1).
+
+A reconfiguration graph is an oriented multigraph whose vertices are the
+cluster nodes and whose edges are the VM actions required to go from a current
+configuration to a target configuration.  Each edge carries the action and the
+CPU/memory demand of the manipulated VM; each vertex carries the node's
+capacities.  The graph is recomputed after every pool from the temporary
+configuration, so it always describes the *remaining* work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..model.configuration import Configuration
+from ..model.errors import PlanningError
+from ..model.resources import ResourceVector
+from ..model.vm import VMState
+from .actions import Action, Migrate, Resume, Run, Stop, Suspend
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One action of the graph, annotated with the VM demand."""
+
+    action: Action
+    demand: ResourceVector
+
+    @property
+    def source(self) -> Optional[str]:
+        return self.action.source()
+
+    @property
+    def destination(self) -> Optional[str]:
+        return self.action.destination()
+
+
+@dataclass
+class ReconfigurationGraph:
+    """The remaining actions between two configurations."""
+
+    current: Configuration
+    target: Configuration
+    edges: list[Edge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            self.edges = list(_derive_edges(self.current, self.target))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def actions(self) -> list[Action]:
+        return [edge.action for edge in self.edges]
+
+    def is_empty(self) -> bool:
+        return not self.edges
+
+    def incoming(self, node: str) -> list[Edge]:
+        return [edge for edge in self.edges if edge.destination == node]
+
+    def outgoing(self, node: str) -> list[Edge]:
+        return [edge for edge in self.edges if edge.source == node]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def _derive_edges(current: Configuration, target: Configuration) -> Iterable[Edge]:
+    """Compute the actions needed to turn ``current`` into ``target``.
+
+    One action at most is generated per VM:
+
+    * Waiting -> Running: ``run`` on the target node;
+    * Sleeping -> Running: ``resume`` on the target node (local or remote
+      depending on where the suspend image lives);
+    * Running -> Running on a different node: ``migrate``;
+    * Running -> Sleeping: ``suspend`` on the current node;
+    * Running -> Terminated: ``stop``;
+    * Waiting/Sleeping -> Terminated and no-op transitions produce no action.
+    """
+    if set(current.vm_names) != set(target.vm_names):
+        raise PlanningError(
+            "current and target configurations do not describe the same VMs"
+        )
+    for vm_name in current.vm_names:
+        vm = current.vm(vm_name)
+        current_state = current.state_of(vm_name)
+        target_state = target.state_of(vm_name)
+
+        if target_state is VMState.RUNNING:
+            destination = target.location_of(vm_name)
+            if destination is None:
+                raise PlanningError(
+                    f"target configuration does not place running VM {vm_name!r}"
+                )
+            if current_state is VMState.WAITING:
+                action: Action = Run(vm=vm_name, node=destination)
+            elif current_state is VMState.SLEEPING:
+                action = Resume(
+                    vm=vm_name,
+                    image_node=current.image_location_of(vm_name),
+                    destination_node=destination,
+                )
+            elif current_state is VMState.RUNNING:
+                origin = current.location_of(vm_name)
+                if origin == destination:
+                    continue
+                action = Migrate(
+                    vm=vm_name, source_node=origin, destination_node=destination
+                )
+            else:
+                raise PlanningError(
+                    f"VM {vm_name!r} is terminated and cannot run again"
+                )
+            yield Edge(action=action, demand=vm.demand)
+
+        elif target_state is VMState.SLEEPING:
+            if current_state is VMState.RUNNING:
+                node = current.location_of(vm_name)
+                yield Edge(
+                    action=Suspend(vm=vm_name, node=node), demand=vm.demand
+                )
+            # Sleeping -> Sleeping and Waiting -> Sleeping: nothing to do
+            # (a waiting VM cannot be suspended, the decision module keeps it
+            # waiting instead).
+
+        elif target_state is VMState.TERMINATED:
+            if current_state is VMState.RUNNING:
+                node = current.location_of(vm_name)
+                yield Edge(action=Stop(vm=vm_name, node=node), demand=vm.demand)
+            # Waiting/Sleeping VMs are removed without a driver action.
+
+        elif target_state is VMState.WAITING:
+            if current_state is VMState.RUNNING:
+                # The life cycle (Figure 2) has no Running -> Waiting edge: a
+                # running vjob can only be suspended or terminated.
+                raise PlanningError(
+                    f"VM {vm_name!r} is running and cannot return to the "
+                    "Waiting state"
+                )
+            # Waiting/Sleeping VMs staying out of the Running state need no
+            # driver action.

@@ -1,0 +1,425 @@
+"""CP-based optimization of the cluster-wide context switch (Section 4.3).
+
+Given the current configuration and the *states* the decision module wants for
+every VM (``mustBeRunning``, ``mustBeReady`` / sleeping, terminated or
+unchanged), several viable placements are usually possible, and they differ
+by the cost of their reconfiguration plan.  The optimizer models the placement
+of the VMs that must run as a constraint satisfaction problem:
+
+* one assignment variable per running VM, whose domain is the set of nodes;
+* a 2-dimensional bin-packing constraint relating assignments to the CPU and
+  memory capacities of the nodes (Definition 4.1);
+* a cost variable equal to the sum of per-VM movement costs (Table 1): 0 when
+  a running VM stays on its host or a waiting VM boots anywhere, ``Dm`` for a
+  migration or a local resume, ``2 Dm`` for a remote resume;
+
+and searches for the assignment minimizing that cost with branch-and-bound,
+using a first-fail variable ordering (most demanding VMs first) and a value
+ordering that favours each VM's current location.  The suspend costs are a
+constant offset (they do not depend on the placement) and are added after the
+search.  The best assignment found within the timeout is turned into a target
+configuration and a feasible plan by :mod:`repro.core.planner`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..model.configuration import Configuration
+from ..model.errors import PlanningError
+from ..model.vm import VMState
+from ..cp import (
+    ElementSum,
+    IntVar,
+    Model,
+    SearchStatistics,
+    Solver,
+    VectorPacking,
+    prefer_value,
+    static_order,
+)
+from .cost import plan_cost
+from .placement import PlacementConstraint, check_constraints
+from .plan import ReconfigurationPlan
+from .planner import PlannerOptions, ReconfigurationPlanner
+
+
+#: Maximum number of distinct values allowed in the objective domain; larger
+#: cost ranges are scaled down (the optimum is then approximate, which only
+#: affects tie-breaking between plans of nearly identical costs).
+_MAX_OBJECTIVE_RANGE = 120_000
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of :meth:`ContextSwitchOptimizer.optimize`."""
+
+    target: Configuration
+    plan: ReconfigurationPlan
+    cost: int
+    movement_cost: int
+    fixed_cost: int
+    used_fallback: bool = False
+    statistics: Optional[SearchStatistics] = None
+    improving_costs: list[int] = field(default_factory=list)
+
+
+class ContextSwitchOptimizer:
+    """Search for a cheap viable placement honouring requested VM states."""
+
+    def __init__(
+        self,
+        timeout: float = 40.0,
+        planner_options: Optional[PlannerOptions] = None,
+        first_solution_only: bool = False,
+    ) -> None:
+        self.timeout = timeout
+        self.planner = ReconfigurationPlanner(planner_options)
+        self.first_solution_only = first_solution_only
+
+    # ------------------------------------------------------------------ #
+    # public API                                                          #
+    # ------------------------------------------------------------------ #
+
+    def optimize(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        vjob_of_vm: Optional[Mapping[str, str]] = None,
+        fallback_target: Optional[Configuration] = None,
+        constraints: Sequence["PlacementConstraint"] = (),
+    ) -> OptimizationResult:
+        """Compute an optimized target configuration and its plan.
+
+        Parameters
+        ----------
+        current:
+            The observed configuration.
+        target_states:
+            Desired state for each VM; VMs absent from the mapping keep their
+            current state (the ``keepVMState`` constraint of Definition 4.1).
+        vjob_of_vm:
+            VM -> vjob mapping used to regroup suspends/resumes.
+        fallback_target:
+            Configuration to fall back to (typically the FFD solution) when
+            the search finds no assignment within the timeout.
+        constraints:
+            Placement relations (:mod:`repro.core.placement`) the target
+            configuration must honour, e.g. spreading the VMs of a vjob over
+            distinct nodes for high availability.
+        """
+        states = self._complete_states(current, target_states)
+        running_vms = [name for name, state in states.items() if state is VMState.RUNNING]
+        fixed_cost = self._fixed_cost(current, states)
+
+        solution_assignment, statistics, improving = self._search(
+            current, states, running_vms, constraints
+        )
+
+        if solution_assignment is None:
+            if fallback_target is None:
+                raise PlanningError(
+                    "the optimizer found no viable assignment and no fallback "
+                    "configuration was provided"
+                )
+            violated = check_constraints(fallback_target, constraints)
+            if violated:
+                raise PlanningError(
+                    "no assignment satisfies the placement constraints "
+                    f"({', '.join(map(repr, violated))}) and the fallback "
+                    "configuration violates them too"
+                )
+            plan = self.planner.build(current, fallback_target, vjob_of_vm)
+            cost = plan_cost(plan).total
+            return OptimizationResult(
+                target=fallback_target,
+                plan=plan,
+                cost=cost,
+                movement_cost=cost,
+                fixed_cost=fixed_cost,
+                used_fallback=True,
+                statistics=statistics,
+            )
+
+        target = self._build_target(current, states, solution_assignment)
+        plan = self.planner.build(current, target, vjob_of_vm)
+        cost = plan_cost(plan).total
+        movement = sum(
+            self._movement_cost_table(current, vm)[solution_assignment[vm]]
+            for vm in running_vms
+        )
+        return OptimizationResult(
+            target=target,
+            plan=plan,
+            cost=cost,
+            movement_cost=movement,
+            fixed_cost=fixed_cost,
+            statistics=statistics,
+            improving_costs=improving,
+        )
+
+    # ------------------------------------------------------------------ #
+    # model construction                                                  #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _complete_states(
+        current: Configuration, target_states: Mapping[str, VMState]
+    ) -> dict[str, VMState]:
+        states: dict[str, VMState] = {}
+        for name in current.vm_names:
+            states[name] = target_states.get(name, current.state_of(name))
+            if (
+                states[name] is VMState.WAITING
+                and current.state_of(name) is VMState.RUNNING
+            ):
+                raise PlanningError(
+                    f"VM {name!r} is running and cannot return to the Waiting "
+                    "state; suspend or terminate it instead"
+                )
+        return states
+
+    @staticmethod
+    def _fixed_cost(current: Configuration, states: Mapping[str, VMState]) -> int:
+        """Cost of the actions whose cost does not depend on the placement:
+        the suspends of the VMs that must leave the Running state."""
+        total = 0
+        for name, state in states.items():
+            if (
+                state is VMState.SLEEPING
+                and current.state_of(name) is VMState.RUNNING
+            ):
+                total += current.vm(name).memory
+        return total
+
+    @staticmethod
+    def _movement_cost_table(current: Configuration, vm_name: str) -> dict[int, int]:
+        """Per-node movement cost of placing ``vm_name`` in the running state
+        (node indices follow ``current.node_names``)."""
+        vm = current.vm(vm_name)
+        state = current.state_of(vm_name)
+        table: dict[int, int] = {}
+        for index, node in enumerate(current.node_names):
+            if state is VMState.RUNNING:
+                table[index] = 0 if current.location_of(vm_name) == node else vm.memory
+            elif state is VMState.SLEEPING:
+                local = current.image_location_of(vm_name) == node
+                table[index] = vm.memory if local else 2 * vm.memory
+            else:  # WAITING: a run action costs a constant (0)
+                table[index] = 0
+        return table
+
+    def _greedy_assignment(
+        self,
+        current: Configuration,
+        running_vms: list[str],
+    ) -> Optional[dict[str, int]]:
+        """A cheap repair of the current placement used to seed the search.
+
+        Running VMs keep their host whenever possible, sleeping VMs resume on
+        the node holding their image, waiting VMs and evicted VMs are packed
+        first-fit-decreasing on the remaining space.  This mirrors the
+        "assign each running VM to its initial location in priority" strategy
+        of Section 4.3 and gives branch-and-bound a strong incumbent; the CP
+        search then tries to improve on it within its time budget.
+        """
+        node_names = current.node_names
+        node_index = {name: i for i, name in enumerate(node_names)}
+        free = {
+            name: [current.node(name).capacity.cpu, current.node(name).capacity.memory]
+            for name in node_names
+        }
+        assignment: dict[str, int] = {}
+        homeless: list[str] = []
+
+        def try_place(vm_name: str, node_name: Optional[str]) -> bool:
+            if node_name is None:
+                return False
+            vm = current.vm(vm_name)
+            capacity = free[node_name]
+            if vm.cpu_demand <= capacity[0] and vm.memory <= capacity[1]:
+                capacity[0] -= vm.cpu_demand
+                capacity[1] -= vm.memory
+                assignment[vm_name] = node_index[node_name]
+                return True
+            return False
+
+        # Keep running VMs in place, resume sleeping VMs locally.
+        for vm_name in running_vms:
+            state = current.state_of(vm_name)
+            preferred = None
+            if state is VMState.RUNNING:
+                preferred = current.location_of(vm_name)
+            elif state is VMState.SLEEPING:
+                preferred = current.image_location_of(vm_name)
+            if not try_place(vm_name, preferred):
+                homeless.append(vm_name)
+
+        # Pack the rest first-fit-decreasing.
+        homeless.sort(
+            key=lambda name: (
+                current.vm(name).cpu_demand,
+                current.vm(name).memory,
+            ),
+            reverse=True,
+        )
+        for vm_name in homeless:
+            placed = False
+            for node_name in node_names:
+                if try_place(vm_name, node_name):
+                    placed = True
+                    break
+            if not placed:
+                return None
+        return assignment
+
+    def _search(
+        self,
+        current: Configuration,
+        states: Mapping[str, VMState],
+        running_vms: list[str],
+        constraints: Sequence["PlacementConstraint"] = (),
+    ) -> tuple[Optional[dict[str, int]], SearchStatistics, list[int]]:
+        """Run the CP search; returns (assignment or None, statistics,
+        improving objective values)."""
+        node_names = current.node_names
+        if not running_vms:
+            # Nothing to place: the empty assignment is trivially optimal.
+            return {}, SearchStatistics(proven_optimal=True), [0]
+
+        model = Model()
+        assignment_vars: list[IntVar] = []
+        tables: list[dict[int, int]] = []
+        preferences: dict[str, int] = {}
+        node_index = {name: i for i, name in enumerate(node_names)}
+
+        for vm_name in running_vms:
+            # Unary placement constraints (Ban/Fence) shrink the domain of the
+            # assignment variable before the search even starts.
+            allowed = set(node_names)
+            for constraint in constraints:
+                restriction = constraint.allowed_nodes(vm_name, node_names)
+                if restriction is not None:
+                    allowed &= restriction
+            if not allowed:
+                return None, SearchStatistics(), []
+            domain = [node_index[name] for name in node_names if name in allowed]
+            var = model.int_var(f"x({vm_name})", domain)
+            assignment_vars.append(var)
+            tables.append(self._movement_cost_table(current, vm_name))
+            state = current.state_of(vm_name)
+            if state is VMState.RUNNING:
+                preferred = node_index[current.location_of(vm_name)]
+                if preferred in domain:
+                    preferences[var.name] = preferred
+            elif state is VMState.SLEEPING:
+                image = current.image_location_of(vm_name)
+                if image is not None and node_index[image] in domain:
+                    preferences[var.name] = node_index[image]
+
+        demands = [current.vm(name).demand.as_tuple() for name in running_vms]
+        capacities = [current.node(name).capacity.as_tuple() for name in node_names]
+        model.add_constraint(VectorPacking(assignment_vars, demands, capacities))
+
+        # Relational placement constraints (Spread/Gather) become solver
+        # constraints over the assignment variables.
+        variables_by_vm = {
+            vm_name: assignment_vars[i] for i, vm_name in enumerate(running_vms)
+        }
+        for constraint in constraints:
+            for cp_constraint in constraint.cp_constraints(variables_by_vm, node_index):
+                model.add_constraint(cp_constraint)
+
+        # Scale the cost tables so the objective domain stays tractable.
+        upper = sum(max(table.values()) for table in tables)
+        scale = max(1, math.gcd(*(v for t in tables for v in t.values())) or 1)
+        if upper // scale > _MAX_OBJECTIVE_RANGE:
+            scale = max(scale, math.ceil(upper / _MAX_OBJECTIVE_RANGE))
+        scaled_tables = [
+            {k: math.ceil(v / scale) for k, v in table.items()} for table in tables
+        ]
+        scaled_upper = sum(max(table.values()) for table in scaled_tables)
+        total_var = model.int_var("total_cost", range(scaled_upper + 1))
+        model.add_constraint(ElementSum(assignment_vars, scaled_tables, total_var))
+
+        # First-fail flavoured ordering: the most demanding VMs first
+        # (Section 4.3, following Haralick & Elliott).
+        order = sorted(
+            range(len(running_vms)),
+            key=lambda i: (demands[i][0], demands[i][1]),
+            reverse=True,
+        )
+        ordered_vars = [assignment_vars[i] for i in order]
+
+        # Seed branch-and-bound with a greedy repair of the current placement;
+        # the search then only accepts strictly cheaper assignments.  The
+        # greedy repair is unaware of relational placement constraints, so it
+        # is only used when none are requested.
+        greedy = (
+            self._greedy_assignment(current, running_vms) if not constraints else None
+        )
+        initial_bound = None
+        if greedy is not None:
+            initial_bound = sum(
+                scaled_tables[i][greedy[vm_name]]
+                for i, vm_name in enumerate(running_vms)
+            )
+
+        solver = Solver(
+            model,
+            variable_selector=static_order(ordered_vars),
+            value_selector=prefer_value(preferences),
+        )
+        result = solver.solve(
+            minimize=total_var,
+            timeout=self.timeout,
+            collect_all=True,
+            first_solution_only=self.first_solution_only,
+            initial_bound=initial_bound,
+        )
+        improving = [
+            solution.objective * scale
+            for solution in result.all_solutions
+            if solution.objective is not None
+        ]
+        if result.best is not None:
+            assignment = {
+                vm_name: result.best[f"x({vm_name})"] for vm_name in running_vms
+            }
+            return assignment, result.statistics, improving
+        if greedy is not None:
+            # The search did not improve on (or ran out of time before
+            # matching) the greedy incumbent: use the incumbent.
+            return greedy, result.statistics, improving
+        return None, result.statistics, improving
+
+    # ------------------------------------------------------------------ #
+    # target construction                                                 #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_target(
+        current: Configuration,
+        states: Mapping[str, VMState],
+        assignment: Mapping[str, int],
+    ) -> Configuration:
+        target = current.copy()
+        node_names = current.node_names
+        for name, state in states.items():
+            if state is VMState.RUNNING:
+                target.set_running(name, node_names[assignment[name]])
+            elif state is VMState.SLEEPING:
+                if current.state_of(name) is VMState.RUNNING:
+                    target.set_sleeping(name, current.location_of(name))
+                elif current.state_of(name) is VMState.SLEEPING:
+                    target.set_sleeping(name, current.image_location_of(name))
+                else:
+                    # A waiting VM cannot be suspended: it stays waiting.
+                    target.set_waiting(name)
+            elif state is VMState.TERMINATED:
+                target.set_terminated(name)
+            else:
+                target.set_waiting(name)
+        return target

@@ -1,0 +1,151 @@
+"""Placement constraints between VMs and nodes.
+
+The paper's conclusion announces "additional low level relations between the
+VMs in the decision module", such as "hosting some VMs on different nodes for
+high availability considerations", already available in the original Entropy.
+This module provides those relations and the optimizer honours them when it
+searches for the target configuration:
+
+* :class:`Spread` — the running VMs of a group must be hosted on pairwise
+  distinct nodes (high availability);
+* :class:`Gather` — the running VMs of a group must share one node (latency /
+  page-sharing friendly co-location);
+* :class:`Ban` — a group of VMs may never run on a given set of nodes
+  (maintenance, licensing);
+* :class:`Fence` — a group of VMs may only run inside a given set of nodes
+  (hardware affinity, security zones).
+
+A constraint restricts where VMs may *run*; it says nothing about sleeping,
+waiting or terminated VMs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..cp import AllDifferent, Constraint as CPConstraint
+from ..cp.constraints import AllEqual
+from ..cp.variables import IntVar
+from ..model.configuration import Configuration
+
+
+class PlacementConstraint:
+    """Base class of the VM placement relations."""
+
+    def __init__(self, vms: Iterable[str]):
+        self.vms: tuple[str, ...] = tuple(vms)
+        if not self.vms:
+            raise ValueError("a placement constraint needs at least one VM")
+
+    # -- unary part ------------------------------------------------------------
+
+    def allowed_nodes(self, vm_name: str, node_names: Sequence[str]) -> Optional[set[str]]:
+        """Nodes on which ``vm_name`` may run, or ``None`` when the constraint
+        does not restrict that VM individually."""
+        return None
+
+    # -- n-ary part -------------------------------------------------------------
+
+    def cp_constraints(
+        self,
+        variables: Mapping[str, IntVar],
+        node_index: Mapping[str, int],
+    ) -> list[CPConstraint]:
+        """Solver constraints over the assignment variables of the running VMs
+        involved in this relation (empty when the relation is purely unary)."""
+        return []
+
+    # -- validation --------------------------------------------------------------
+
+    def is_satisfied_by(self, configuration: Configuration) -> bool:
+        """Check the relation on a concrete configuration."""
+        raise NotImplementedError
+
+    def _running_locations(self, configuration: Configuration) -> list[str]:
+        locations = []
+        for vm_name in self.vms:
+            if not configuration.has_vm(vm_name):
+                continue
+            node = configuration.location_of(vm_name)
+            if node is not None:
+                locations.append(node)
+        return locations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({', '.join(self.vms)})"
+
+
+class Spread(PlacementConstraint):
+    """The running VMs of the group are hosted on pairwise distinct nodes."""
+
+    def cp_constraints(self, variables, node_index):
+        involved = [variables[vm] for vm in self.vms if vm in variables]
+        if len(involved) < 2:
+            return []
+        return [AllDifferent(involved)]
+
+    def is_satisfied_by(self, configuration: Configuration) -> bool:
+        locations = self._running_locations(configuration)
+        return len(locations) == len(set(locations))
+
+
+class Gather(PlacementConstraint):
+    """The running VMs of the group share a single hosting node."""
+
+    def cp_constraints(self, variables, node_index):
+        involved = [variables[vm] for vm in self.vms if vm in variables]
+        if len(involved) < 2:
+            return []
+        return [AllEqual(involved)]
+
+    def is_satisfied_by(self, configuration: Configuration) -> bool:
+        locations = self._running_locations(configuration)
+        return len(set(locations)) <= 1
+
+
+class Ban(PlacementConstraint):
+    """The VMs of the group may never run on the banned nodes."""
+
+    def __init__(self, vms: Iterable[str], nodes: Iterable[str]):
+        super().__init__(vms)
+        self.nodes: frozenset[str] = frozenset(nodes)
+        if not self.nodes:
+            raise ValueError("Ban requires at least one node")
+
+    def allowed_nodes(self, vm_name, node_names):
+        if vm_name not in self.vms:
+            return None
+        return {n for n in node_names if n not in self.nodes}
+
+    def is_satisfied_by(self, configuration: Configuration) -> bool:
+        return not any(
+            node in self.nodes for node in self._running_locations(configuration)
+        )
+
+
+class Fence(PlacementConstraint):
+    """The VMs of the group may only run inside the given node set."""
+
+    def __init__(self, vms: Iterable[str], nodes: Iterable[str]):
+        super().__init__(vms)
+        self.nodes: frozenset[str] = frozenset(nodes)
+        if not self.nodes:
+            raise ValueError("Fence requires at least one node")
+
+    def allowed_nodes(self, vm_name, node_names):
+        if vm_name not in self.vms:
+            return None
+        return {n for n in node_names if n in self.nodes}
+
+    def is_satisfied_by(self, configuration: Configuration) -> bool:
+        return all(
+            node in self.nodes for node in self._running_locations(configuration)
+        )
+
+
+def check_constraints(
+    configuration: Configuration,
+    constraints: Sequence[PlacementConstraint],
+) -> list[PlacementConstraint]:
+    """Return the constraints violated by ``configuration``."""
+    return [c for c in constraints if not c.is_satisfied_by(configuration)]

@@ -1,0 +1,313 @@
+"""Construction of feasible reconfiguration plans (Section 4.1).
+
+The planner turns a (current configuration, target configuration) pair into a
+:class:`~repro.core.plan.ReconfigurationPlan` whose pools satisfy both kinds of
+plannification issues identified by the paper:
+
+* **sequential constraints** — an action that requires resources only enters a
+  pool once the actions that liberate those resources have been placed in an
+  earlier pool;
+* **inter-dependent constraints** — when a set of non-feasible migrations forms
+  a cycle, the cycle is broken with a *bypass migration* that parks one VM on a
+  pivot node outside the cycle.
+
+A final pass restores the consistency of vjobs: all the resume actions of the
+VMs of a vjob are regrouped into the pool that initially contained the last of
+them, so the VMs of a distributed application are suspended and resumed
+together within a short period (the executor then pipelines them one second
+apart, sorted by hostname).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..model.configuration import Configuration
+from ..model.errors import NoPivotAvailableError, PlanningError
+from ..model.resources import ResourceVector
+from .actions import Action, ActionKind, Migrate, Resume
+from .graph import ReconfigurationGraph
+from .plan import Pool, ReconfigurationPlan
+
+
+@dataclass
+class PlannerOptions:
+    """Tunables of the plan construction."""
+
+    #: Regroup the suspend/resume actions of a vjob in a single pool.
+    enforce_vjob_consistency: bool = True
+    #: Prefer parking the smallest VM of a cycle on a pivot node.
+    bypass_smallest_vm: bool = True
+    #: Hard bound on the number of pools, as a safety net against bugs in the
+    #: target configuration (a correct construction needs at most one pool per
+    #: action plus one bypass per cycle).
+    max_pools: Optional[int] = None
+
+
+class ReconfigurationPlanner:
+    """Builds feasible plans between two configurations."""
+
+    def __init__(self, options: Optional[PlannerOptions] = None) -> None:
+        self.options = options or PlannerOptions()
+
+    # ------------------------------------------------------------------ #
+    # public API                                                          #
+    # ------------------------------------------------------------------ #
+
+    def build(
+        self,
+        current: Configuration,
+        target: Configuration,
+        vjob_of_vm: Optional[Mapping[str, str]] = None,
+    ) -> ReconfigurationPlan:
+        """Build a feasible plan from ``current`` to ``target``.
+
+        ``vjob_of_vm`` maps VM names to vjob names and is only used by the
+        consistency pass; omit it to plan VMs independently.
+        """
+        plan = ReconfigurationPlan(source=current.copy())
+        working = current.copy()
+        max_pools = (
+            self.options.max_pools
+            if self.options.max_pools is not None
+            else 2 * len(current.vm_names) + 8
+        )
+
+        while True:
+            graph = ReconfigurationGraph(working.copy(), target)
+            if graph.is_empty():
+                break
+            if len(plan.pools) >= max_pools:
+                raise PlanningError(
+                    f"plan construction exceeded {max_pools} pools; the target "
+                    "configuration is probably unreachable"
+                )
+            pool = self._select_pool(working, graph)
+            if not pool:
+                bypass = self._bypass_action(working, graph)
+                pool = Pool([bypass])
+            plan.append_pool(pool)
+            working = self._apply_pool(working, pool)
+
+        if self.options.enforce_vjob_consistency and vjob_of_vm:
+            self._regroup_vjob_resumes(plan, vjob_of_vm)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # pool selection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _select_pool(self, working: Configuration, graph: ReconfigurationGraph) -> Pool:
+        """Select every action directly feasible against ``working``.
+
+        Liberating actions (suspend, stop) are always feasible.  Consuming
+        actions (run, resume, migrate) are admitted conservatively: each must
+        fit on its destination given the consumers already admitted in the same
+        pool, without counting the resources that same-pool liberating actions
+        will free (those only become available in the next pool).
+        """
+        pool = Pool()
+        liberators = [a for a in graph.actions if not a.consumes_resources()]
+        consumers = [a for a in graph.actions if a.consumes_resources()]
+
+        for action in liberators:
+            if action.is_feasible(working):
+                pool.add(action)
+
+        # Admit consumers in decreasing demand order so large VMs get the first
+        # pick of the free space (mirrors the FFD flavour of the heuristics).
+        # A consumer is admitted only if it fits on its destination given the
+        # consumers already admitted in this pool — the resources liberated by
+        # same-pool actions are deliberately not counted, they only become
+        # available to the next pool.
+        consumers.sort(
+            key=lambda a: working.vm(a.vm).demand.as_tuple(), reverse=True
+        )
+        reserved: dict[str, ResourceVector] = {}
+        for action in consumers:
+            if not action.is_feasible(working):
+                continue
+            destination = action.destination()
+            demand = working.vm(action.vm).demand
+            already = reserved.get(destination, ResourceVector(0, 0))
+            if (already + demand).fits_in(working.free_capacity(destination)):
+                reserved[destination] = already + demand
+                pool.add(action)
+        return pool
+
+    @staticmethod
+    def _apply_pool(working: Configuration, pool: Pool) -> Configuration:
+        """Temporary configuration once every action of the pool completed."""
+        result = working.copy()
+        # Apply consumers first against the pool-start configuration, then the
+        # liberating actions; the end state is order-independent because one
+        # action at most touches each VM.
+        for action in pool:
+            if action.consumes_resources():
+                action.apply(result)
+        for action in pool:
+            if not action.consumes_resources():
+                action.apply(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # inter-dependent cycles and bypass migrations                        #
+    # ------------------------------------------------------------------ #
+
+    def _bypass_action(
+        self, working: Configuration, graph: ReconfigurationGraph
+    ) -> Migrate:
+        """Break a cycle of non-feasible migrations with a bypass migration.
+
+        A pivot node outside the cycle temporarily hosts one of the cycle's
+        VMs; once that VM has left, at least one other migration of the cycle
+        becomes feasible.  The next planning rounds will bring the parked VM to
+        its final destination (the reconfiguration graph regenerates the
+        pending migration from the pivot).
+        """
+        migrations = [
+            a for a in graph.actions if isinstance(a, Migrate)
+        ]
+        if not migrations:
+            raise PlanningError(
+                "no feasible action and no pending migration: the target "
+                "configuration is not reachable (is it viable?)"
+            )
+        cycle = self._find_cycle(migrations)
+        if not cycle:
+            raise PlanningError(
+                "no feasible action but the pending migrations do not form a "
+                "cycle: the target configuration is not reachable"
+            )
+
+        cycle_nodes = {m.source_node for m in cycle} | {
+            m.destination_node for m in cycle
+        }
+        candidates = sorted(
+            cycle,
+            key=lambda m: working.vm(m.vm).memory,
+        )
+        if not self.options.bypass_smallest_vm:
+            candidates = list(cycle)
+
+        for migration in candidates:
+            vm = working.vm(migration.vm)
+            for node in working.node_names:
+                if node in cycle_nodes:
+                    continue
+                if working.can_host(node, vm):
+                    return Migrate(
+                        vm=migration.vm,
+                        source_node=migration.source_node,
+                        destination_node=node,
+                    )
+        # Fall back to any node (even inside the cycle) that can host a VM of
+        # the cycle: this still unlocks the cycle although the paper prefers an
+        # outside pivot.
+        for migration in candidates:
+            vm = working.vm(migration.vm)
+            for node in working.node_names:
+                if node == migration.source_node:
+                    continue
+                if working.can_host(node, vm):
+                    return Migrate(
+                        vm=migration.vm,
+                        source_node=migration.source_node,
+                        destination_node=node,
+                    )
+        raise NoPivotAvailableError(
+            "no node can temporarily host any VM of the migration cycle"
+        )
+
+    @staticmethod
+    def _find_cycle(migrations: Sequence[Migrate]) -> list[Migrate]:
+        """Find a cycle in the directed node graph induced by the migrations.
+
+        Returns the migrations forming the cycle, or an empty list when the
+        graph is acyclic.  A depth-first search over the node graph is used,
+        keeping the migration taken to reach each node on the current stack so
+        the cycle's edges can be reported.
+        """
+        outgoing: dict[str, list[Migrate]] = {}
+        for migration in migrations:
+            outgoing.setdefault(migration.source_node, []).append(migration)
+
+        visited: set[str] = set()
+
+        def dfs(node: str, stack: list[str], path: list[Migrate]) -> list[Migrate]:
+            if node in stack:
+                # Back edge: the cycle is the suffix of ``path`` starting where
+                # ``node`` was first pushed on the stack.
+                return path[stack.index(node):]
+            if node in visited:
+                return []
+            visited.add(node)
+            stack.append(node)
+            for migration in outgoing.get(node, ()):  # explore every edge
+                found = dfs(migration.destination_node, stack, path + [migration])
+                if found:
+                    return found
+            stack.pop()
+            return []
+
+        for start in list(outgoing):
+            cycle = dfs(start, [], [])
+            if cycle:
+                return cycle
+        return []
+
+    # ------------------------------------------------------------------ #
+    # vjob consistency                                                    #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _regroup_vjob_resumes(
+        plan: ReconfigurationPlan, vjob_of_vm: Mapping[str, str]
+    ) -> None:
+        """Move every resume action of a vjob into the pool that initially
+        contains the last of them (Section 4.1).
+
+        Delaying a resume never invalidates the plan: the destination space was
+        reserved for the VM from the original pool onwards, so it is still free
+        when the regrouped pool starts.  Suspend actions need no treatment:
+        being always feasible, the construction already groups them in the
+        first pool.
+        """
+        # vjob name -> list of (pool index, action)
+        resumes: dict[str, list[tuple[int, Resume]]] = {}
+        for index, pool in enumerate(plan.pools):
+            for action in pool:
+                if action.kind is ActionKind.RESUME:
+                    vjob = vjob_of_vm.get(action.vm)
+                    if vjob is not None:
+                        resumes.setdefault(vjob, []).append((index, action))
+
+        for vjob, entries in resumes.items():
+            if len(entries) <= 1:
+                continue
+            last_pool = max(index for index, _ in entries)
+            for index, action in entries:
+                if index == last_pool:
+                    continue
+                plan.pools[index].actions.remove(action)
+                plan.pools[last_pool].actions.append(action)
+
+        # Remove pools emptied by the regrouping and sort each pool by
+        # destination hostname then VM name so the executor can pipeline the
+        # actions deterministically.
+        plan.pools = [pool for pool in plan.pools if pool]
+        for pool in plan.pools:
+            pool.actions.sort(
+                key=lambda a: (a.kind.value, a.destination() or a.source() or "", a.vm)
+            )
+
+
+def build_plan(
+    current: Configuration,
+    target: Configuration,
+    vjob_of_vm: Optional[Mapping[str, str]] = None,
+    options: Optional[PlannerOptions] = None,
+) -> ReconfigurationPlan:
+    """Module-level convenience wrapper around :class:`ReconfigurationPlanner`."""
+    return ReconfigurationPlanner(options).build(current, target, vjob_of_vm)

@@ -1,0 +1,50 @@
+"""A small finite-domain constraint solver (Choco 1.2 replacement).
+
+Provides integer variables, propagation-based constraints (linear sums,
+2-dimensional bin packing, table-based cost sums, all-different), depth-first
+search with pluggable variable/value ordering heuristics, and branch-and-bound
+minimization with a wall-clock timeout — the exact feature set the paper's
+optimization of the cluster-wide context switch relies on (Section 4.3).
+"""
+
+from .constraints import (
+    AllDifferent,
+    Constraint,
+    ElementSum,
+    LinearLessEqual,
+    VectorPacking,
+)
+from .domain import Domain
+from .solver import (
+    Model,
+    SearchResult,
+    SearchStatistics,
+    Solution,
+    Solver,
+    ascending_values,
+    first_fail,
+    prefer_value,
+    static_order,
+)
+from .variables import IntVar, make_int_var, value_of
+
+__all__ = [
+    "AllDifferent",
+    "Constraint",
+    "ElementSum",
+    "LinearLessEqual",
+    "VectorPacking",
+    "Domain",
+    "Model",
+    "SearchResult",
+    "SearchStatistics",
+    "Solution",
+    "Solver",
+    "ascending_values",
+    "first_fail",
+    "prefer_value",
+    "static_order",
+    "IntVar",
+    "make_int_var",
+    "value_of",
+]

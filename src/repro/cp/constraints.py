@@ -1,0 +1,277 @@
+"""Constraints understood by the solver.
+
+Only the constraints the paper's model needs are provided, plus a couple of
+generic ones that keep the solver usable on its own:
+
+* :class:`LinearLessEqual` — a weighted sum bounded by a constant (the
+  knapsack inequalities of Definition 4.1);
+* :class:`ElementSum` — a total variable equal to the sum of per-variable
+  lookup tables (the reconfiguration cost estimate of Section 4.3);
+* :class:`VectorPacking` — the 2-dimensional bin-packing constraint relating
+  VM assignment variables to node capacities (Section 3.2);
+* :class:`AllDifferent` — a value-based all-different, handy for tests and
+  for pivot selection experiments.
+
+Each constraint implements ``propagate(store)``; ``store`` exposes the domain
+mutations that are recorded on the solver trail.  Propagation raises
+:class:`~repro.model.errors.InconsistencyError` when a domain would become
+empty or a constraint is certainly violated.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..model.errors import InconsistencyError
+from .variables import IntVar
+
+
+class Constraint:
+    """Base class of all constraints."""
+
+    def variables(self) -> Sequence[IntVar]:
+        raise NotImplementedError
+
+    def propagate(self, store) -> None:
+        """Filter the domains of the constraint's variables."""
+        raise NotImplementedError
+
+    def is_satisfied(self) -> bool:
+        """Check the constraint on fully instantiated variables."""
+        raise NotImplementedError
+
+
+class LinearLessEqual(Constraint):
+    """``sum(coefficients[i] * vars[i]) <= bound`` with non-negative
+    coefficients."""
+
+    def __init__(self, variables: Sequence[IntVar], coefficients: Sequence[int], bound: int):
+        if len(variables) != len(coefficients):
+            raise ValueError("variables and coefficients must have the same length")
+        if any(c < 0 for c in coefficients):
+            raise ValueError("LinearLessEqual only supports non-negative coefficients")
+        self._vars = list(variables)
+        self._coefficients = list(coefficients)
+        self._bound = bound
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        mins = [c * v.min for c, v in zip(self._coefficients, self._vars)]
+        total_min = sum(mins)
+        if total_min > self._bound:
+            raise InconsistencyError(
+                f"linear sum lower bound {total_min} exceeds {self._bound}"
+            )
+        for i, (coefficient, var) in enumerate(zip(self._coefficients, self._vars)):
+            if coefficient == 0:
+                continue
+            slack = self._bound - (total_min - mins[i])
+            # coefficient * value must stay <= slack
+            limit = slack // coefficient
+            if var.max > limit:
+                store.remove_above(var, limit)
+
+    def is_satisfied(self) -> bool:
+        return (
+            sum(c * v.value for c, v in zip(self._coefficients, self._vars))
+            <= self._bound
+        )
+
+
+class ElementSum(Constraint):
+    """``total = sum_i tables[i][vars[i]]``.
+
+    ``tables[i]`` maps every value of ``vars[i]``'s initial domain to a
+    non-negative cost.  Bound-consistent propagation in both directions:
+    the total is squeezed between the sum of per-variable minima and maxima,
+    and values whose cost would push the sum above ``total.max`` are pruned.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[IntVar],
+        tables: Sequence[Mapping[int, int]],
+        total: IntVar,
+    ):
+        if len(variables) != len(tables):
+            raise ValueError("one table per variable is required")
+        self._vars = list(variables)
+        self._tables = [dict(t) for t in tables]
+        self._total = total
+
+    def variables(self) -> Sequence[IntVar]:
+        return [*self._vars, self._total]
+
+    def _cost_bounds(self, index: int) -> tuple[int, int]:
+        table = self._tables[index]
+        var = self._vars[index]
+        costs = [table[v] for v in var.raw_values()]
+        return min(costs), max(costs)
+
+    def propagate(self, store) -> None:
+        bounds = [self._cost_bounds(i) for i in range(len(self._vars))]
+        lower = sum(b[0] for b in bounds)
+        upper = sum(b[1] for b in bounds)
+        if lower > self._total.max or upper < self._total.min:
+            raise InconsistencyError("ElementSum: cost bounds incompatible with total")
+        store.remove_below(self._total, lower)
+        store.remove_above(self._total, upper)
+
+        # Prune assignment values that would exceed the total upper bound.
+        total_max = self._total.max
+        for i, var in enumerate(self._vars):
+            others_min = lower - bounds[i][0]
+            budget = total_max - others_min
+            table = self._tables[i]
+            too_expensive = [v for v in var.raw_values() if table[v] > budget]
+            if too_expensive:
+                store.remove_many(var, too_expensive)
+
+    def is_satisfied(self) -> bool:
+        return (
+            sum(self._tables[i][v.value] for i, v in enumerate(self._vars))
+            == self._total.value
+        )
+
+
+class VectorPacking(Constraint):
+    """Two-dimensional bin-packing of VMs onto nodes (Section 3.2).
+
+    ``assignments[i]`` is the node index hosting item ``i``; ``demands[i]`` is
+    the (cpu, memory) demand of item ``i``; ``capacities[j]`` the (cpu, memory)
+    capacity of node ``j``.  Propagation removes node ``j`` from an item's
+    domain as soon as the load already committed to ``j`` leaves too little
+    room, and fails when committed load exceeds a capacity — the behaviour the
+    paper obtains from Choco's packing / multi-knapsack constraints.
+    """
+
+    def __init__(
+        self,
+        assignments: Sequence[IntVar],
+        demands: Sequence[tuple[int, int]],
+        capacities: Sequence[tuple[int, int]],
+    ):
+        if len(assignments) != len(demands):
+            raise ValueError("one demand per assignment variable is required")
+        self._vars = list(assignments)
+        self._demands = [tuple(d) for d in demands]
+        self._capacities = [tuple(c) for c in capacities]
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        node_count = len(self._capacities)
+        committed_cpu = [0] * node_count
+        committed_mem = [0] * node_count
+        pending: list[int] = []
+
+        for index, var in enumerate(self._vars):
+            if var.is_instantiated:
+                node = var.value
+                if not 0 <= node < node_count:
+                    raise InconsistencyError(
+                        f"assignment {var.name} targets unknown node {node}"
+                    )
+                committed_cpu[node] += self._demands[index][0]
+                committed_mem[node] += self._demands[index][1]
+            else:
+                pending.append(index)
+
+        free_cpu = [0] * node_count
+        free_mem = [0] * node_count
+        for node in range(node_count):
+            cpu_cap, mem_cap = self._capacities[node]
+            if committed_cpu[node] > cpu_cap or committed_mem[node] > mem_cap:
+                raise InconsistencyError(
+                    f"node {node} overloaded: committed "
+                    f"({committed_cpu[node]}, {committed_mem[node]}) > "
+                    f"capacity {(cpu_cap, mem_cap)}"
+                )
+            free_cpu[node] = cpu_cap - committed_cpu[node]
+            free_mem[node] = mem_cap - committed_mem[node]
+
+        for index in pending:
+            cpu, mem = self._demands[index]
+            var = self._vars[index]
+            to_remove = [
+                node
+                for node in var.raw_values()
+                if cpu > free_cpu[node] or mem > free_mem[node]
+            ]
+            if to_remove:
+                store.remove_many(var, to_remove)
+
+    def is_satisfied(self) -> bool:
+        node_count = len(self._capacities)
+        loads = [[0, 0] for _ in range(node_count)]
+        for index, var in enumerate(self._vars):
+            node = var.value
+            loads[node][0] += self._demands[index][0]
+            loads[node][1] += self._demands[index][1]
+        return all(
+            loads[j][0] <= self._capacities[j][0]
+            and loads[j][1] <= self._capacities[j][1]
+            for j in range(node_count)
+        )
+
+
+class AllEqual(Constraint):
+    """Every variable takes the same value (used by the Gather placement
+    constraint: all the VMs of a group share one node)."""
+
+    def __init__(self, variables: Sequence[IntVar]):
+        self._vars = list(variables)
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        if not self._vars:
+            return
+        common = set(self._vars[0].raw_values())
+        for var in self._vars[1:]:
+            common &= var.raw_values()
+        if not common:
+            raise InconsistencyError("AllEqual: no common value left")
+        for var in self._vars:
+            extra = [v for v in var.raw_values() if v not in common]
+            if extra:
+                store.remove_many(var, extra)
+
+    def is_satisfied(self) -> bool:
+        return len({v.value for v in self._vars}) <= 1
+
+
+class AllDifferent(Constraint):
+    """Pairwise-different values (value-based propagation)."""
+
+    def __init__(self, variables: Sequence[IntVar]):
+        self._vars = list(variables)
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        assigned: dict[int, IntVar] = {}
+        for var in self._vars:
+            if var.is_instantiated:
+                value = var.value
+                if value in assigned:
+                    raise InconsistencyError(
+                        f"AllDifferent: {var.name} and {assigned[value].name} "
+                        f"both take {value}"
+                    )
+                assigned[value] = var
+        for var in self._vars:
+            if var.is_instantiated:
+                continue
+            clash = [v for v in assigned if v in var]
+            if clash:
+                store.remove_many(var, clash)
+
+    def is_satisfied(self) -> bool:
+        values = [v.value for v in self._vars]
+        return len(values) == len(set(values))

@@ -1,0 +1,112 @@
+"""Finite integer domains for the constraint solver.
+
+The solver reproduces the small subset of Choco 1.2 the paper relies on:
+finite-domain integer variables, propagation to a fixpoint, a depth-first
+search with a first-fail flavoured heuristic, and branch-and-bound
+minimization of a single cost variable (Section 4.3).
+
+Domains are plain sorted containers of ints.  Removals are recorded by the
+solver's trail so the search can backtrack without copying whole domains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..model.errors import InconsistencyError
+
+
+class Domain:
+    """A mutable finite set of integers."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[int]):
+        self._values = set(int(v) for v in values)
+        if not self._values:
+            raise ValueError("a domain cannot be created empty")
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._values
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._values))
+
+    @property
+    def min(self) -> int:
+        return min(self._values)
+
+    @property
+    def max(self) -> int:
+        return max(self._values)
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self._values) == 1
+
+    @property
+    def value(self) -> int:
+        """The single value of an instantiated domain."""
+        if not self.is_singleton:
+            raise ValueError("domain is not a singleton")
+        return next(iter(self._values))
+
+    def values(self) -> tuple[int, ...]:
+        return tuple(sorted(self._values))
+
+    def raw_values(self) -> frozenset[int]:
+        """Unordered view of the domain (cheaper than :meth:`values` for the
+        propagators' inner loops)."""
+        return frozenset(self._values)
+
+    def copy(self) -> "Domain":
+        clone = Domain.__new__(Domain)
+        clone._values = set(self._values)
+        return clone
+
+    # -- mutations (return the set of removed values) -------------------------
+
+    def remove(self, value: int) -> frozenset[int]:
+        if value not in self._values:
+            return frozenset()
+        if len(self._values) == 1:
+            raise InconsistencyError(f"removing {value} empties the domain")
+        self._values.discard(value)
+        return frozenset((value,))
+
+    def remove_many(self, values: Iterable[int]) -> frozenset[int]:
+        removed = self._values & set(values)
+        if not removed:
+            return frozenset()
+        if len(removed) == len(self._values):
+            raise InconsistencyError("removal empties the domain")
+        self._values -= removed
+        return frozenset(removed)
+
+    def assign(self, value: int) -> frozenset[int]:
+        """Restrict the domain to a single value."""
+        if value not in self._values:
+            raise InconsistencyError(f"value {value} not in domain")
+        removed = frozenset(v for v in self._values if v != value)
+        self._values = {value}
+        return removed
+
+    def remove_above(self, bound: int) -> frozenset[int]:
+        return self.remove_many([v for v in self._values if v > bound])
+
+    def remove_below(self, bound: int) -> frozenset[int]:
+        return self.remove_many([v for v in self._values if v < bound])
+
+    def restore(self, values: frozenset[int]) -> None:
+        """Put back values removed earlier (used by the trail)."""
+        self._values |= values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if len(self._values) <= 8:
+            return f"Domain({sorted(self._values)})"
+        return f"Domain([{self.min}..{self.max}], size={len(self._values)})"

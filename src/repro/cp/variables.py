@@ -1,0 +1,70 @@
+"""Integer decision variables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .domain import Domain
+
+
+class IntVar:
+    """A finite-domain integer variable.
+
+    Every mutation goes through the owning :class:`~repro.cp.solver.Solver`'s
+    trail so the search can undo it on backtracking.  The variable itself only
+    exposes read access plus low-level ``_apply``/``_undo`` hooks.
+    """
+
+    __slots__ = ("name", "domain", "_solver", "index")
+
+    def __init__(self, name: str, values: Iterable[int]):
+        self.name = name
+        self.domain = Domain(values)
+        self._solver = None  # set when registered on a model/solver
+        self.index: int = -1
+
+    # -- read access ---------------------------------------------------------
+
+    @property
+    def is_instantiated(self) -> bool:
+        return self.domain.is_singleton
+
+    @property
+    def value(self) -> int:
+        return self.domain.value
+
+    @property
+    def min(self) -> int:
+        return self.domain.min
+
+    @property
+    def max(self) -> int:
+        return self.domain.max
+
+    @property
+    def size(self) -> int:
+        return len(self.domain)
+
+    def values(self) -> tuple[int, ...]:
+        return self.domain.values()
+
+    def raw_values(self) -> frozenset[int]:
+        return self.domain.raw_values()
+
+    def __contains__(self, value: int) -> bool:
+        return value in self.domain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IntVar({self.name}, {self.domain!r})"
+
+
+def make_int_var(name: str, lower: int, upper: int) -> IntVar:
+    """Create a variable with the contiguous domain ``[lower, upper]``."""
+    if upper < lower:
+        raise ValueError(f"{name}: empty interval [{lower}, {upper}]")
+    return IntVar(name, range(lower, upper + 1))
+
+
+def value_of(var: IntVar, default: Optional[int] = None) -> Optional[int]:
+    """Value of an instantiated variable, or ``default``."""
+    return var.value if var.is_instantiated else default

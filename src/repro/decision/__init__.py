@@ -1,0 +1,20 @@
+"""Decision modules: placement heuristics and scheduling policies."""
+
+from .consolidation import ConsolidationDecisionModule, Decision
+from .fcfs import BatchJob, FCFSScheduler, JobAllocation, Schedule
+from .ffd import ffd_order, ffd_place, ffd_target_configuration
+from .rjsp import RJSPResult, select_running_vjobs
+
+__all__ = [
+    "ConsolidationDecisionModule",
+    "Decision",
+    "BatchJob",
+    "FCFSScheduler",
+    "JobAllocation",
+    "Schedule",
+    "ffd_order",
+    "ffd_place",
+    "ffd_target_configuration",
+    "RJSPResult",
+    "select_running_vjobs",
+]

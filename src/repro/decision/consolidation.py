@@ -1,0 +1,78 @@
+"""The sample decision module: dynamic consolidation with context switches.
+
+This is the scheduling policy of Section 3.2: every 30 seconds the module
+observes the current CPU and memory demands of the VMs, solves the Running Job
+Selection Problem over the FCFS queue, and asks the cluster-wide context switch
+to reach a viable configuration in which the selected vjobs run and the others
+sleep or keep waiting.  Compared to classic dynamic consolidation it also
+handles *overloaded* clusters: when no viable assignment exists for every
+running vjob, the lowest-priority ones are suspended instead of letting nodes
+stay overloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..model.configuration import Configuration
+from ..model.queue import VJobQueue
+from ..model.vjob import VJobState, index_vms_by_vjob
+from ..model.vm import VMState
+from .ffd import ffd_target_configuration
+from .rjsp import RJSPResult, select_running_vjobs
+
+
+@dataclass
+class Decision:
+    """What the decision module wants the next configuration to look like."""
+
+    vm_states: dict[str, VMState] = field(default_factory=dict)
+    vjob_states: dict[str, VJobState] = field(default_factory=dict)
+    rjsp: Optional[RJSPResult] = None
+    #: Fallback target configuration computed with FFD (used when the CP
+    #: search cannot produce an assignment in time).
+    fallback_target: Optional[Configuration] = None
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.vm_states
+
+
+class ConsolidationDecisionModule:
+    """FCFS-driven dynamic consolidation (the paper's sample policy)."""
+
+    def __init__(self, period: float = 30.0) -> None:
+        #: Decision period in seconds (Section 3.2 uses 30 s).
+        self.period = period
+
+    def decide(
+        self,
+        configuration: Configuration,
+        queue: VJobQueue,
+        demands: Optional[dict[str, int]] = None,
+    ) -> Decision:
+        """Compute the target state of every VM for the next iteration."""
+        rjsp = select_running_vjobs(configuration, queue, demands)
+        vm_states = dict(rjsp.vm_states)
+
+        # Terminated vjobs: make sure their VMs are stopped.
+        for vjob in queue.terminated():
+            for vm in vjob.vms:
+                if configuration.has_vm(vm.name) and configuration.state_of(
+                    vm.name
+                ) is VMState.RUNNING:
+                    vm_states[vm.name] = VMState.TERMINATED
+
+        fallback = ffd_target_configuration(configuration, vm_states)
+        return Decision(
+            vm_states=vm_states,
+            vjob_states=dict(rjsp.vjob_states),
+            rjsp=rjsp,
+            fallback_target=fallback,
+        )
+
+    @staticmethod
+    def vjob_index(queue: VJobQueue) -> dict[str, str]:
+        """VM -> vjob mapping for the consistency pass of the planner."""
+        return index_vms_by_vjob(queue.ordered())

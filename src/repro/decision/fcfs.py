@@ -1,0 +1,266 @@
+"""FCFS batch scheduling with EASY backfilling (Section 2.1, Figures 1 & 12).
+
+The paper contrasts its dynamic consolidation policy with the usual way
+clusters are exploited: a Resource Management System assigning a *static* set
+of resources to each job for a bounded amount of time, scheduling the queue
+First-Come-First-Served with the EASY backfilling optimisation.  This module
+implements that baseline at the job granularity: a job books a fixed number of
+processing units (and optionally memory) for its whole duration, jobs start in
+queue order, and EASY backfilling lets a later job jump ahead when it does not
+delay the reservation of the first blocked job (based on the user estimates).
+
+The resulting allocations feed the Figure 12 allocation diagram, the Figure 13
+utilization curves and the 250-minute FCFS makespan the paper reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """A job as seen by the batch scheduler: a static resource request."""
+
+    name: str
+    cpus: int
+    duration: float
+    memory: int = 0
+    submit_time: float = 0.0
+    estimated_duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0:
+            raise ValueError(f"job {self.name!r}: cpus must be positive")
+        if self.duration <= 0:
+            raise ValueError(f"job {self.name!r}: duration must be positive")
+
+    @property
+    def walltime(self) -> float:
+        """User estimate used by backfilling (defaults to the real duration)."""
+        return self.estimated_duration if self.estimated_duration is not None else self.duration
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """Where and when a job executed."""
+
+    job: BatchJob
+    start: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.job.duration
+
+    @property
+    def wait_time(self) -> float:
+        return self.start - self.job.submit_time
+
+
+@dataclass
+class Schedule:
+    """The outcome of a batch scheduling run."""
+
+    allocations: list[JobAllocation] = field(default_factory=list)
+    total_cpus: int = 0
+    total_memory: int = 0
+
+    @property
+    def makespan(self) -> float:
+        if not self.allocations:
+            return 0.0
+        return max(a.end for a in self.allocations)
+
+    def allocation_of(self, name: str) -> JobAllocation:
+        for allocation in self.allocations:
+            if allocation.job.name == name:
+                return allocation
+        raise KeyError(name)
+
+    def cpu_usage_at(self, time: float) -> int:
+        return sum(
+            a.job.cpus for a in self.allocations if a.start <= time < a.end
+        )
+
+    def memory_usage_at(self, time: float) -> int:
+        return sum(
+            a.job.memory for a in self.allocations if a.start <= time < a.end
+        )
+
+    def utilization_series(self, step: float = 60.0) -> list[tuple[float, float, float]]:
+        """(time, cpu fraction, memory MB) samples over the whole schedule."""
+        series = []
+        time = 0.0
+        horizon = self.makespan
+        while time <= horizon:
+            cpu = self.cpu_usage_at(time) / self.total_cpus if self.total_cpus else 0.0
+            series.append((time, cpu, float(self.memory_usage_at(time))))
+            time += step
+        return series
+
+
+BackfillPolicy = Literal["none", "easy"]
+
+
+class FCFSScheduler:
+    """First-Come-First-Served scheduler with optional EASY backfilling."""
+
+    def __init__(
+        self,
+        total_cpus: int,
+        total_memory: int = 0,
+        backfilling: BackfillPolicy = "easy",
+    ) -> None:
+        if total_cpus <= 0:
+            raise ValueError("total_cpus must be positive")
+        if backfilling not in ("none", "easy"):
+            raise ValueError(f"unknown backfilling policy {backfilling!r}")
+        self.total_cpus = total_cpus
+        self.total_memory = total_memory
+        self.backfilling = backfilling
+
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, jobs: Iterable[BatchJob]) -> Schedule:
+        """Run the scheduling simulation and return every job's allocation."""
+        # Stable sort: jobs submitted at the same instant keep their original
+        # (queue) order, which is what FCFS means.
+        pending = sorted(jobs, key=lambda j: j.submit_time)
+        schedule = Schedule(
+            total_cpus=self.total_cpus, total_memory=self.total_memory
+        )
+        if not pending:
+            return schedule
+
+        free_cpus = self.total_cpus
+        free_memory = self.total_memory
+        #: min-heap of (end time, sequence, allocation) for running jobs
+        running: list[tuple[float, int, JobAllocation]] = []
+        queue: list[BatchJob] = []
+        sequence = 0
+
+        def fits(job: BatchJob) -> bool:
+            if job.cpus > free_cpus:
+                return False
+            if self.total_memory and job.memory > free_memory:
+                return False
+            return True
+
+        def start(job: BatchJob, time: float) -> None:
+            nonlocal free_cpus, free_memory, sequence
+            allocation = JobAllocation(job=job, start=time)
+            schedule.allocations.append(allocation)
+            free_cpus -= job.cpus
+            if self.total_memory:
+                free_memory -= job.memory
+            heapq.heappush(running, (allocation.end, sequence, allocation))
+            sequence += 1
+
+        def finish_until(time: float) -> None:
+            nonlocal free_cpus, free_memory
+            while running and running[0][0] <= time:
+                _, _, allocation = heapq.heappop(running)
+                free_cpus += allocation.job.cpus
+                if self.total_memory:
+                    free_memory += allocation.job.memory
+
+        def dispatch(time: float) -> None:
+            """Start queue-head jobs, then backfill if allowed."""
+            while queue and fits(queue[0]):
+                start(queue.pop(0), time)
+            if not queue or self.backfilling == "none":
+                return
+            head = queue[0]
+            shadow_time, spare_cpus, spare_memory = self._reservation(
+                head, time, free_cpus, free_memory, running
+            )
+            index = 1
+            while index < len(queue):
+                job = queue[index]
+                if fits(job) and self._can_backfill(
+                    job, time, shadow_time, spare_cpus, spare_memory
+                ):
+                    queue.pop(index)
+                    start(job, time)
+                    # The head reservation may improve now; recompute it.
+                    shadow_time, spare_cpus, spare_memory = self._reservation(
+                        head, time, free_cpus, free_memory, running
+                    )
+                else:
+                    index += 1
+
+        arrival_index = 0
+        time = pending[0].submit_time
+        while arrival_index < len(pending) or queue or running:
+            # Determine the next event time: a job arrival or a completion.
+            next_arrival = (
+                pending[arrival_index].submit_time
+                if arrival_index < len(pending)
+                else None
+            )
+            next_completion = running[0][0] if running else None
+            candidates = [t for t in (next_arrival, next_completion) if t is not None]
+            if not candidates:
+                break
+            time = min(candidates)
+
+            finish_until(time)
+            while (
+                arrival_index < len(pending)
+                and pending[arrival_index].submit_time <= time
+            ):
+                queue.append(pending[arrival_index])
+                arrival_index += 1
+            dispatch(time)
+
+        schedule.allocations.sort(key=lambda a: (a.start, a.job.name))
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # EASY backfilling internals                                          #
+    # ------------------------------------------------------------------ #
+
+    def _reservation(
+        self,
+        head: BatchJob,
+        now: float,
+        free_cpus: int,
+        free_memory: int,
+        running: Sequence[tuple[float, int, JobAllocation]],
+    ) -> tuple[float, int, int]:
+        """Earliest time the queue head can start (its *shadow time*) and the
+        resources that will remain spare at that time."""
+        cpus = free_cpus
+        memory = free_memory
+        if cpus >= head.cpus and (not self.total_memory or memory >= head.memory):
+            return now, cpus - head.cpus, memory - head.memory
+        for end, _, allocation in sorted(running):
+            cpus += allocation.job.cpus
+            memory += allocation.job.memory
+            if cpus >= head.cpus and (
+                not self.total_memory or memory >= head.memory
+            ):
+                return end, cpus - head.cpus, memory - head.memory
+        # Should not happen if the job fits the machine at all.
+        return float("inf"), 0, 0
+
+    def _can_backfill(
+        self,
+        job: BatchJob,
+        now: float,
+        shadow_time: float,
+        spare_cpus: int,
+        spare_memory: int,
+    ) -> bool:
+        """EASY rule: a job may start now if it terminates (per its estimate)
+        before the head's reservation, or if it only uses resources that will
+        still be spare when the head starts."""
+        if now + job.walltime <= shadow_time:
+            return True
+        if job.cpus <= spare_cpus and (
+            not self.total_memory or job.memory <= spare_memory
+        ):
+            return True
+        return False

@@ -1,0 +1,124 @@
+"""The Running Job Selection Problem (Section 3.2).
+
+Every decision round, the sample decision module scans the whole FCFS queue in
+priority order and selects the maximum prefix-respecting set of vjobs whose VMs
+can all be packed on the cluster given their *current* resource demands.  A
+vjob that does not fit is moved (or kept) out of the Running state: it becomes
+Sleeping if it is currently running or sleeping, and stays Waiting otherwise.
+Because running vjobs release resources when their demand drops, previously
+rejected vjobs are re-evaluated at every round — hence the whole queue is
+always reconsidered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..model.configuration import Configuration
+from ..model.node import Node
+from ..model.queue import VJobQueue
+from ..model.vjob import VJob, VJobState
+from ..model.vm import VMState
+from .ffd import ffd_place
+
+
+@dataclass
+class RJSPResult:
+    """Outcome of one Running Job Selection round."""
+
+    #: vjob name -> state the vjob should have in the next configuration.
+    vjob_states: dict[str, VJobState] = field(default_factory=dict)
+    #: VM name -> state, derived from the vjob decision.
+    vm_states: dict[str, VMState] = field(default_factory=dict)
+    #: Trial placement produced while checking feasibility (VM -> node); only
+    #: covers the VMs of the accepted vjobs and is advisory — the optimizer
+    #: recomputes the final placement.
+    trial_placement: dict[str, str] = field(default_factory=dict)
+    #: vjobs accepted in the Running state, in queue order.
+    accepted: list[str] = field(default_factory=list)
+    #: vjobs rejected this round, in queue order.
+    rejected: list[str] = field(default_factory=list)
+
+    @property
+    def accepted_count(self) -> int:
+        return len(self.accepted)
+
+
+def _empty_cluster(configuration: Configuration) -> Configuration:
+    """A copy of the configuration with every VM parked out of the nodes, so
+    the packing trial starts from free nodes."""
+    trial = Configuration(nodes=[
+        Node(
+            name=node.name,
+            cpu_capacity=node.cpu_capacity,
+            memory_capacity=node.memory_capacity,
+            role=node.role,
+        )
+        for node in configuration.nodes
+    ])
+    return trial
+
+
+def select_running_vjobs(
+    configuration: Configuration,
+    queue: VJobQueue,
+    demands: Optional[dict[str, int]] = None,
+) -> RJSPResult:
+    """Solve the RJSP with the FFD heuristic.
+
+    Parameters
+    ----------
+    configuration:
+        Current configuration (provides nodes and VM descriptions).
+    queue:
+        The FCFS queue; vjobs are examined in priority order.
+    demands:
+        Optional override of the CPU demand of individual VMs (VM name ->
+        processing units), typically the fresh values reported by the
+        monitoring service.
+    """
+    result = RJSPResult()
+    trial = _empty_cluster(configuration)
+
+    for vjob in queue.pending():
+        vms = []
+        for vm in vjob.vms:
+            observed = vm
+            if configuration.has_vm(vm.name):
+                observed = configuration.vm(vm.name)
+            if demands is not None and vm.name in demands:
+                observed = observed.with_cpu_demand(demands[vm.name])
+            vms.append(observed)
+
+        placement = ffd_place(trial, vms)
+        if placement is not None:
+            # The vjob fits: commit its VMs to the trial configuration.
+            for vm in vms:
+                if not trial.has_vm(vm.name):
+                    trial.add_vm(vm)
+                trial.set_running(vm.name, placement[vm.name])
+            result.accepted.append(vjob.name)
+            result.vjob_states[vjob.name] = VJobState.RUNNING
+            for vm in vms:
+                result.vm_states[vm.name] = VMState.RUNNING
+                result.trial_placement[vm.name] = placement[vm.name]
+        else:
+            result.rejected.append(vjob.name)
+            rejected_state = _rejection_state(vjob)
+            result.vjob_states[vjob.name] = rejected_state
+            for vm in vjob.vms:
+                result.vm_states[vm.name] = (
+                    VMState.SLEEPING
+                    if rejected_state is VJobState.SLEEPING
+                    else VMState.WAITING
+                )
+    return result
+
+
+def _rejection_state(vjob: VJob) -> VJobState:
+    """A rejected vjob becomes Sleeping when it currently holds a machine
+    state (running or already sleeping), and stays Waiting otherwise."""
+    if vjob.state in (VJobState.RUNNING, VJobState.SLEEPING):
+        return VJobState.SLEEPING
+    return VJobState.WAITING

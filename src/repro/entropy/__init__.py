@@ -1,0 +1,18 @@
+"""The Entropy control loop and the static-allocation baseline."""
+
+from .loop import (
+    ContextSwitchRecord,
+    EntropySimulation,
+    SimulationResult,
+    UtilizationSample,
+)
+from .static import StaticAllocationSimulator, StaticRunResult
+
+__all__ = [
+    "ContextSwitchRecord",
+    "EntropySimulation",
+    "SimulationResult",
+    "UtilizationSample",
+    "StaticAllocationSimulator",
+    "StaticRunResult",
+]

@@ -1,0 +1,128 @@
+"""Static allocation baseline (the FCFS run of Section 5.2).
+
+The paper compares its dynamic consolidation policy against the usual static
+allocation: each vjob books one processing unit per VM plus its memory for its
+whole duration, and a FCFS scheduler (with EASY backfilling) decides when each
+vjob starts.  The booked resources stay assigned for the whole slot even while
+the NASGrid tasks leave most VMs idle, which is exactly the waste Figure 13
+exposes and the reason the 9-vjob campaign needs ~250 minutes instead of ~150.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..decision.fcfs import BatchJob, FCFSScheduler, Schedule
+from ..model.node import Node
+from ..workloads.traces import VJobWorkload
+from .loop import UtilizationSample
+
+
+@dataclass
+class StaticRunResult:
+    """Outcome of a static-allocation (FCFS) run."""
+
+    schedule: Schedule
+    makespan: float
+    utilization: list[UtilizationSample] = field(default_factory=list)
+    completion_times: dict[str, float] = field(default_factory=dict)
+
+
+class StaticAllocationSimulator:
+    """Simulate the FCFS + static allocation baseline on the same workloads."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        workloads: Sequence[VJobWorkload],
+        backfilling: str = "easy",
+        sample_period: float = 60.0,
+    ) -> None:
+        self.nodes = list(nodes)
+        self.workloads = list(workloads)
+        self.backfilling = backfilling
+        self.sample_period = sample_period
+
+    # ------------------------------------------------------------------ #
+
+    def _as_batch_jobs(self) -> list[BatchJob]:
+        jobs = []
+        for workload in self.workloads:
+            vjob = workload.vjob
+            jobs.append(
+                BatchJob(
+                    name=vjob.name,
+                    cpus=workload.peak_cpu_demand,
+                    memory=vjob.total_memory,
+                    duration=workload.duration,
+                    submit_time=vjob.submitted_at,
+                )
+            )
+        return jobs
+
+    def run(self) -> StaticRunResult:
+        total_cpus = sum(node.cpu_capacity for node in self.nodes)
+        total_memory = sum(node.memory_capacity for node in self.nodes)
+        scheduler = FCFSScheduler(
+            total_cpus=total_cpus,
+            total_memory=total_memory,
+            backfilling=self.backfilling,  # type: ignore[arg-type]
+        )
+        schedule = scheduler.schedule(self._as_batch_jobs())
+
+        completion = {
+            allocation.job.name: allocation.end for allocation in schedule.allocations
+        }
+        result = StaticRunResult(
+            schedule=schedule,
+            makespan=schedule.makespan,
+            completion_times=completion,
+        )
+        result.utilization = self._utilization_series(schedule, total_cpus)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _utilization_series(
+        self, schedule: Schedule, total_cpus: int
+    ) -> list[UtilizationSample]:
+        """Sample the *actual* CPU demand and the booked memory over time.
+
+        Under static allocation the booked CPUs equal the vjob's VM count, but
+        the NASGrid tasks only use a fraction of them at any instant; the
+        utilization the monitoring observes is therefore the demand of the
+        traces, while the memory of every allocated VM stays claimed.
+        """
+        samples: list[UtilizationSample] = []
+        horizon = schedule.makespan
+        time = 0.0
+        while time <= horizon:
+            demand_units = 0
+            used_units = 0
+            memory_mb = 0
+            for allocation in schedule.allocations:
+                if allocation.start <= time < allocation.end:
+                    workload = self._workload(allocation.job.name)
+                    progress = time - allocation.start
+                    demands = workload.demands_at(progress)
+                    demand_units += sum(demands.values())
+                    used_units += sum(demands.values())
+                    memory_mb += allocation.job.memory
+            samples.append(
+                UtilizationSample(
+                    time=time,
+                    cpu_demand_units=demand_units,
+                    cpu_used_units=used_units,
+                    cpu_capacity_units=total_cpus,
+                    memory_used_mb=memory_mb,
+                )
+            )
+            time += self.sample_period
+        return samples
+
+    def _workload(self, name: str) -> VJobWorkload:
+        for workload in self.workloads:
+            if workload.vjob.name == name:
+                return workload
+        raise KeyError(name)

@@ -1,0 +1,51 @@
+"""Cluster model: nodes, VMs, vjobs, configurations and their viability."""
+
+from .configuration import Configuration, ViabilityViolation
+from .errors import (
+    DuplicateElementError,
+    ExecutionError,
+    InconsistencyError,
+    InvalidStateTransition,
+    ModelError,
+    NonViableConfigurationError,
+    NoPivotAvailableError,
+    PlanningError,
+    ReproError,
+    SolverError,
+    UnknownNodeError,
+    UnknownVMError,
+)
+from .node import Node, NodeRole, make_working_nodes
+from .queue import VJobQueue
+from .resources import ResourceVector, ZERO
+from .vjob import VJob, VJobState, index_vms_by_vjob
+from .vm import VirtualMachine, VMImage, VMState
+
+__all__ = [
+    "Configuration",
+    "ViabilityViolation",
+    "DuplicateElementError",
+    "ExecutionError",
+    "InconsistencyError",
+    "InvalidStateTransition",
+    "ModelError",
+    "NonViableConfigurationError",
+    "NoPivotAvailableError",
+    "PlanningError",
+    "ReproError",
+    "SolverError",
+    "UnknownNodeError",
+    "UnknownVMError",
+    "Node",
+    "NodeRole",
+    "make_working_nodes",
+    "VJobQueue",
+    "ResourceVector",
+    "ZERO",
+    "VJob",
+    "VJobState",
+    "index_vms_by_vjob",
+    "VirtualMachine",
+    "VMImage",
+    "VMState",
+]

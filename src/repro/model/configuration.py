@@ -1,0 +1,338 @@
+"""Cluster configurations.
+
+A *configuration* is the central data structure of the paper: a mapping of VMs
+to nodes together with the state of each VM.  A configuration is *viable*
+(Section 3.2) when every running VM has access to a sufficient amount of memory
+and processing units on its host node.  Waiting and sleeping VMs do not consume
+node resources; sleeping VMs only remember the node that holds their suspend
+image because a resume on that node is cheaper (Table 1).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .errors import (
+    DuplicateElementError,
+    NonViableConfigurationError,
+    UnknownNodeError,
+    UnknownVMError,
+)
+from .node import Node
+from .resources import ResourceVector
+from .vm import VirtualMachine, VMState
+
+
+@dataclass(frozen=True)
+class ViabilityViolation:
+    """One overloaded node in a non-viable configuration."""
+
+    node: str
+    capacity: ResourceVector
+    usage: ResourceVector
+
+    @property
+    def cpu_excess(self) -> int:
+        return max(0, self.usage.cpu - self.capacity.cpu)
+
+    @property
+    def memory_excess(self) -> int:
+        return max(0, self.usage.memory - self.capacity.memory)
+
+    def __str__(self) -> str:
+        return (
+            f"node {self.node}: usage {self.usage.as_tuple()} exceeds "
+            f"capacity {self.capacity.as_tuple()}"
+        )
+
+
+class Configuration:
+    """A mapping of VMs to nodes plus the state of every VM.
+
+    The class is mutable — decision modules and planners build configurations
+    incrementally — but exposes :meth:`copy` so temporary configurations can be
+    derived cheaply, mirroring the iterative constructions of Sections 3.2
+    and 4.1.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        vms: Iterable[VirtualMachine] = (),
+    ) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._vms: dict[str, VirtualMachine] = {}
+        #: VM name -> hosting node name, only for RUNNING VMs.
+        self._placement: dict[str, str] = {}
+        #: VM name -> node name holding the suspend image, for SLEEPING VMs.
+        self._images: dict[str, str] = {}
+        #: Explicit state of every VM.
+        self._states: dict[str, VMState] = {}
+        for node in nodes:
+            self.add_node(node)
+        for vm in vms:
+            self.add_vm(vm)
+
+    # ------------------------------------------------------------------ #
+    # population                                                          #
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise DuplicateElementError(f"node {node.name!r} already registered")
+        self._nodes[node.name] = node
+
+    def add_vm(self, vm: VirtualMachine, state: VMState = VMState.WAITING) -> None:
+        if vm.name in self._vms:
+            raise DuplicateElementError(f"VM {vm.name!r} already registered")
+        self._vms[vm.name] = vm
+        self._states[vm.name] = state
+
+    def replace_vm(self, vm: VirtualMachine) -> None:
+        """Update the description of a VM (e.g. a new CPU demand) without
+        touching its placement or state."""
+        if vm.name not in self._vms:
+            raise UnknownVMError(vm.name)
+        self._vms[vm.name] = vm
+
+    # ------------------------------------------------------------------ #
+    # lookups                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def vms(self) -> tuple[VirtualMachine, ...]:
+        return tuple(self._vms.values())
+
+    @property
+    def vm_names(self) -> tuple[str, ...]:
+        return tuple(self._vms)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise UnknownVMError(name) from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def has_vm(self, name: str) -> bool:
+        return name in self._vms
+
+    def state_of(self, vm_name: str) -> VMState:
+        if vm_name not in self._vms:
+            raise UnknownVMError(vm_name)
+        return self._states[vm_name]
+
+    def location_of(self, vm_name: str) -> Optional[str]:
+        """Node hosting a running VM, or ``None`` if the VM is not running."""
+        if vm_name not in self._vms:
+            raise UnknownVMError(vm_name)
+        return self._placement.get(vm_name)
+
+    def image_location_of(self, vm_name: str) -> Optional[str]:
+        """Node holding the suspend image of a sleeping VM, if any."""
+        if vm_name not in self._vms:
+            raise UnknownVMError(vm_name)
+        return self._images.get(vm_name)
+
+    def running_vms(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, state in self._states.items() if state is VMState.RUNNING
+        )
+
+    def sleeping_vms(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, state in self._states.items() if state is VMState.SLEEPING
+        )
+
+    def waiting_vms(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, state in self._states.items() if state is VMState.WAITING
+        )
+
+    def terminated_vms(self) -> tuple[str, ...]:
+        return tuple(
+            name
+            for name, state in self._states.items()
+            if state is VMState.TERMINATED
+        )
+
+    def vms_on(self, node_name: str) -> tuple[str, ...]:
+        """Names of the VMs currently running on ``node_name``."""
+        if node_name not in self._nodes:
+            raise UnknownNodeError(node_name)
+        return tuple(
+            vm for vm, node in self._placement.items() if node == node_name
+        )
+
+    def placement(self) -> Mapping[str, str]:
+        """Read-only view of the running VM -> node mapping."""
+        return dict(self._placement)
+
+    # ------------------------------------------------------------------ #
+    # state changes                                                       #
+    # ------------------------------------------------------------------ #
+
+    def set_running(self, vm_name: str, node_name: str) -> None:
+        """Place a VM in the RUNNING state on ``node_name``."""
+        self.vm(vm_name)
+        self.node(node_name)
+        self._states[vm_name] = VMState.RUNNING
+        self._placement[vm_name] = node_name
+        self._images.pop(vm_name, None)
+
+    def set_sleeping(self, vm_name: str, image_node: Optional[str] = None) -> None:
+        """Suspend a VM; its image stays on ``image_node`` (defaults to the
+        node it was running on)."""
+        self.vm(vm_name)
+        if image_node is None:
+            image_node = self._placement.get(vm_name)
+        if image_node is not None:
+            self.node(image_node)
+            self._images[vm_name] = image_node
+        self._states[vm_name] = VMState.SLEEPING
+        self._placement.pop(vm_name, None)
+
+    def set_waiting(self, vm_name: str) -> None:
+        self.vm(vm_name)
+        self._states[vm_name] = VMState.WAITING
+        self._placement.pop(vm_name, None)
+        self._images.pop(vm_name, None)
+
+    def set_terminated(self, vm_name: str) -> None:
+        self.vm(vm_name)
+        self._states[vm_name] = VMState.TERMINATED
+        self._placement.pop(vm_name, None)
+        self._images.pop(vm_name, None)
+
+    def migrate(self, vm_name: str, destination: str) -> None:
+        """Move a running VM to ``destination`` (state unchanged)."""
+        if self.state_of(vm_name) is not VMState.RUNNING:
+            raise NonViableConfigurationError(
+                f"VM {vm_name!r} is not running and cannot be migrated"
+            )
+        self.node(destination)
+        self._placement[vm_name] = destination
+
+    # ------------------------------------------------------------------ #
+    # resource accounting & viability                                     #
+    # ------------------------------------------------------------------ #
+
+    def usage_of(self, node_name: str) -> ResourceVector:
+        """Aggregate demand of the running VMs hosted on ``node_name``."""
+        self.node(node_name)
+        return ResourceVector.total(
+            self._vms[vm].demand
+            for vm, node in self._placement.items()
+            if node == node_name
+        )
+
+    def free_capacity(self, node_name: str) -> ResourceVector:
+        """Remaining capacity of ``node_name`` (may be negative if
+        overloaded)."""
+        return self._nodes[node_name].capacity - self.usage_of(node_name)
+
+    def can_host(self, node_name: str, vm: VirtualMachine) -> bool:
+        """True when ``node_name`` has room for ``vm`` on both dimensions."""
+        return vm.demand.fits_in(self.free_capacity(node_name))
+
+    def total_usage(self) -> ResourceVector:
+        return ResourceVector.total(
+            self._vms[vm].demand for vm in self._placement
+        )
+
+    def total_capacity(self) -> ResourceVector:
+        return ResourceVector.total(node.capacity for node in self._nodes.values())
+
+    def viability_violations(self) -> list[ViabilityViolation]:
+        """Nodes whose capacity is exceeded by their running VMs."""
+        violations = []
+        for node in self._nodes.values():
+            usage = self.usage_of(node.name)
+            if not usage.fits_in(node.capacity):
+                violations.append(
+                    ViabilityViolation(node=node.name, capacity=node.capacity, usage=usage)
+                )
+        return violations
+
+    def is_viable(self) -> bool:
+        """A configuration is viable when no node is overloaded (Section 3.2)."""
+        return not self.viability_violations()
+
+    def check_viable(self) -> None:
+        violations = self.viability_violations()
+        if violations:
+            details = "; ".join(str(v) for v in violations)
+            raise NonViableConfigurationError(details)
+
+    # ------------------------------------------------------------------ #
+    # copies & comparisons                                                #
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Configuration":
+        clone = Configuration()
+        clone._nodes = dict(self._nodes)
+        clone._vms = dict(self._vms)
+        clone._placement = dict(self._placement)
+        clone._images = dict(self._images)
+        clone._states = dict(self._states)
+        return clone
+
+    def same_assignment(self, other: "Configuration") -> bool:
+        """True when both configurations give the same state and location to
+        every VM."""
+        if set(self._vms) != set(other._vms):
+            return False
+        for name in self._vms:
+            if self._states[name] is not other._states[name]:
+                return False
+            if self._placement.get(name) != other._placement.get(name):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return (
+            set(self._nodes) == set(other._nodes)
+            and self.same_assignment(other)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - configurations are mutable
+        raise TypeError("Configuration objects are mutable and unhashable")
+
+    def __deepcopy__(self, memo: dict) -> "Configuration":
+        return self.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        running = len(self._placement)
+        return (
+            f"<Configuration nodes={len(self._nodes)} vms={len(self._vms)} "
+            f"running={running} sleeping={len(self._images)}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # iteration helpers                                                   #
+    # ------------------------------------------------------------------ #
+
+    def iter_running(self) -> Iterator[tuple[VirtualMachine, Node]]:
+        """Iterate over (VM, hosting node) pairs for running VMs."""
+        for vm_name, node_name in self._placement.items():
+            yield self._vms[vm_name], self._nodes[node_name]

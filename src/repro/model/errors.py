@@ -1,0 +1,68 @@
+"""Exceptions raised by the cluster model and the planning layers."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ModelError(ReproError):
+    """Invalid manipulation of the cluster model."""
+
+
+class UnknownVMError(ModelError):
+    """A VM referenced by name is not part of the configuration."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown VM {name!r}")
+        self.name = name
+
+
+class UnknownNodeError(ModelError):
+    """A node referenced by name is not part of the configuration."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown node {name!r}")
+        self.name = name
+
+
+class DuplicateElementError(ModelError):
+    """A VM or node with the same name is already registered."""
+
+
+class InvalidStateTransition(ModelError):
+    """A vjob or VM was asked to perform an illegal life-cycle transition."""
+
+    def __init__(self, subject: str, current: str, requested: str):
+        super().__init__(
+            f"{subject}: illegal transition from {current!r} to {requested!r}"
+        )
+        self.subject = subject
+        self.current = current
+        self.requested = requested
+
+
+class NonViableConfigurationError(ReproError):
+    """A configuration violates a node CPU or memory capacity."""
+
+
+class PlanningError(ReproError):
+    """The reconfiguration planner could not build a feasible plan."""
+
+
+class NoPivotAvailableError(PlanningError):
+    """A cycle of inter-dependent migrations cannot be broken: no node can act
+    as a pivot for any VM of the cycle."""
+
+
+class SolverError(ReproError):
+    """The constraint solver was used incorrectly."""
+
+
+class InconsistencyError(SolverError):
+    """Constraint propagation wiped out a variable domain."""
+
+
+class ExecutionError(ReproError):
+    """A driver failed to apply an action on the (simulated) cluster."""

@@ -1,0 +1,35 @@
+"""Simulated cluster substrate (Xen / Ganglia / NFS replacement)."""
+
+from .cluster import ClusterEvent, SimulatedCluster
+from .engine import EventHandle, SimulationEngine
+from .executor import ActionExecution, ExecutionReport, PlanExecutor, estimate_duration
+from .hypervisor import DEFAULT_HYPERVISOR, FAST_STOP_HYPERVISOR, HypervisorModel
+from .monitoring import (
+    DemandSource,
+    MonitoringService,
+    Observation,
+    constant_demands,
+)
+from .storage import ImageStore, TransferMethod, remote_factor, transfer_duration
+
+__all__ = [
+    "ClusterEvent",
+    "SimulatedCluster",
+    "EventHandle",
+    "SimulationEngine",
+    "ActionExecution",
+    "ExecutionReport",
+    "PlanExecutor",
+    "estimate_duration",
+    "DEFAULT_HYPERVISOR",
+    "FAST_STOP_HYPERVISOR",
+    "HypervisorModel",
+    "DemandSource",
+    "MonitoringService",
+    "Observation",
+    "constant_demands",
+    "ImageStore",
+    "TransferMethod",
+    "remote_factor",
+    "transfer_duration",
+]

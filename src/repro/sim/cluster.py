@@ -1,0 +1,120 @@
+"""Simulated cluster: live configuration, suspend images and event log.
+
+This is the stand-in for the paper's 11-node Xen testbed.  The cluster holds
+the authoritative :class:`~repro.model.configuration.Configuration`, the
+location of every suspend image, and a chronological log of the driver actions
+applied to it, which the analysis layer later turns into utilization curves and
+context-switch statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.actions import Action, ActionKind, Resume, Run, Stop, Suspend, Migrate
+from ..model.configuration import Configuration
+from ..model.errors import ExecutionError
+from ..model.node import Node
+from ..model.vm import VirtualMachine, VMState
+from .storage import ImageStore
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One driver action applied to the cluster."""
+
+    time: float
+    kind: str
+    vm: str
+    source: Optional[str] = None
+    destination: Optional[str] = None
+    duration: float = 0.0
+
+    def __str__(self) -> str:
+        where = self.destination or self.source or "?"
+        return f"[{self.time:8.1f}s] {self.kind}({self.vm}) @ {where}"
+
+
+class SimulatedCluster:
+    """The mutable state of the simulated testbed."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        vms: Iterable[VirtualMachine] = (),
+    ) -> None:
+        self.configuration = Configuration(nodes=nodes, vms=vms)
+        self.images = ImageStore()
+        self.events: list[ClusterEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # population helpers                                                  #
+    # ------------------------------------------------------------------ #
+
+    def add_vm(self, vm: VirtualMachine) -> None:
+        self.configuration.add_vm(vm)
+
+    def update_demand(self, vm_name: str, cpu_demand: int) -> None:
+        """Reflect a fresh monitoring observation in the configuration."""
+        vm = self.configuration.vm(vm_name)
+        if vm.cpu_demand != cpu_demand:
+            self.configuration.replace_vm(vm.with_cpu_demand(cpu_demand))
+
+    # ------------------------------------------------------------------ #
+    # driver actions                                                      #
+    # ------------------------------------------------------------------ #
+
+    def apply_action(self, action: Action, time: float, duration: float) -> ClusterEvent:
+        """Apply a plan action to the live configuration and log it."""
+        configuration = self.configuration
+        if not action.is_feasible(configuration):
+            raise ExecutionError(f"action {action} is not feasible on the cluster")
+        if isinstance(action, Suspend):
+            memory = configuration.vm(action.vm).memory
+            self.images.store(action.vm, action.node, memory, time)
+        elif isinstance(action, Resume):
+            self.images.discard(action.vm)
+        elif isinstance(action, Stop):
+            self.images.discard(action.vm)
+        action.apply(configuration)
+        event = ClusterEvent(
+            time=time,
+            kind=action.kind.value,
+            vm=action.vm,
+            source=action.source(),
+            destination=action.destination(),
+            duration=duration,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # views                                                               #
+    # ------------------------------------------------------------------ #
+
+    def running_vms(self) -> tuple[str, ...]:
+        return self.configuration.running_vms()
+
+    def cpu_utilization(self) -> float:
+        """Fraction of the cluster processing units used by running VMs."""
+        capacity = self.configuration.total_capacity()
+        if capacity.cpu == 0:
+            return 0.0
+        return self.configuration.total_usage().cpu / capacity.cpu
+
+    def memory_utilization_mb(self) -> int:
+        """Memory (MB) allocated to the running VMs."""
+        return self.configuration.total_usage().memory
+
+    def overloaded_nodes(self) -> list[str]:
+        return [v.node for v in self.configuration.viability_violations()]
+
+    def events_between(self, start: float, end: float) -> list[ClusterEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<SimulatedCluster nodes={len(self.configuration.nodes)} "
+            f"vms={len(self.configuration.vms)} events={len(self.events)}>"
+        )

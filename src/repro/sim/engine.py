@@ -1,0 +1,93 @@
+"""A minimal discrete-event simulation engine.
+
+The cluster experiments of Section 5 are reproduced in simulated time: the
+engine keeps a priority queue of timestamped events and runs callbacks in
+chronological order.  It is deliberately small — the Entropy control loop and
+the plan executor only need ``schedule``/``run`` plus a monotonic clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule` to cancel events."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimulationEngine:
+    """Chronological execution of scheduled callbacks."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` seconds from the current simulated time."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        if time < self._now:
+            raise ValueError("cannot schedule an event in the past")
+        event = _Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def advance(self, duration: float) -> None:
+        """Move the clock forward without processing events (used by loops
+        that interleave their own bookkeeping with event processing)."""
+        if duration < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._now += duration
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in order until the queue is empty or ``until`` is
+        reached; returns the final simulated time."""
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return self._now
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)

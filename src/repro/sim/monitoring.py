@@ -1,0 +1,103 @@
+"""Monitoring service (Ganglia substitute).
+
+In the paper every VM and every Domain-0 runs a Ganglia daemon; Entropy polls
+the monitoring head to obtain the CPU and memory consumption of the running
+VMs, and needs about 10 seconds to accumulate fresh information after a
+reconfiguration (Section 3.1).  The simulated service samples a *demand
+source* — typically the workload traces — and reproduces that staleness: an
+observation taken less than ``refresh_delay`` seconds after the previous
+reconfiguration reuses the previous values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from .. import config
+from ..model.configuration import Configuration
+from ..model.resources import ResourceVector
+
+
+#: A demand source maps a simulation time to per-VM CPU demands.
+DemandSource = Callable[[float], Mapping[str, int]]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One snapshot of the cluster as seen by the monitoring service."""
+
+    time: float
+    cpu_demands: dict[str, int]
+    node_usage: dict[str, ResourceVector] = field(default_factory=dict)
+    stale: bool = False
+
+    def demand_of(self, vm_name: str) -> int:
+        return self.cpu_demands.get(vm_name, 0)
+
+
+class MonitoringService:
+    """Samples VM demands with a configurable refresh delay."""
+
+    def __init__(
+        self,
+        demand_source: DemandSource,
+        refresh_delay: float = config.MONITORING_DELAY_S,
+    ) -> None:
+        self._source = demand_source
+        self.refresh_delay = refresh_delay
+        self._last_reconfiguration: Optional[float] = None
+        self._last_observation: Optional[Observation] = None
+
+    def notify_reconfiguration(self, time: float) -> None:
+        """Tell the service a context switch just completed; the next
+        observations within ``refresh_delay`` will be flagged stale and reuse
+        the previous values."""
+        self._last_reconfiguration = time
+
+    def observe(
+        self, time: float, configuration: Optional[Configuration] = None
+    ) -> Observation:
+        """Return the demands of every VM at ``time``."""
+        stale = (
+            self._last_reconfiguration is not None
+            and self._last_observation is not None
+            and time - self._last_reconfiguration < self.refresh_delay
+        )
+        if stale:
+            previous = self._last_observation
+            return Observation(
+                time=time,
+                cpu_demands=dict(previous.cpu_demands),
+                node_usage=dict(previous.node_usage),
+                stale=True,
+            )
+
+        demands = dict(self._source(time))
+        node_usage: dict[str, ResourceVector] = {}
+        if configuration is not None:
+            for node in configuration.node_names:
+                usage = ResourceVector(0, 0)
+                for vm_name in configuration.vms_on(node):
+                    vm = configuration.vm(vm_name)
+                    usage = usage + ResourceVector(
+                        demands.get(vm_name, vm.cpu_demand), vm.memory
+                    )
+                node_usage[node] = usage
+        observation = Observation(
+            time=time, cpu_demands=demands, node_usage=node_usage, stale=False
+        )
+        self._last_observation = observation
+        return observation
+
+
+def constant_demands(demands: Mapping[str, int]) -> DemandSource:
+    """A demand source returning the same values at every instant (handy for
+    tests and for the scalability experiments of Section 5.1)."""
+
+    frozen = dict(demands)
+
+    def source(_: float) -> Mapping[str, int]:
+        return frozen
+
+    return source

@@ -1,0 +1,84 @@
+"""Storage substrate: suspend images and their transfers.
+
+The paper's testbed serves the virtual disks from three NFS servers and stores
+suspend images on the local disk of the node performing the suspend; a remote
+resume first moves the image with ``scp`` or ``rsync``, which roughly doubles
+the operation duration (Figures 3b and 3c).  This module models those transfer
+channels and keeps track of where each image lives, so the executor can decide
+whether a resume is local or remote and price it accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import config
+from ..model.vm import VMImage
+
+
+class TransferMethod(enum.Enum):
+    """How a suspend image reaches another node."""
+
+    LOCAL = "local"    #: no transfer, the image stays on the local disk
+    SCP = "scp"
+    RSYNC = "rsync"
+
+
+#: Remote suspend/resume duration factors relative to the local operation.
+_REMOTE_FACTORS = {
+    TransferMethod.LOCAL: 1.0,
+    TransferMethod.SCP: config.SUSPEND_REMOTE_FACTOR_SCP,
+    TransferMethod.RSYNC: config.SUSPEND_REMOTE_FACTOR_RSYNC,
+}
+
+
+def remote_factor(method: TransferMethod) -> float:
+    """Duration multiplier of a remote suspend/resume using ``method``."""
+    return _REMOTE_FACTORS[method]
+
+
+def transfer_duration(size_mb: int, method: TransferMethod) -> float:
+    """Time needed to push a ``size_mb`` image with ``method``.
+
+    Local 'transfers' are free; remote ones account for the difference between
+    the local and the remote curves of Figures 3b/3c, i.e. roughly one extra
+    local-suspend duration.
+    """
+    if method is TransferMethod.LOCAL:
+        return 0.0
+    local = config.SUSPEND_LOCAL_BASE_S + config.SUSPEND_LOCAL_PER_MB_S * size_mb
+    return local * (remote_factor(method) - 1.0)
+
+
+@dataclass
+class ImageStore:
+    """Bookkeeping of the suspend images present in the cluster."""
+
+    images: dict[str, VMImage] = field(default_factory=dict)
+
+    def store(self, vm_name: str, node_name: str, size_mb: int, time: float = 0.0) -> VMImage:
+        image = VMImage(
+            vm_name=vm_name, node_name=node_name, size_mb=size_mb, created_at=time
+        )
+        self.images[vm_name] = image
+        return image
+
+    def location_of(self, vm_name: str) -> Optional[str]:
+        image = self.images.get(vm_name)
+        return image.node_name if image else None
+
+    def discard(self, vm_name: str) -> None:
+        self.images.pop(vm_name, None)
+
+    def move(self, vm_name: str, destination: str) -> None:
+        image = self.images.get(vm_name)
+        if image is not None:
+            image.node_name = destination
+
+    def __contains__(self, vm_name: str) -> bool:
+        return vm_name in self.images
+
+    def __len__(self) -> int:
+        return len(self.images)

@@ -1,0 +1,45 @@
+"""Workload substrate: NASGrid-like vjobs, demand traces and generators."""
+
+from .generator import (
+    GeneratedScenario,
+    TraceConfigurationGenerator,
+    paper_cluster_nodes,
+    paper_vm_counts,
+)
+from .nasgrid import (
+    MEMORY_CHOICES_MB,
+    TASK_DURATION_S,
+    Benchmark,
+    NASGridSpec,
+    ProblemClass,
+    make_nasgrid_vjob,
+    nasgrid_traces,
+    paper_experiment_vjobs,
+)
+from .traces import (
+    DemandTrace,
+    Phase,
+    VJobWorkload,
+    alternating_trace,
+    constant_trace,
+)
+
+__all__ = [
+    "GeneratedScenario",
+    "TraceConfigurationGenerator",
+    "paper_cluster_nodes",
+    "paper_vm_counts",
+    "MEMORY_CHOICES_MB",
+    "TASK_DURATION_S",
+    "Benchmark",
+    "NASGridSpec",
+    "ProblemClass",
+    "make_nasgrid_vjob",
+    "nasgrid_traces",
+    "paper_experiment_vjobs",
+    "DemandTrace",
+    "Phase",
+    "VJobWorkload",
+    "alternating_trace",
+    "constant_trace",
+]

@@ -1,0 +1,266 @@
+"""NAS Grid Benchmarks-like workloads.
+
+The paper's vjobs execute applications built from the NAS Grid Benchmarks
+(NGB) suite [24]: ED (Embarrassingly Distributed), HC (Helical Chain), VP
+(Visualization Pipeline) and MB (Mixed Bag), for the problem classes W, A
+and B.  The real traces are not redistributable, so this module generates
+synthetic equivalents that keep the structural properties the scheduler
+reacts to:
+
+* **ED** — independent tasks: every VM computes for the whole benchmark, the
+  vjob's CPU demand equals its VM count;
+* **HC** — a chain of tasks: exactly one VM computes at any time, the others
+  idle while waiting for their predecessor;
+* **VP** — a three-stage pipeline: about three VMs compute concurrently in
+  steady state, with a ramp-up and a ramp-down;
+* **MB** — a mixed bag: the parallelism degree grows stage after stage.
+
+Task durations scale with the problem class (W < A < B), matching the order of
+magnitude needed for the Section 5.2 experiment (vjobs lasting tens of
+minutes).  Small multiplicative jitter can be applied so that the 30 samples
+of the scalability evaluation differ, as the 81 real traces did.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..model.vjob import VJob
+from ..model.vm import VirtualMachine
+from .traces import DemandTrace, Phase, VJobWorkload
+
+
+class Benchmark(enum.Enum):
+    """The four NGB dataflow graphs."""
+
+    ED = "ED"
+    HC = "HC"
+    VP = "VP"
+    MB = "MB"
+
+
+class ProblemClass(enum.Enum):
+    """NGB problem classes used in the paper (W, A and B)."""
+
+    W = "W"
+    A = "A"
+    B = "B"
+
+
+#: Duration (seconds) of one NGB task for each problem class.  The absolute
+#: values are synthetic; their ratios follow the usual W << A < B scaling and
+#: give vjobs of a few minutes (W) to about an hour (B), consistent with the
+#: 150-250 minute campaigns of Section 5.2.
+TASK_DURATION_S = {
+    ProblemClass.W: 60.0,
+    ProblemClass.A: 180.0,
+    ProblemClass.B: 420.0,
+}
+
+#: Memory sizes (MB) a NGB VM may be allocated in the evaluation.
+MEMORY_CHOICES_MB = (256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class NASGridSpec:
+    """Description of one NGB vjob."""
+
+    benchmark: Benchmark
+    problem_class: ProblemClass
+    vm_count: int = 9
+
+    def task_duration(self) -> float:
+        return TASK_DURATION_S[self.problem_class]
+
+
+# --------------------------------------------------------------------------- #
+# trace synthesis                                                              #
+# --------------------------------------------------------------------------- #
+
+def _ed_traces(vm_count: int, task: float) -> list[list[Phase]]:
+    """Every VM computes the whole time (one long SP task each)."""
+    return [[Phase(duration=task * 3, cpu_demand=1)] for _ in range(vm_count)]
+
+
+def _hc_traces(vm_count: int, task: float) -> list[list[Phase]]:
+    """One VM computes at a time: VM i idles i slots, computes one slot,
+    then idles until the end of the chain."""
+    traces = []
+    for index in range(vm_count):
+        phases = []
+        if index:
+            phases.append(Phase(duration=task * index, cpu_demand=0))
+        phases.append(Phase(duration=task, cpu_demand=1))
+        tail = vm_count - index - 1
+        if tail:
+            phases.append(Phase(duration=task * tail, cpu_demand=0))
+        traces.append(phases)
+    return traces
+
+
+def _vp_traces(vm_count: int, task: float) -> list[list[Phase]]:
+    """Three-stage pipeline: VM i starts computing at slot i // 3 and computes
+    one slot out of three afterwards until its stream of frames is done."""
+    stages = 3
+    frames = max(1, vm_count // stages)
+    traces = []
+    for index in range(vm_count):
+        stage = index % stages
+        frame = index // stages
+        phases = []
+        offset = stage + frame * stages
+        if offset:
+            phases.append(Phase(duration=task * offset, cpu_demand=0))
+        phases.append(Phase(duration=task, cpu_demand=1))
+        tail = frames * stages + stages - 1 - offset
+        if tail > 0:
+            phases.append(Phase(duration=task * tail, cpu_demand=0))
+        traces.append(phases)
+    return traces
+
+
+def _mb_traces(vm_count: int, task: float) -> list[list[Phase]]:
+    """Mixed bag: the parallelism widens stage after stage (1, 2, 3, ... VMs
+    computing concurrently)."""
+    traces: list[list[Phase]] = []
+    # Assign each VM to a stage so that stage s holds about s+1 VMs.
+    stage_of_vm: list[int] = []
+    stage, filled = 0, 0
+    for _ in range(vm_count):
+        stage_of_vm.append(stage)
+        filled += 1
+        if filled > stage:
+            stage += 1
+            filled = 0
+    stage_count = max(stage_of_vm) + 1
+    for index in range(vm_count):
+        s = stage_of_vm[index]
+        phases = []
+        if s:
+            phases.append(Phase(duration=task * s, cpu_demand=0))
+        phases.append(Phase(duration=task, cpu_demand=1))
+        tail = stage_count - s - 1
+        if tail:
+            phases.append(Phase(duration=task * tail, cpu_demand=0))
+        traces.append(phases)
+    return traces
+
+
+_TRACE_BUILDERS = {
+    Benchmark.ED: _ed_traces,
+    Benchmark.HC: _hc_traces,
+    Benchmark.VP: _vp_traces,
+    Benchmark.MB: _mb_traces,
+}
+
+
+def nasgrid_traces(
+    spec: NASGridSpec,
+    rng: Optional[random.Random] = None,
+    jitter: float = 0.0,
+) -> list[DemandTrace]:
+    """Synthesize one demand trace per VM of an NGB vjob.
+
+    ``jitter`` applies a uniform +/- fraction to every phase duration so that
+    repeated generations differ (the scalability evaluation of Section 5.1
+    draws 30 samples per configuration size).
+    """
+    builder = _TRACE_BUILDERS[spec.benchmark]
+    phase_lists = builder(spec.vm_count, spec.task_duration())
+    if jitter:
+        rng = rng or random.Random()
+        jittered = []
+        for phases in phase_lists:
+            jittered.append(
+                [
+                    Phase(
+                        duration=p.duration * (1 + rng.uniform(-jitter, jitter)),
+                        cpu_demand=p.cpu_demand,
+                    )
+                    for p in phases
+                ]
+            )
+        phase_lists = jittered
+    return [DemandTrace(phases) for phases in phase_lists]
+
+
+# --------------------------------------------------------------------------- #
+# vjob factories                                                               #
+# --------------------------------------------------------------------------- #
+
+def make_nasgrid_vjob(
+    name: str,
+    spec: NASGridSpec,
+    memory_mb: int | Sequence[int] = 1024,
+    priority: int = 0,
+    submitted_at: float = 0.0,
+    rng: Optional[random.Random] = None,
+    jitter: float = 0.0,
+) -> VJobWorkload:
+    """Build a vjob running an NGB application and its demand traces.
+
+    ``memory_mb`` is either a single size applied to every VM or one size per
+    VM.  The initial CPU demand of each VM is the demand of the first phase of
+    its trace.
+    """
+    if isinstance(memory_mb, int):
+        memories = [memory_mb] * spec.vm_count
+    else:
+        memories = list(memory_mb)
+        if len(memories) != spec.vm_count:
+            raise ValueError("one memory size per VM is required")
+
+    traces = nasgrid_traces(spec, rng=rng, jitter=jitter)
+    vms = []
+    trace_map = {}
+    for index in range(spec.vm_count):
+        vm_name = f"{name}.vm{index}"
+        vms.append(
+            VirtualMachine(
+                name=vm_name,
+                memory=memories[index],
+                cpu_demand=traces[index].demand_at(0.0),
+                vjob=name,
+            )
+        )
+        trace_map[vm_name] = traces[index]
+    vjob = VJob(name=name, vms=vms, priority=priority, submitted_at=submitted_at)
+    return VJobWorkload(vjob=vjob, traces=trace_map)
+
+
+def paper_experiment_vjobs(
+    count: int = 8,
+    vm_count: int = 9,
+    rng: Optional[random.Random] = None,
+) -> list[VJobWorkload]:
+    """The workload of the Section 5.2 cluster experiment: ``count`` vjobs of
+    ``vm_count`` VMs each, submitted at the same moment in a fixed order, with
+    memory sizes between 512 MB and 2048 MB and NGB applications of mixed
+    benchmarks/classes."""
+    rng = rng or random.Random(5229)
+    benchmarks = [Benchmark.ED, Benchmark.HC, Benchmark.VP, Benchmark.MB]
+    classes = [ProblemClass.A, ProblemClass.B]
+    memory_choices = (512, 1024, 2048)
+    workloads = []
+    for index in range(count):
+        spec = NASGridSpec(
+            benchmark=benchmarks[index % len(benchmarks)],
+            problem_class=classes[index % len(classes)],
+            vm_count=vm_count,
+        )
+        memories = [rng.choice(memory_choices) for _ in range(vm_count)]
+        workloads.append(
+            make_nasgrid_vjob(
+                name=f"vjob{index}",
+                spec=spec,
+                memory_mb=memories,
+                priority=index,
+                submitted_at=0.0,
+                rng=rng,
+                jitter=0.1,
+            )
+        )
+    return workloads

@@ -1,0 +1,48 @@
+"""Tests of the plain-text report helpers."""
+
+from repro.analysis.report import (
+    banner,
+    format_fraction,
+    format_seconds,
+    format_table,
+    series,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(
+            ["name", "value"], [["alpha", 1], ["b", 12345]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # columns line up
+        assert lines[2].index("1") == lines[3].index("1")
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert table.splitlines()[0] == "a"
+
+    def test_non_string_cells_are_rendered(self):
+        table = format_table(["x"], [[3.5], [None]])
+        assert "3.5" in table and "None" in table
+
+
+class TestFormatters:
+    def test_format_seconds(self):
+        assert format_seconds(0.0) == "00:00.0"
+        assert format_seconds(75.5) == "01:15.5"
+        assert format_seconds(315.0) == "05:15.0"
+
+    def test_format_fraction(self):
+        assert format_fraction(0.4) == "40.0%"
+        assert format_fraction(0.951) == "95.1%"
+
+    def test_banner_and_series(self):
+        text = series("Figure 10", ["col"], [[1]])
+        assert "Figure 10" in text
+        assert "col" in text
+        assert banner("x").count("=") >= 40

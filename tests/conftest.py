@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Configuration, Node, VirtualMachine, make_working_nodes
+
+
+@pytest.fixture
+def three_nodes() -> list[Node]:
+    """Three uniprocessor nodes as in the Figure 5/6 examples."""
+    return make_working_nodes(3, cpu_capacity=1, memory_capacity=2048)
+
+
+@pytest.fixture
+def paper_nodes() -> list[Node]:
+    """The 11 dual-core working nodes of the paper's testbed."""
+    return make_working_nodes(11, cpu_capacity=2, memory_capacity=3584)
+
+
+@pytest.fixture
+def empty_configuration(three_nodes) -> Configuration:
+    return Configuration(nodes=three_nodes)
+
+
+def make_vm(name: str, memory: int = 512, cpu: int = 0, vjob: str = "") -> VirtualMachine:
+    return VirtualMachine(name=name, memory=memory, cpu_demand=cpu, vjob=vjob)
+
+
+@pytest.fixture
+def vm_factory():
+    return make_vm
+
+
+@pytest.fixture
+def loaded_configuration(three_nodes) -> Configuration:
+    """Two running VMs (one busy, one idle) and one waiting VM."""
+    configuration = Configuration(nodes=three_nodes)
+    configuration.add_vm(make_vm("busy", memory=1024, cpu=1))
+    configuration.add_vm(make_vm("idle", memory=512, cpu=0))
+    configuration.add_vm(make_vm("pending", memory=512, cpu=1))
+    configuration.set_running("busy", "node-0")
+    configuration.set_running("idle", "node-1")
+    return configuration

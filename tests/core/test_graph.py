@@ -1,0 +1,126 @@
+"""Tests of the reconfiguration graph derivation."""
+
+import pytest
+
+from repro.core.actions import Migrate, Resume, Run, Stop, Suspend
+from repro.core.graph import ReconfigurationGraph
+from repro.model.configuration import Configuration
+from repro.model.errors import PlanningError
+from repro.model.node import make_working_nodes
+
+from ..conftest import make_vm
+
+
+@pytest.fixture
+def current():
+    nodes = make_working_nodes(3, cpu_capacity=2, memory_capacity=4096)
+    configuration = Configuration(nodes=nodes)
+    for name, memory, cpu in [
+        ("r1", 1024, 1),
+        ("r2", 512, 0),
+        ("s1", 2048, 1),
+        ("w1", 512, 1),
+    ]:
+        configuration.add_vm(make_vm(name, memory=memory, cpu=cpu))
+    configuration.set_running("r1", "node-0")
+    configuration.set_running("r2", "node-1")
+    configuration.set_sleeping("s1", "node-2")
+    return configuration
+
+
+def test_identical_configurations_produce_empty_graph(current):
+    graph = ReconfigurationGraph(current.copy(), current.copy())
+    assert graph.is_empty()
+    assert len(graph) == 0
+
+
+def test_each_transition_produces_the_expected_action(current):
+    target = current.copy()
+    target.set_running("r1", "node-2")        # migrate
+    target.set_sleeping("r2")                 # suspend
+    target.set_running("s1", "node-2")        # local resume
+    target.set_running("w1", "node-1")        # run
+    graph = ReconfigurationGraph(current, target)
+    actions = {type(a) for a in graph.actions}
+    assert actions == {Migrate, Suspend, Resume, Run}
+    assert len(graph) == 4
+
+
+def test_resume_locality_comes_from_the_image_location(current):
+    target = current.copy()
+    target.set_running("s1", "node-0")
+    graph = ReconfigurationGraph(current, target)
+    resume = next(a for a in graph.actions if isinstance(a, Resume))
+    assert resume.image_node == "node-2"
+    assert not resume.is_local
+
+
+def test_stop_generated_for_terminated_running_vm(current):
+    target = current.copy()
+    target.set_terminated("r1")
+    graph = ReconfigurationGraph(current, target)
+    assert len(graph) == 1
+    assert isinstance(graph.actions[0], Stop)
+
+
+def test_terminating_non_running_vms_needs_no_action(current):
+    target = current.copy()
+    target.set_terminated("s1")
+    target.set_terminated("w1")
+    graph = ReconfigurationGraph(current, target)
+    assert graph.is_empty()
+
+
+def test_running_vm_staying_in_place_needs_no_action(current):
+    target = current.copy()
+    target.set_running("w1", "node-1")
+    graph = ReconfigurationGraph(current, target)
+    assert len(graph) == 1  # only the run action for w1
+
+
+def test_running_vm_cannot_return_to_waiting(current):
+    """The life cycle of Figure 2 has no Running -> Waiting transition."""
+    target = current.copy()
+    target.set_waiting("r1")
+    with pytest.raises(PlanningError):
+        ReconfigurationGraph(current, target)
+
+
+def test_waiting_and_sleeping_vms_staying_put_need_no_action(current):
+    target = current.copy()
+    graph = ReconfigurationGraph(current, target)
+    assert graph.is_empty()
+
+
+def test_mismatched_vm_sets_raise(current):
+    other = Configuration(nodes=make_working_nodes(3))
+    other.add_vm(make_vm("different"))
+    with pytest.raises(PlanningError):
+        ReconfigurationGraph(current, other)
+
+
+def test_terminated_vm_cannot_run_again(current):
+    current.set_terminated("r1")
+    target = current.copy()
+    # Forge a target that wants the terminated VM running again.
+    target.set_running("r1", "node-0")
+    with pytest.raises(PlanningError):
+        ReconfigurationGraph(current, target)
+
+
+def test_incoming_and_outgoing_edges(current):
+    target = current.copy()
+    target.set_running("r1", "node-2")
+    graph = ReconfigurationGraph(current, target)
+    assert len(graph.outgoing("node-0")) == 1
+    assert len(graph.incoming("node-2")) == 1
+    assert graph.incoming("node-1") == []
+
+
+def test_edges_carry_vm_demand(current):
+    target = current.copy()
+    target.set_running("r1", "node-2")
+    graph = ReconfigurationGraph(current, target)
+    edge = graph.edges[0]
+    assert edge.demand.memory == 1024
+    assert edge.demand.cpu == 1

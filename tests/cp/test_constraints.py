@@ -1,0 +1,188 @@
+"""Tests of the constraint propagators."""
+
+import pytest
+
+from repro.cp import (
+    AllDifferent,
+    ElementSum,
+    IntVar,
+    LinearLessEqual,
+    Model,
+    Solver,
+    VectorPacking,
+    make_int_var,
+)
+from repro.cp.constraints import AllEqual
+from repro.model.errors import InconsistencyError
+
+
+class _RecordingStore:
+    """Minimal store for exercising propagators in isolation."""
+
+    def remove(self, var, value):
+        var.domain.remove(value)
+
+    def remove_many(self, var, values):
+        var.domain.remove_many(values)
+
+    def remove_above(self, var, bound):
+        var.domain.remove_above(bound)
+
+    def remove_below(self, var, bound):
+        var.domain.remove_below(bound)
+
+    def assign(self, var, value):
+        var.domain.assign(value)
+
+
+@pytest.fixture
+def store():
+    return _RecordingStore()
+
+
+class TestLinearLessEqual:
+    def test_prunes_upper_bounds(self, store):
+        x = make_int_var("x", 0, 10)
+        y = make_int_var("y", 0, 10)
+        constraint = LinearLessEqual([x, y], [2, 3], 12)
+        constraint.propagate(store)
+        assert x.max == 6 and y.max == 4
+
+    def test_detects_violation(self, store):
+        x = make_int_var("x", 5, 10)
+        y = make_int_var("y", 5, 10)
+        constraint = LinearLessEqual([x, y], [1, 1], 8)
+        with pytest.raises(InconsistencyError):
+            constraint.propagate(store)
+
+    def test_is_satisfied(self):
+        x, y = IntVar("x", [2]), IntVar("y", [3])
+        assert LinearLessEqual([x, y], [1, 2], 8).is_satisfied()
+        assert not LinearLessEqual([x, y], [1, 2], 7).is_satisfied()
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            LinearLessEqual([make_int_var("x", 0, 1)], [-1], 0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearLessEqual([make_int_var("x", 0, 1)], [1, 2], 5)
+
+
+class TestElementSum:
+    def test_total_bounds_are_tightened(self, store):
+        x = IntVar("x", [0, 1])
+        y = IntVar("y", [0, 1])
+        total = make_int_var("total", 0, 100)
+        tables = [{0: 0, 1: 10}, {0: 5, 1: 20}]
+        ElementSum([x, y], tables, total).propagate(store)
+        assert total.min == 5 and total.max == 30
+
+    def test_expensive_values_are_pruned(self, store):
+        x = IntVar("x", [0, 1])
+        y = IntVar("y", [0, 1])
+        total = make_int_var("total", 0, 12)
+        tables = [{0: 0, 1: 10}, {0: 5, 1: 20}]
+        ElementSum([x, y], tables, total).propagate(store)
+        # y = 1 would cost at least 0 + 20 > 12
+        assert y.values() == (0,)
+
+    def test_inconsistent_bounds_raise(self, store):
+        x = IntVar("x", [1])
+        total = make_int_var("total", 0, 5)
+        with pytest.raises(InconsistencyError):
+            ElementSum([x], [{1: 50}], total).propagate(store)
+
+    def test_is_satisfied(self):
+        x = IntVar("x", [1])
+        total = IntVar("total", [7])
+        assert ElementSum([x], [{1: 7}], total).is_satisfied()
+
+    def test_requires_one_table_per_variable(self):
+        with pytest.raises(ValueError):
+            ElementSum([IntVar("x", [0])], [], IntVar("t", [0]))
+
+
+class TestVectorPacking:
+    def test_overload_detected(self, store):
+        x = IntVar("x", [0])
+        y = IntVar("y", [0])
+        constraint = VectorPacking([x, y], [(1, 512), (1, 512)], [(1, 2048)])
+        with pytest.raises(InconsistencyError):
+            constraint.propagate(store)
+
+    def test_prunes_nodes_without_room(self, store):
+        placed = IntVar("placed", [0])
+        free = IntVar("free", [0, 1])
+        constraint = VectorPacking(
+            [placed, free], [(1, 1024), (1, 1024)], [(1, 2048), (2, 2048)]
+        )
+        constraint.propagate(store)
+        # node 0 has its only CPU taken by `placed`
+        assert free.values() == (1,)
+
+    def test_memory_dimension_pruned_too(self, store):
+        placed = IntVar("placed", [0])
+        big = IntVar("big", [0, 1])
+        constraint = VectorPacking(
+            [placed, big], [(0, 3000), (0, 2000)], [(2, 4096), (2, 4096)]
+        )
+        constraint.propagate(store)
+        assert big.values() == (1,)
+
+    def test_is_satisfied(self):
+        x, y = IntVar("x", [0]), IntVar("y", [1])
+        constraint = VectorPacking([x, y], [(1, 1024), (1, 1024)], [(1, 2048), (1, 2048)])
+        assert constraint.is_satisfied()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorPacking([IntVar("x", [0])], [], [(1, 1)])
+
+
+class TestAllEqual:
+    def test_domains_reduced_to_common_values(self, store):
+        x = IntVar("x", [0, 1, 2])
+        y = IntVar("y", [1, 2, 3])
+        AllEqual([x, y]).propagate(store)
+        assert x.values() == (1, 2)
+        assert y.values() == (1, 2)
+
+    def test_disjoint_domains_raise(self, store):
+        x, y = IntVar("x", [0]), IntVar("y", [1])
+        with pytest.raises(InconsistencyError):
+            AllEqual([x, y]).propagate(store)
+
+    def test_is_satisfied(self):
+        assert AllEqual([IntVar("x", [2]), IntVar("y", [2])]).is_satisfied()
+        assert not AllEqual([IntVar("x", [1]), IntVar("y", [2])]).is_satisfied()
+
+    def test_solver_integration(self):
+        model = Model()
+        x = model.int_var("x", [0, 1, 2])
+        y = model.int_var("y", [2, 3])
+        model.add_constraint(AllEqual([x, y]))
+        result = Solver(model).solve()
+        assert result.best["x"] == result.best["y"] == 2
+
+
+class TestAllDifferent:
+    def test_assigned_value_removed_from_others(self, store):
+        x = IntVar("x", [1])
+        y = IntVar("y", [1, 2])
+        AllDifferent([x, y]).propagate(store)
+        assert y.values() == (2,)
+
+    def test_conflict_detected(self, store):
+        x, y = IntVar("x", [1]), IntVar("y", [1])
+        with pytest.raises(InconsistencyError):
+            AllDifferent([x, y]).propagate(store)
+
+    def test_solver_integration(self):
+        model = Model()
+        variables = [model.int_var(f"v{i}", range(3)) for i in range(3)]
+        model.add_constraint(AllDifferent(variables))
+        result = Solver(model).solve()
+        assert result.has_solution
+        values = [result.best[f"v{i}"] for i in range(3)]
+        assert sorted(values) == [0, 1, 2]

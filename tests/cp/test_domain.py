@@ -1,0 +1,85 @@
+"""Tests of finite integer domains."""
+
+import pytest
+
+from repro.cp.domain import Domain
+from repro.model.errors import InconsistencyError
+
+
+class TestConstruction:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Domain([])
+
+    def test_duplicates_collapse(self):
+        assert len(Domain([1, 1, 2])) == 2
+
+    def test_min_max(self):
+        domain = Domain([5, 1, 9])
+        assert domain.min == 1 and domain.max == 9
+
+    def test_iteration_is_sorted(self):
+        assert list(Domain([3, 1, 2])) == [1, 2, 3]
+
+    def test_values_and_raw_values(self):
+        domain = Domain([3, 1])
+        assert domain.values() == (1, 3)
+        assert domain.raw_values() == frozenset({1, 3})
+
+
+class TestMutations:
+    def test_remove_returns_removed_set(self):
+        domain = Domain([1, 2, 3])
+        assert domain.remove(2) == frozenset({2})
+        assert 2 not in domain
+
+    def test_remove_absent_value_is_noop(self):
+        domain = Domain([1, 2])
+        assert domain.remove(9) == frozenset()
+        assert len(domain) == 2
+
+    def test_remove_last_value_raises(self):
+        with pytest.raises(InconsistencyError):
+            Domain([1]).remove(1)
+
+    def test_remove_many(self):
+        domain = Domain(range(5))
+        removed = domain.remove_many([0, 1, 7])
+        assert removed == frozenset({0, 1})
+        assert domain.values() == (2, 3, 4)
+
+    def test_remove_many_emptying_raises(self):
+        with pytest.raises(InconsistencyError):
+            Domain([1, 2]).remove_many([1, 2])
+
+    def test_assign(self):
+        domain = Domain([1, 2, 3])
+        removed = domain.assign(2)
+        assert removed == frozenset({1, 3})
+        assert domain.is_singleton and domain.value == 2
+
+    def test_assign_missing_value_raises(self):
+        with pytest.raises(InconsistencyError):
+            Domain([1, 2]).assign(7)
+
+    def test_remove_above_and_below(self):
+        domain = Domain(range(10))
+        domain.remove_above(6)
+        domain.remove_below(3)
+        assert domain.values() == (3, 4, 5, 6)
+
+    def test_restore_puts_values_back(self):
+        domain = Domain([1, 2, 3])
+        removed = domain.remove_many([1, 2])
+        domain.restore(removed)
+        assert domain.values() == (1, 2, 3)
+
+    def test_value_of_non_singleton_raises(self):
+        with pytest.raises(ValueError):
+            Domain([1, 2]).value
+
+    def test_copy_is_independent(self):
+        domain = Domain([1, 2, 3])
+        clone = domain.copy()
+        clone.remove(1)
+        assert 1 in domain and 1 not in clone

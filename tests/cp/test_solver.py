@@ -1,0 +1,161 @@
+"""Tests of the search: satisfaction, branch-and-bound, heuristics, timeout."""
+
+import pytest
+
+from repro.cp import (
+    AllDifferent,
+    ElementSum,
+    LinearLessEqual,
+    Model,
+    Solver,
+    VectorPacking,
+    first_fail,
+    make_int_var,
+    prefer_value,
+    static_order,
+)
+from repro.cp.variables import value_of
+from repro.model.errors import SolverError
+
+
+class TestModel:
+    def test_duplicate_variable_names_rejected(self):
+        model = Model()
+        model.int_var("x", [0, 1])
+        with pytest.raises(SolverError):
+            model.int_var("x", [0, 1])
+
+    def test_make_int_var_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            make_int_var("x", 5, 3)
+
+    def test_value_of_helper(self):
+        model = Model()
+        x = model.int_var("x", [3])
+        y = model.int_var("y", [1, 2])
+        assert value_of(x) == 3
+        assert value_of(y) is None
+        assert value_of(y, default=-1) == -1
+
+
+class TestSatisfaction:
+    def test_trivial_problem(self):
+        model = Model()
+        model.int_var("x", [4])
+        result = Solver(model).solve()
+        assert result.has_solution
+        assert result.best["x"] == 4
+
+    def test_unsatisfiable_problem(self):
+        model = Model()
+        x = model.int_var("x", [0, 1])
+        y = model.int_var("y", [0, 1])
+        model.add_constraint(AllDifferent([x, y]))
+        model.add_constraint(LinearLessEqual([x, y], [1, 1], 0))
+        result = Solver(model).solve()
+        assert not result.has_solution
+
+    def test_solution_limit(self):
+        model = Model()
+        model.int_var("x", range(5))
+        result = Solver(model).solve(solution_limit=1, collect_all=True)
+        assert len(result.all_solutions) == 1
+
+    def test_statistics_are_populated(self):
+        model = Model()
+        variables = [model.int_var(f"v{i}", range(3)) for i in range(3)]
+        model.add_constraint(AllDifferent(variables))
+        result = Solver(model).solve()
+        stats = result.statistics
+        assert stats.nodes > 0
+        assert stats.solutions >= 1
+        assert stats.elapsed >= 0.0
+
+
+class TestMinimization:
+    def _packing_model(self):
+        """Two items, two bins, cheaper to keep item0 on bin0."""
+        model = Model()
+        x0 = model.int_var("x0", [0, 1])
+        x1 = model.int_var("x1", [0, 1])
+        total = model.int_var("total", range(0, 50))
+        model.add_constraint(
+            VectorPacking([x0, x1], [(1, 10), (1, 10)], [(1, 20), (1, 20)])
+        )
+        model.add_constraint(
+            ElementSum([x0, x1], [{0: 0, 1: 10}, {0: 10, 1: 0}], total)
+        )
+        return model, total
+
+    def test_optimum_found_and_proved(self):
+        model, total = self._packing_model()
+        result = Solver(model).solve(minimize=total)
+        assert result.best.objective == 0
+        assert result.best["x0"] == 0 and result.best["x1"] == 1
+        assert result.statistics.proven_optimal
+
+    def test_first_solution_only_mode(self):
+        model, total = self._packing_model()
+        result = Solver(model).solve(minimize=total, first_solution_only=True)
+        assert result.has_solution
+        # the first solution is not necessarily the optimum, but it is valid
+        assert result.best.objective in (0, 10, 20)
+
+    def test_collect_all_reports_improving_solutions(self):
+        model, total = self._packing_model()
+        result = Solver(model).solve(minimize=total, collect_all=True)
+        objectives = [s.objective for s in result.all_solutions]
+        assert objectives == sorted(objectives, reverse=True) or len(objectives) == 1
+        assert objectives[-1] == 0
+
+    def test_initial_bound_filters_worse_solutions(self):
+        model, total = self._packing_model()
+        result = Solver(model).solve(minimize=total, initial_bound=0)
+        # nothing is strictly better than 0, so the search returns no solution
+        assert not result.has_solution
+        assert result.statistics.proven_optimal
+
+    def test_initial_bound_allows_improvement(self):
+        model, total = self._packing_model()
+        result = Solver(model).solve(minimize=total, initial_bound=5)
+        assert result.best.objective == 0
+
+    def test_timeout_returns_best_so_far(self):
+        model = Model()
+        variables = [model.int_var(f"v{i}", range(8)) for i in range(8)]
+        total = model.int_var("total", range(0, 100))
+        model.add_constraint(AllDifferent(variables))
+        model.add_constraint(
+            ElementSum(variables, [{v: v for v in range(8)}] * 8, total)
+        )
+        result = Solver(model).solve(minimize=total, timeout=0.0)
+        assert result.statistics.timed_out
+        assert not result.statistics.proven_optimal
+
+
+class TestHeuristics:
+    def test_first_fail_picks_smallest_domain(self):
+        a = make_int_var("a", 0, 9)
+        b = make_int_var("b", 0, 1)
+        assert first_fail([a, b]) is b
+
+    def test_first_fail_with_all_instantiated(self):
+        a = make_int_var("a", 1, 1)
+        assert first_fail([a]) is None
+
+    def test_static_order_respects_order(self):
+        a = make_int_var("a", 0, 3)
+        b = make_int_var("b", 0, 3)
+        selector = static_order([b, a])
+        assert selector([a, b]) is b
+
+    def test_prefer_value_puts_preference_first(self):
+        a = make_int_var("a", 0, 3)
+        selector = prefer_value({"a": 2})
+        assert list(selector(a))[0] == 2
+
+    def test_prefer_value_ignores_pruned_preference(self):
+        a = make_int_var("a", 0, 3)
+        a.domain.remove(2)
+        selector = prefer_value({"a": 2})
+        assert 2 not in selector(a)

@@ -1,0 +1,172 @@
+"""Tests of configurations and their viability (Section 3.2, Figure 5)."""
+
+import pytest
+
+from repro.model.configuration import Configuration
+from repro.model.errors import (
+    DuplicateElementError,
+    NonViableConfigurationError,
+    UnknownNodeError,
+    UnknownVMError,
+)
+from repro.model.node import make_working_nodes
+from repro.model.resources import ResourceVector
+from repro.model.vm import VirtualMachine, VMState
+
+from ..conftest import make_vm
+
+
+class TestPopulation:
+    def test_duplicate_node_rejected(self, three_nodes):
+        configuration = Configuration(nodes=three_nodes)
+        with pytest.raises(DuplicateElementError):
+            configuration.add_node(three_nodes[0])
+
+    def test_duplicate_vm_rejected(self, empty_configuration):
+        empty_configuration.add_vm(make_vm("vm1"))
+        with pytest.raises(DuplicateElementError):
+            empty_configuration.add_vm(make_vm("vm1"))
+
+    def test_new_vm_starts_waiting(self, empty_configuration):
+        empty_configuration.add_vm(make_vm("vm1"))
+        assert empty_configuration.state_of("vm1") is VMState.WAITING
+
+    def test_unknown_lookups_raise(self, empty_configuration):
+        with pytest.raises(UnknownVMError):
+            empty_configuration.vm("ghost")
+        with pytest.raises(UnknownNodeError):
+            empty_configuration.node("ghost")
+        with pytest.raises(UnknownVMError):
+            empty_configuration.state_of("ghost")
+
+    def test_replace_vm_updates_demand_only(self, loaded_configuration):
+        updated = loaded_configuration.vm("idle").with_cpu_demand(1)
+        loaded_configuration.replace_vm(updated)
+        assert loaded_configuration.vm("idle").cpu_demand == 1
+        assert loaded_configuration.location_of("idle") == "node-1"
+
+
+class TestStateChanges:
+    def test_set_running_places_vm(self, empty_configuration):
+        empty_configuration.add_vm(make_vm("vm1"))
+        empty_configuration.set_running("vm1", "node-2")
+        assert empty_configuration.state_of("vm1") is VMState.RUNNING
+        assert empty_configuration.location_of("vm1") == "node-2"
+
+    def test_set_sleeping_remembers_image_location(self, loaded_configuration):
+        loaded_configuration.set_sleeping("busy")
+        assert loaded_configuration.state_of("busy") is VMState.SLEEPING
+        assert loaded_configuration.image_location_of("busy") == "node-0"
+        assert loaded_configuration.location_of("busy") is None
+
+    def test_set_sleeping_with_explicit_image_node(self, loaded_configuration):
+        loaded_configuration.set_sleeping("busy", image_node="node-2")
+        assert loaded_configuration.image_location_of("busy") == "node-2"
+
+    def test_resume_clears_image(self, loaded_configuration):
+        loaded_configuration.set_sleeping("busy")
+        loaded_configuration.set_running("busy", "node-2")
+        assert loaded_configuration.image_location_of("busy") is None
+
+    def test_migrate_moves_running_vm(self, loaded_configuration):
+        loaded_configuration.migrate("busy", "node-2")
+        assert loaded_configuration.location_of("busy") == "node-2"
+        assert loaded_configuration.state_of("busy") is VMState.RUNNING
+
+    def test_migrate_requires_running_state(self, loaded_configuration):
+        loaded_configuration.set_sleeping("busy")
+        with pytest.raises(NonViableConfigurationError):
+            loaded_configuration.migrate("busy", "node-2")
+
+    def test_set_terminated_clears_everything(self, loaded_configuration):
+        loaded_configuration.set_terminated("busy")
+        assert loaded_configuration.state_of("busy") is VMState.TERMINATED
+        assert loaded_configuration.location_of("busy") is None
+        assert "busy" not in loaded_configuration.running_vms()
+
+
+class TestResourceAccounting:
+    def test_usage_of_node(self, loaded_configuration):
+        assert loaded_configuration.usage_of("node-0") == ResourceVector(1, 1024)
+        assert loaded_configuration.usage_of("node-2") == ResourceVector(0, 0)
+
+    def test_free_capacity(self, loaded_configuration):
+        assert loaded_configuration.free_capacity("node-0") == ResourceVector(0, 1024)
+
+    def test_can_host_checks_both_dimensions(self, loaded_configuration):
+        small = make_vm("small", memory=512, cpu=0)
+        busy = make_vm("other", memory=512, cpu=1)
+        assert loaded_configuration.can_host("node-0", small)
+        assert not loaded_configuration.can_host("node-0", busy)  # CPU exhausted
+
+    def test_total_usage_and_capacity(self, loaded_configuration):
+        assert loaded_configuration.total_usage() == ResourceVector(1, 1536)
+        assert loaded_configuration.total_capacity() == ResourceVector(3, 6144)
+
+
+class TestViability:
+    def test_viable_configuration(self, loaded_configuration):
+        assert loaded_configuration.is_viable()
+        loaded_configuration.check_viable()
+
+    def test_cpu_overload_detected(self, three_nodes):
+        """Figure 5(a): two VMs requiring a full CPU on a uniprocessor node."""
+        configuration = Configuration(nodes=three_nodes)
+        configuration.add_vm(make_vm("vm2", memory=512, cpu=1))
+        configuration.add_vm(make_vm("vm3", memory=512, cpu=1))
+        configuration.set_running("vm2", "node-0")
+        configuration.set_running("vm3", "node-0")
+        assert not configuration.is_viable()
+        violations = configuration.viability_violations()
+        assert len(violations) == 1
+        assert violations[0].node == "node-0"
+        assert violations[0].cpu_excess == 1
+        assert violations[0].memory_excess == 0
+        with pytest.raises(NonViableConfigurationError):
+            configuration.check_viable()
+
+    def test_memory_overload_detected(self, three_nodes):
+        configuration = Configuration(nodes=three_nodes)
+        configuration.add_vm(make_vm("big1", memory=1536))
+        configuration.add_vm(make_vm("big2", memory=1024))
+        configuration.set_running("big1", "node-0")
+        configuration.set_running("big2", "node-0")
+        assert not configuration.is_viable()
+        assert configuration.viability_violations()[0].memory_excess == 512
+
+    def test_sleeping_vms_do_not_consume_resources(self, three_nodes):
+        configuration = Configuration(nodes=three_nodes)
+        configuration.add_vm(make_vm("a", memory=2048, cpu=1))
+        configuration.add_vm(make_vm("b", memory=2048, cpu=1))
+        configuration.set_running("a", "node-0")
+        configuration.set_sleeping("b", "node-0")
+        assert configuration.is_viable()
+
+
+class TestCopiesAndComparisons:
+    def test_copy_is_independent(self, loaded_configuration):
+        clone = loaded_configuration.copy()
+        clone.set_sleeping("busy")
+        assert loaded_configuration.state_of("busy") is VMState.RUNNING
+        assert clone.state_of("busy") is VMState.SLEEPING
+
+    def test_same_assignment(self, loaded_configuration):
+        clone = loaded_configuration.copy()
+        assert loaded_configuration.same_assignment(clone)
+        clone.migrate("busy", "node-2")
+        assert not loaded_configuration.same_assignment(clone)
+
+    def test_equality(self, loaded_configuration):
+        assert loaded_configuration == loaded_configuration.copy()
+        other = loaded_configuration.copy()
+        other.set_sleeping("idle")
+        assert loaded_configuration != other
+
+    def test_configurations_are_unhashable(self, loaded_configuration):
+        with pytest.raises(TypeError):
+            hash(loaded_configuration)
+
+    def test_vms_on_and_iter_running(self, loaded_configuration):
+        assert loaded_configuration.vms_on("node-0") == ("busy",)
+        pairs = {(vm.name, node.name) for vm, node in loaded_configuration.iter_running()}
+        assert pairs == {("busy", "node-0"), ("idle", "node-1")}

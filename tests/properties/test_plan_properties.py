@@ -1,0 +1,166 @@
+"""Property-based tests of the planner invariants (hypothesis).
+
+For arbitrary small scenarios the planner must always produce a plan that
+(a) reaches the requested target assignment, (b) is feasible pool after pool,
+(c) never loses a VM, and (d) regroups the resumes of a vjob in a single pool.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import ActionKind
+from repro.core.cost import plan_cost
+from repro.core.planner import build_plan
+from repro.decision.ffd import ffd_target_configuration
+from repro.model.configuration import Configuration
+from repro.model.errors import NoPivotAvailableError, PlanningError
+from repro.model.node import make_working_nodes
+from repro.model.vm import VirtualMachine, VMState
+
+
+MEMORY_SIZES = (256, 512, 1024, 2048)
+STATES = (VMState.WAITING, VMState.RUNNING, VMState.SLEEPING)
+
+
+@st.composite
+def scenarios(draw):
+    """A random (current configuration, target states) pair.
+
+    The current placement is built first-fit so it is always viable; the
+    target states are drawn independently per VM.
+    """
+    node_count = draw(st.integers(min_value=2, max_value=5))
+    node_memory = draw(st.sampled_from((2048, 4096)))
+    vm_count = draw(st.integers(min_value=1, max_value=8))
+
+    nodes = make_working_nodes(node_count, cpu_capacity=2, memory_capacity=node_memory)
+    configuration = Configuration(nodes=nodes)
+
+    target_states: dict[str, VMState] = {}
+    for index in range(vm_count):
+        memory = draw(st.sampled_from(MEMORY_SIZES))
+        cpu = draw(st.integers(min_value=0, max_value=1))
+        vjob = f"job{index % 3}"
+        vm = VirtualMachine(
+            name=f"vm{index}", memory=memory, cpu_demand=cpu, vjob=vjob
+        )
+        configuration.add_vm(vm)
+
+        current_state = draw(st.sampled_from(STATES))
+        if current_state is VMState.RUNNING:
+            host = next(
+                (n for n in configuration.node_names if configuration.can_host(n, vm)),
+                None,
+            )
+            if host is not None:
+                configuration.set_running(vm.name, host)
+            else:
+                configuration.set_waiting(vm.name)
+        elif current_state is VMState.SLEEPING:
+            image = draw(st.sampled_from(configuration.node_names))
+            configuration.set_sleeping(vm.name, image)
+
+        # Only draw the transitions a decision module actually requests: a
+        # running VM can keep running, be suspended or stopped; a sleeping VM
+        # can be resumed or stay asleep; a waiting VM can be started or stay
+        # in the queue (Figure 2).
+        if configuration.state_of(vm.name) is VMState.RUNNING:
+            allowed = (VMState.RUNNING, VMState.SLEEPING, VMState.TERMINATED)
+        elif configuration.state_of(vm.name) is VMState.SLEEPING:
+            allowed = (VMState.RUNNING, VMState.SLEEPING)
+        else:  # waiting
+            allowed = (VMState.RUNNING, VMState.WAITING)
+        target_states[vm.name] = draw(st.sampled_from(allowed))
+
+    return configuration, target_states
+
+
+def vjob_mapping(configuration: Configuration) -> dict[str, str]:
+    return {vm.name: vm.vjob for vm in configuration.vms if vm.vjob}
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios())
+def test_plan_reaches_a_viable_ffd_target(scenario):
+    configuration, target_states = scenario
+    target = ffd_target_configuration(configuration, target_states)
+    if target is None:
+        return  # the requested states do not fit on this cluster
+    assert target.is_viable()
+    try:
+        plan = build_plan(configuration, target, vjob_mapping(configuration))
+    except (NoPivotAvailableError, PlanningError):
+        # legitimate failure: a migration cycle without any usable pivot
+        return
+    result = plan.apply()
+    assert result.same_assignment(target)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios())
+def test_plan_conserves_vms_and_costs_are_consistent(scenario):
+    configuration, target_states = scenario
+    target = ffd_target_configuration(configuration, target_states)
+    if target is None:
+        return
+    try:
+        plan = build_plan(configuration, target, vjob_mapping(configuration))
+    except (NoPivotAvailableError, PlanningError):
+        return
+    result = plan.apply()
+    assert set(result.vm_names) == set(configuration.vm_names)
+    breakdown = plan_cost(plan)
+    assert breakdown.total >= breakdown.local_total >= 0
+    assert len(breakdown.pool_costs) == len(plan.pools)
+    # every intermediate configuration stays viable
+    running = configuration.copy()
+    for pool in plan.pools:
+        for action in pool:
+            assert action.is_feasible(running)
+        for action in pool:
+            if not action.consumes_resources():
+                action.apply(running)
+        for action in pool:
+            if action.consumes_resources():
+                action.apply(running)
+        assert running.is_viable()
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_vjob_resumes_are_grouped_in_one_pool(scenario):
+    configuration, target_states = scenario
+    target = ffd_target_configuration(configuration, target_states)
+    if target is None:
+        return
+    mapping = vjob_mapping(configuration)
+    try:
+        plan = build_plan(configuration, target, mapping)
+    except (NoPivotAvailableError, PlanningError):
+        return
+    pools_per_vjob: dict[str, set[int]] = {}
+    for index, pool in enumerate(plan.pools):
+        for action in pool:
+            if action.kind is ActionKind.RESUME and action.vm in mapping:
+                pools_per_vjob.setdefault(mapping[action.vm], set()).add(index)
+    for pools in pools_per_vjob.values():
+        assert len(pools) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_plan_touches_each_vm_at_most_twice(scenario):
+    """A VM is moved at most twice: once as a bypass, once to its destination."""
+    configuration, target_states = scenario
+    target = ffd_target_configuration(configuration, target_states)
+    if target is None:
+        return
+    try:
+        plan = build_plan(configuration, target, vjob_mapping(configuration))
+    except (NoPivotAvailableError, PlanningError):
+        return
+    touched: dict[str, int] = {}
+    for action in plan.actions():
+        touched[action.vm] = touched.get(action.vm, 0) + 1
+    assert all(count <= 2 for count in touched.values())

@@ -1,0 +1,143 @@
+"""Tests of the simulated cluster and the plan executor."""
+
+import pytest
+
+from repro.core.actions import ActionKind, Migrate, Resume, Run, Stop, Suspend
+from repro.core.planner import build_plan
+from repro.model.errors import ExecutionError
+from repro.model.node import make_working_nodes
+from repro.model.vm import VMState
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.executor import PlanExecutor, estimate_duration
+from repro.sim.hypervisor import DEFAULT_HYPERVISOR
+
+from ..conftest import make_vm
+
+
+@pytest.fixture
+def cluster():
+    cluster = SimulatedCluster(
+        nodes=make_working_nodes(3, cpu_capacity=2, memory_capacity=4096)
+    )
+    cluster.add_vm(make_vm("a", memory=1024, cpu=1))
+    cluster.add_vm(make_vm("b", memory=512, cpu=1))
+    cluster.configuration.set_running("a", "node-0")
+    cluster.configuration.set_running("b", "node-1")
+    return cluster
+
+
+class TestSimulatedCluster:
+    def test_apply_suspend_stores_image(self, cluster):
+        event = cluster.apply_action(Suspend(vm="a", node="node-0"), time=10.0, duration=30.0)
+        assert cluster.configuration.state_of("a") is VMState.SLEEPING
+        assert cluster.images.location_of("a") == "node-0"
+        assert event.kind == "suspend" and event.time == 10.0
+
+    def test_apply_resume_discards_image(self, cluster):
+        cluster.apply_action(Suspend(vm="a", node="node-0"), time=0.0, duration=1.0)
+        cluster.apply_action(
+            Resume(vm="a", image_node="node-0", destination_node="node-0"),
+            time=5.0,
+            duration=1.0,
+        )
+        assert "a" not in cluster.images
+        assert cluster.configuration.state_of("a") is VMState.RUNNING
+
+    def test_apply_infeasible_action_raises(self, cluster):
+        with pytest.raises(ExecutionError):
+            cluster.apply_action(Run(vm="a", node="node-2"), time=0.0, duration=1.0)
+
+    def test_update_demand(self, cluster):
+        cluster.update_demand("a", 0)
+        assert cluster.configuration.vm("a").cpu_demand == 0
+
+    def test_utilization_views(self, cluster):
+        assert cluster.cpu_utilization() == pytest.approx(2 / 6)
+        assert cluster.memory_utilization_mb() == 1536
+        assert cluster.overloaded_nodes() == []
+        assert cluster.running_vms() == ("a", "b")
+
+    def test_events_between(self, cluster):
+        cluster.apply_action(Stop(vm="b", node="node-1"), time=50.0, duration=25.0)
+        assert len(cluster.events_between(0.0, 100.0)) == 1
+        assert cluster.events_between(60.0, 100.0) == []
+
+
+class TestPlanExecutor:
+    def test_execution_reaches_target_and_reports_durations(self):
+        # Uniprocessor nodes: b can only reach node-0 once a has been suspended.
+        cluster = SimulatedCluster(
+            nodes=make_working_nodes(3, cpu_capacity=1, memory_capacity=4096)
+        )
+        cluster.add_vm(make_vm("a", memory=1024, cpu=1))
+        cluster.add_vm(make_vm("b", memory=512, cpu=1))
+        cluster.configuration.set_running("a", "node-0")
+        cluster.configuration.set_running("b", "node-1")
+        target = cluster.configuration.copy()
+        target.set_sleeping("a")
+        target.set_running("b", "node-0")
+        plan = build_plan(cluster.configuration, target)
+        report = PlanExecutor().execute(plan, cluster, start_time=100.0)
+
+        assert cluster.configuration.same_assignment(target)
+        assert report.start == 100.0
+        assert report.duration > 0
+        assert report.action_count == 2
+        assert report.count(ActionKind.SUSPEND) == 1
+        assert report.count(ActionKind.MIGRATE) == 1
+        assert report.involved_nodes() == {"node-0", "node-1"}
+        # pools execute sequentially: the migrate starts after the suspend ends
+        suspend = next(a for a in report.actions if a.action.kind is ActionKind.SUSPEND)
+        migrate = next(a for a in report.actions if a.action.kind is ActionKind.MIGRATE)
+        assert migrate.start >= suspend.end
+
+    def test_suspend_resume_actions_are_pipelined(self):
+        cluster = SimulatedCluster(
+            nodes=make_working_nodes(2, cpu_capacity=2, memory_capacity=4096)
+        )
+        for index in range(3):
+            cluster.add_vm(make_vm(f"v{index}", memory=512, cpu=1, vjob="j"))
+            cluster.configuration.set_running(f"v{index}", "node-0")
+        target = cluster.configuration.copy()
+        for index in range(3):
+            target.set_sleeping(f"v{index}")
+        plan = build_plan(cluster.configuration, target, {f"v{index}": "j" for index in range(3)})
+        report = PlanExecutor(pipeline_delay=1.0).execute(plan, cluster)
+        starts = sorted(a.start for a in report.actions)
+        assert starts == [0.0, 1.0, 2.0]
+
+    def test_estimate_duration_matches_execution(self, cluster):
+        target = cluster.configuration.copy()
+        target.set_sleeping("a")
+        plan = build_plan(cluster.configuration, target)
+        estimate = estimate_duration(plan)
+        report = PlanExecutor().execute(plan, cluster)
+        assert estimate == pytest.approx(report.duration)
+
+    def test_empty_plan_has_zero_duration(self, cluster):
+        plan = build_plan(cluster.configuration, cluster.configuration.copy())
+        report = PlanExecutor().execute(plan, cluster)
+        assert report.duration == 0.0
+        assert report.action_count == 0
+        assert estimate_duration(plan) == 0.0
+
+    def test_remote_resume_takes_longer_than_local(self):
+        def run_resume(destination):
+            cluster = SimulatedCluster(
+                nodes=make_working_nodes(2, cpu_capacity=2, memory_capacity=4096)
+            )
+            cluster.add_vm(make_vm("s", memory=2048, cpu=1))
+            cluster.configuration.set_sleeping("s", "node-0")
+            target = cluster.configuration.copy()
+            target.set_running("s", destination)
+            plan = build_plan(cluster.configuration, target)
+            return PlanExecutor().execute(plan, cluster).duration
+
+        assert run_resume("node-1") > run_resume("node-0")
+
+    def test_durations_use_the_hypervisor_model(self, cluster):
+        target = cluster.configuration.copy()
+        target.set_terminated("b")
+        plan = build_plan(cluster.configuration, target)
+        report = PlanExecutor(hypervisor=DEFAULT_HYPERVISOR).execute(plan, cluster)
+        assert report.duration == pytest.approx(DEFAULT_HYPERVISOR.stop_duration(512))

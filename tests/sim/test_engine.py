@@ -1,0 +1,76 @@
+"""Tests of the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_chronological_order(self):
+        engine = SimulationEngine()
+        trace = []
+        engine.schedule(10.0, lambda: trace.append("late"))
+        engine.schedule(5.0, lambda: trace.append("early"))
+        engine.run()
+        assert trace == ["early", "late"]
+        assert engine.now == 10.0
+
+    def test_same_time_events_keep_insertion_order(self):
+        engine = SimulationEngine()
+        trace = []
+        engine.schedule(1.0, lambda: trace.append("first"))
+        engine.schedule(1.0, lambda: trace.append("second"))
+        engine.run()
+        assert trace == ["first", "second"]
+
+    def test_schedule_at_absolute_time(self):
+        engine = SimulationEngine(start_time=100.0)
+        trace = []
+        engine.schedule_at(150.0, lambda: trace.append(engine.now))
+        engine.run()
+        assert trace == [150.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_other_events(self):
+        engine = SimulationEngine()
+        trace = []
+        engine.schedule(1.0, lambda: engine.schedule(1.0, lambda: trace.append(engine.now)))
+        engine.run()
+        assert trace == [2.0]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        trace = []
+        engine.schedule(5.0, lambda: trace.append("early"))
+        engine.schedule(50.0, lambda: trace.append("late"))
+        engine.run(until=10.0)
+        assert trace == ["early"]
+        assert engine.now == 10.0
+        assert engine.pending_events == 1
+
+    def test_cancelled_events_do_not_run(self):
+        engine = SimulationEngine()
+        trace = []
+        handle = engine.schedule(1.0, lambda: trace.append("x"))
+        handle.cancel()
+        assert handle.cancelled
+        engine.run()
+        assert trace == []
+        assert engine.pending_events == 0
+
+    def test_advance_moves_the_clock(self):
+        engine = SimulationEngine()
+        engine.advance(42.0)
+        assert engine.now == 42.0
+        with pytest.raises(ValueError):
+            engine.advance(-1.0)
+
+    def test_run_until_without_events(self):
+        engine = SimulationEngine()
+        assert engine.run(until=30.0) == 30.0

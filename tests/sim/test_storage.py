@@ -1,0 +1,58 @@
+"""Tests of the suspend-image store and transfer model."""
+
+import pytest
+
+from repro.sim.storage import ImageStore, TransferMethod, remote_factor, transfer_duration
+
+
+class TestTransferModel:
+    def test_local_transfer_is_free(self):
+        assert transfer_duration(2048, TransferMethod.LOCAL) == 0.0
+
+    def test_remote_transfer_grows_with_size(self):
+        assert transfer_duration(512, TransferMethod.SCP) < transfer_duration(
+            2048, TransferMethod.SCP
+        )
+
+    def test_rsync_is_cheaper_than_scp(self):
+        assert transfer_duration(1024, TransferMethod.RSYNC) < transfer_duration(
+            1024, TransferMethod.SCP
+        )
+
+    def test_remote_factors(self):
+        assert remote_factor(TransferMethod.LOCAL) == 1.0
+        assert remote_factor(TransferMethod.SCP) == pytest.approx(2.0)
+        assert remote_factor(TransferMethod.RSYNC) > 1.0
+
+
+class TestImageStore:
+    def test_store_and_lookup(self):
+        store = ImageStore()
+        store.store("vm1", "node-3", 1024, time=42.0)
+        assert "vm1" in store
+        assert store.location_of("vm1") == "node-3"
+        assert len(store) == 1
+
+    def test_unknown_vm_has_no_location(self):
+        assert ImageStore().location_of("ghost") is None
+
+    def test_discard(self):
+        store = ImageStore()
+        store.store("vm1", "node-3", 1024)
+        store.discard("vm1")
+        assert "vm1" not in store
+        store.discard("vm1")  # idempotent
+
+    def test_move(self):
+        store = ImageStore()
+        store.store("vm1", "node-3", 1024)
+        store.move("vm1", "node-5")
+        assert store.location_of("vm1") == "node-5"
+        store.move("ghost", "node-1")  # no-op
+
+    def test_store_overwrites_previous_image(self):
+        store = ImageStore()
+        store.store("vm1", "node-1", 1024)
+        store.store("vm1", "node-2", 1024)
+        assert store.location_of("vm1") == "node-2"
+        assert len(store) == 1
