@@ -16,7 +16,7 @@ from repro.analysis.report import format_fraction, series
 from repro.core import ContextSwitchOptimizer, build_plan, plan_cost
 from repro.core.actions import ActionKind
 from repro.core.planner import PlannerOptions, ReconfigurationPlanner
-from repro.decision import ConsolidationDecisionModule
+from repro import get_decision_module
 from repro.workloads import TraceConfigurationGenerator
 
 VM_COUNT = 162
@@ -25,7 +25,7 @@ SEED = 2024
 
 def _scenario():
     scenario = TraceConfigurationGenerator(seed=SEED).generate(VM_COUNT)
-    decision = ConsolidationDecisionModule().decide(scenario.configuration, scenario.queue)
+    decision = get_decision_module("consolidation").decide(scenario.configuration, scenario.queue)
     return scenario, decision
 
 

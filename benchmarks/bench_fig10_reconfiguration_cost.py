@@ -21,7 +21,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.report import format_fraction, series
 from repro.core import ClusterContextSwitch, build_plan, plan_cost
-from repro.decision import ConsolidationDecisionModule
+from repro import get_decision_module
 from repro.workloads import TraceConfigurationGenerator, paper_vm_counts
 
 #: Samples per VM count (the paper uses 30).
@@ -32,7 +32,7 @@ OPTIMIZER_TIMEOUT_S = 3.0
 VM_COUNTS = paper_vm_counts()
 
 
-def _one_sample(vm_count: int, sample: int, module: ConsolidationDecisionModule):
+def _one_sample(vm_count: int, sample: int, module):
     generator = TraceConfigurationGenerator(seed=1_000 * vm_count + sample)
     scenario = generator.generate(vm_count)
     decision = module.decide(scenario.configuration, scenario.queue)
@@ -55,7 +55,7 @@ def _one_sample(vm_count: int, sample: int, module: ConsolidationDecisionModule)
 
 
 def _sweep() -> list[CostComparison]:
-    module = ConsolidationDecisionModule()
+    module = get_decision_module("consolidation")
     comparisons: list[CostComparison] = []
     for vm_count in VM_COUNTS:
         for sample in range(SAMPLES_PER_POINT):

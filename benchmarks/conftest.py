@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.entropy import EntropySimulation, StaticAllocationSimulator
+from repro import Scenario
 from repro.workloads import paper_cluster_nodes, paper_experiment_vjobs
 
 
@@ -31,15 +31,25 @@ def campaign_nodes():
 
 
 @pytest.fixture(scope="session")
-def entropy_run(campaign_nodes, campaign_workloads):
-    """The Section 5.2 campaign under Entropy (dynamic consolidation)."""
-    simulation = EntropySimulation(
-        campaign_nodes, campaign_workloads, optimizer_timeout=OPTIMIZER_TIMEOUT_S
+def campaign_scenario(campaign_nodes, campaign_workloads):
+    """The Section 5.2 campaign described once, policy selected per run."""
+    return Scenario(
+        nodes=campaign_nodes,
+        workloads=campaign_workloads,
+        policy="consolidation",
+        optimizer_timeout=OPTIMIZER_TIMEOUT_S,
     )
-    return simulation.run()
 
 
 @pytest.fixture(scope="session")
-def static_run(campaign_nodes, campaign_workloads):
+def entropy_run(campaign_scenario):
+    """The Section 5.2 campaign under Entropy (dynamic consolidation)."""
+    return campaign_scenario.run()
+
+
+@pytest.fixture(scope="session")
+def static_run(campaign_scenario):
     """The same campaign under the FCFS static-allocation baseline."""
-    return StaticAllocationSimulator(campaign_nodes, campaign_workloads).run()
+    # Analytic baseline: does not mutate vjob state, safe to share workloads
+    # with the control-loop run.
+    return campaign_scenario.run_static()

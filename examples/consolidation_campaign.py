@@ -27,8 +27,8 @@ from repro.analysis.metrics import (
     makespan_reduction,
     switch_statistics,
 )
+from repro import Scenario
 from repro.analysis.report import format_fraction, format_seconds, series
-from repro.entropy import EntropySimulation, StaticAllocationSimulator
 from repro.workloads import paper_cluster_nodes, paper_experiment_vjobs
 
 
@@ -58,8 +58,15 @@ def main() -> None:
     print(f"cluster: {len(nodes)} nodes, workload: {vjob_count} vjobs x {vm_count} VMs")
     print()
 
+    scenario = Scenario(
+        nodes=nodes,
+        workloads=workloads,
+        policy="consolidation",
+        optimizer_timeout=3.0,
+    )
+
     # -- static allocation baseline ------------------------------------------
-    static = StaticAllocationSimulator(nodes, workloads).run()
+    static = scenario.run_static()
     rows = [
         (a.job.name, a.job.cpus, f"{a.start / 60:.1f} min", f"{a.end / 60:.1f} min")
         for a in static.schedule.allocations
@@ -67,7 +74,7 @@ def main() -> None:
     print(series("FCFS static allocation (Figure 12)", ["vjob", "cpus", "start", "end"], rows))
 
     # -- Entropy with cluster-wide context switches ---------------------------
-    entropy = EntropySimulation(nodes, workloads, optimizer_timeout=3.0).run()
+    entropy = scenario.run()
     stats = switch_statistics(entropy.switches)
     rows = [
         (record.time / 60, record.cost, format_seconds(record.duration),

@@ -16,8 +16,8 @@ Run with::
 
 from __future__ import annotations
 
+from repro import Scenario
 from repro.analysis.report import format_seconds, series
-from repro.entropy import EntropySimulation
 from repro.model import VJob, VirtualMachine, make_working_nodes
 from repro.workloads import VJobWorkload, alternating_trace
 
@@ -44,8 +44,13 @@ def main() -> None:
         phased_vjob("background", vm_count=2, idle=60.0, busy=180.0, priority=3),
     ]
 
-    simulation = EntropySimulation(nodes, workloads, optimizer_timeout=2.0)
-    result = simulation.run()
+    scenario = Scenario(
+        nodes=nodes,
+        workloads=workloads,
+        policy="consolidation",
+        optimizer_timeout=2.0,
+    )
+    result = scenario.run()
 
     rows = []
     for record in result.switches:
@@ -80,7 +85,7 @@ def main() -> None:
     print(
         f"the demand exceeded the cluster capacity during "
         f"{len(overload_samples)} decision periods; the configuration stayed "
-        f"viable throughout: {simulation.cluster.configuration.is_viable()}"
+        f"viable throughout: {result.metadata['final_viable']}"
     )
 
 

@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: plan and execute one cluster-wide context switch.
+"""Quickstart: run one scenario, then swap the decision policy.
 
-A tiny cluster of three dual-core nodes hosts two running vjobs when a third
-one arrives.  The cluster cannot run everything at once, so the decision module
-suspends the lowest-priority vjob and starts the newcomer; the cluster-wide
-context switch computes the cheapest viable placement, sequences the actions
-into pools and executes them on the simulated testbed.
+A tiny cluster of two dual-core nodes receives three vjobs that cannot all
+run at once.  The :class:`repro.Scenario` facade wires the whole
+observe/decide/plan/execute loop from a declarative description; swapping the
+scheduling policy is a one-argument change, and both runs return the same
+structured :class:`repro.RunResult`:
+
+* ``policy="consolidation"`` — the paper's dynamic consolidation: the
+  lowest-priority vjob is suspended during the crunch and resumed afterwards;
+* ``policy="fcfs"`` — the static-allocation baseline: each vjob books one CPU
+  per VM for its whole duration and late vjobs simply wait.
 
 Run with::
 
@@ -14,87 +19,84 @@ Run with::
 
 from __future__ import annotations
 
+from repro import Scenario, available_decision_modules
 from repro.analysis.report import format_seconds, series
-from repro.core import ClusterContextSwitch, plan_cost
-from repro.decision import ConsolidationDecisionModule
-from repro.model import Configuration, VJob, VJobQueue, VirtualMachine, make_working_nodes
-from repro.sim import PlanExecutor, SimulatedCluster
+from repro.model import make_working_nodes
+from repro.testing import make_vjob, make_workload
+from repro.workloads import VJobWorkload, alternating_trace
 
 
-def build_vjob(name: str, vm_count: int, memory: int, priority: int) -> VJob:
-    vms = [
-        VirtualMachine(name=f"{name}.vm{i}", memory=memory, cpu_demand=1, vjob=name)
-        for i in range(vm_count)
+def bursty_workload(name: str, priority: int) -> VJobWorkload:
+    """A 2-VM vjob whose tasks compute in alternating 90 s bursts — the
+    NASGrid-like shape of Section 5.2: at any instant only one of its VMs
+    needs a processing unit, the other waits for data."""
+    vjob = make_vjob(name, vm_count=2, memory=1024, priority=priority)
+    traces = {
+        vjob.vms[0].name: alternating_trace(
+            [(60.0, 0), (90.0, 1), (120.0, 0), (90.0, 1)]
+        ),
+        vjob.vms[1].name: alternating_trace(
+            [(150.0, 0), (90.0, 1), (120.0, 0), (90.0, 1)]
+        ),
+    }
+    return VJobWorkload(vjob=vjob, traces=traces)
+
+
+def build_workloads():
+    """Three 2-VM vjobs on a 4-CPU cluster: the two bursty ones leave long
+    idle gaps that dynamic consolidation fills with the third vjob, while
+    FCFS keeps the booked CPUs claimed and makes it wait."""
+    return [
+        bursty_workload("alpha", priority=1),
+        bursty_workload("gamma", priority=2),
+        make_workload("beta", vm_count=2, memory=1024, duration=180.0,
+                      priority=3, idle_head=60.0),
     ]
-    return VJob(name=name, vms=vms, priority=priority)
+
+
+def describe(result) -> None:
+    rows = [
+        (
+            f"{record.time / 60:.1f}",
+            record.runs,
+            record.migrations,
+            record.suspends,
+            record.resumes,
+            format_seconds(record.duration),
+            record.cost,
+        )
+        for record in result.switches
+        if record.action_count
+    ]
+    print(series(
+        f"context switches under {result.policy!r}",
+        ["minute", "run", "migrate", "suspend", "resume", "duration", "cost"],
+        rows,
+    ))
+    rows = [
+        (name, f"{time / 60:.1f} min")
+        for name, time in sorted(result.completion_times.items(), key=lambda kv: kv[1])
+    ]
+    print(series("vjob completion times", ["vjob", "completed at"], rows))
+    print(f"makespan: {result.makespan / 60:.1f} min, "
+          f"final configuration viable: {result.metadata['final_viable']}")
+    print()
 
 
 def main() -> None:
-    # -- 1. describe the cluster and the submitted vjobs ---------------------
-    nodes = make_working_nodes(3, cpu_capacity=2, memory_capacity=3584)
-    alpha = build_vjob("alpha", vm_count=3, memory=1024, priority=1)
-    gamma = build_vjob("gamma", vm_count=2, memory=1024, priority=2)
-    # beta was submitted last: it is the first to be suspended when the
-    # cluster becomes too small for everyone.
-    beta = build_vjob("beta", vm_count=2, memory=2048, priority=3)
-    queue = VJobQueue([alpha, beta, gamma])
-
-    # alpha and beta are already running, gamma just arrived
-    configuration = Configuration(nodes=nodes)
-    for vjob in (alpha, beta, gamma):
-        for vm in vjob.vms:
-            configuration.add_vm(vm)
-    alpha.run()
-    beta.run()
-    configuration.set_running("alpha.vm0", "node-0")
-    configuration.set_running("alpha.vm1", "node-0")
-    configuration.set_running("alpha.vm2", "node-1")
-    configuration.set_running("beta.vm0", "node-1")
-    configuration.set_running("beta.vm1", "node-2")
-
-    print("initial configuration viable:", configuration.is_viable())
-
-    # -- 2. the decision module selects the vjobs that should run ------------
-    module = ConsolidationDecisionModule()
-    decision = module.decide(configuration, queue)
-    print("vjob states wanted by the decision module:")
-    for vjob_name, state in decision.vjob_states.items():
-        print(f"  {vjob_name}: {state.value}")
-
-    # -- 3. the cluster-wide context switch plans the transition -------------
-    switcher = ClusterContextSwitch(optimizer_timeout=5.0)
-    report = switcher.compute(
-        configuration,
-        decision.vm_states,
-        vjob_of_vm=module.vjob_index(queue),
-        fallback_target=decision.fallback_target,
-    )
+    print("registered decision modules:", ", ".join(available_decision_modules()))
     print()
-    print(report.plan)
-    breakdown = plan_cost(report.plan)
-    print(f"plan cost (Table 1 model): {breakdown.total}")
 
-    # -- 4. execute it on the simulated testbed ------------------------------
-    cluster = SimulatedCluster(nodes=nodes)
-    for vm in configuration.vms:
-        cluster.add_vm(vm)
-    for vm_name, node in configuration.placement().items():
-        cluster.configuration.set_running(vm_name, node)
-    execution = PlanExecutor().execute(report.plan, cluster)
-    print(f"context switch duration: {format_seconds(execution.duration)}")
+    nodes = make_working_nodes(2, cpu_capacity=2, memory_capacity=3584)
 
-    rows = [
-        (
-            item.action.kind.value,
-            item.action.vm,
-            f"{item.start:.1f}s",
-            f"{item.duration:.1f}s",
-        )
-        for item in execution.actions
-    ]
-    print()
-    print(series("executed actions", ["action", "vm", "start", "duration"], rows))
-    print("final configuration viable:", cluster.configuration.is_viable())
+    # The same scenario, two policies: only the `policy` argument changes.
+    scenario = Scenario(nodes=nodes, workloads=build_workloads(),
+                        policy="consolidation", optimizer_timeout=2.0)
+    describe(scenario.run())
+
+    scenario = Scenario(nodes=nodes, workloads=build_workloads(),
+                        policy="fcfs", optimizer_timeout=2.0)
+    describe(scenario.run())
 
 
 if __name__ == "__main__":

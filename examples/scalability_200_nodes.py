@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import argparse
 
+from repro import get_decision_module
 from repro.analysis.metrics import CostComparison, average_cost_reduction, mean_costs_by_vm_count
 from repro.analysis.report import format_fraction, series
 from repro.core import ClusterContextSwitch, build_plan, plan_cost
-from repro.decision import ConsolidationDecisionModule
 from repro.workloads import TraceConfigurationGenerator, paper_vm_counts
 
 
@@ -31,7 +31,9 @@ def main() -> None:
     args = parser.parse_args()
 
     vm_counts = [count for count in paper_vm_counts() if count <= args.max_vms]
-    module = ConsolidationDecisionModule()
+    # The registry resolves the policy by name — swap in any registered
+    # decision module to rerun the scalability study under another policy.
+    module = get_decision_module("consolidation")
     comparisons: list[CostComparison] = []
 
     for vm_count in vm_counts:

@@ -1,20 +1,10 @@
-"""Legacy setup script.
+"""Legacy setup shim.
 
-Kept so ``pip install -e .`` works on environments whose setuptools predates
-PEP 660 editable installs (the metadata itself lives in ``pyproject.toml``).
+All package metadata lives in ``pyproject.toml`` (PEP 621); this file only
+keeps ``python setup.py develop`` working on environments whose tooling
+predates PEP 660 editable installs.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Reproduction of 'Cluster-Wide Context Switch of Virtualized Jobs' "
-        "(Hermenier et al., HPDC 2010)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.9",
-    install_requires=["numpy>=1.21"],
-)
+setup()

@@ -4,20 +4,53 @@ Hermenier, Lèbre, Menaud — INRIA RR-6929 / HPDC 2010.
 
 The package provides:
 
+* :mod:`repro.api` — the public experiment API: the pluggable
+  observe/decide/plan/execute control loop, the ``Scenario`` /
+  ``ExperimentBuilder`` facade, the decision-module protocol and registry,
+  and the structured ``RunResult``;
 * :mod:`repro.model` — nodes, VMs, vjobs, configurations, viability;
 * :mod:`repro.cp` — a finite-domain constraint solver (Choco replacement);
 * :mod:`repro.core` — the cluster-wide context switch: actions, cost model,
   reconfiguration graphs/plans, planner and CP optimizer;
 * :mod:`repro.decision` — decision modules (FFD, RJSP, dynamic consolidation,
-  FCFS + EASY backfilling baseline);
+  FCFS + EASY backfilling baseline), all registered in :mod:`repro.api`;
 * :mod:`repro.sim` — a discrete-event cluster simulator calibrated on the
   paper's measurements (Xen/Ganglia/NFS substitute);
-* :mod:`repro.entropy` — the observe/decide/plan/execute control loop;
+* :mod:`repro.entropy` — the historical loop entry point and the
+  static-allocation baseline;
 * :mod:`repro.workloads` — NASGrid-like vjobs and configuration generators;
-* :mod:`repro.analysis` — metrics and report helpers for the experiments.
+* :mod:`repro.analysis` — metrics and report helpers for the experiments;
+* :mod:`repro.testing` — factories shared by the test-suite and examples.
+
+Quickstart::
+
+    from repro import Scenario
+    from repro.model import make_working_nodes
+    from repro.workloads import paper_experiment_vjobs
+
+    scenario = Scenario(
+        nodes=make_working_nodes(11, cpu_capacity=2, memory_capacity=3584),
+        workloads=paper_experiment_vjobs(count=8, vm_count=9),
+        policy="consolidation",
+    )
+    result = scenario.run()
+    print(result.makespan, result.switch_count)
 """
 
 from . import config
+from .api import (
+    ControlLoop,
+    Decision,
+    DecisionModule,
+    ExperimentBuilder,
+    LoopObserver,
+    RunResult,
+    Scenario,
+    UnknownDecisionModuleError,
+    available_decision_modules,
+    get_decision_module,
+    register_decision_module,
+)
 from .core import (
     ClusterContextSwitch,
     ContextSwitchOptimizer,
@@ -38,10 +71,21 @@ from .model import (
     make_working_nodes,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "config",
+    "ControlLoop",
+    "Decision",
+    "DecisionModule",
+    "ExperimentBuilder",
+    "LoopObserver",
+    "RunResult",
+    "Scenario",
+    "UnknownDecisionModuleError",
+    "available_decision_modules",
+    "get_decision_module",
+    "register_decision_module",
     "ClusterContextSwitch",
     "ContextSwitchOptimizer",
     "ReconfigurationPlan",

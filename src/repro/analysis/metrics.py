@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Iterable, Optional, Sequence
 
-from ..entropy.loop import ContextSwitchRecord, UtilizationSample
+from ..api.results import ContextSwitchRecord, UtilizationSample
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,55 @@
+"""Public API of the pluggable control loop.
+
+This package is the single entry point for building and running experiments:
+
+* :class:`Scenario` / :class:`ExperimentBuilder` — declarative experiment
+  description replacing hand-wired simulation setup;
+* :class:`ControlLoop` — the policy-agnostic observe/decide/plan/execute loop;
+* :class:`Decision` / :class:`DecisionModule` — the contract every decision
+  policy implements;
+* :func:`register_decision_module` / :func:`get_decision_module` — the
+  string-keyed policy registry ("consolidation", "fcfs", "ffd", "rjsp" are
+  pre-registered);
+* :class:`RunResult` and friends — the structured result every run returns;
+* :class:`LoopObserver` — per-iteration hooks for metrics and tracing.
+"""
+
+from .decision import (
+    Decision,
+    DecisionModule,
+    empty_configuration,
+    needs_switch,
+    stop_terminated_vms,
+)
+from .events import LoopObserver, RecordingObserver
+from .loop import ControlLoop, policy_label, resolve_policy
+from .registry import (
+    UnknownDecisionModuleError,
+    available_decision_modules,
+    get_decision_module,
+    register_decision_module,
+)
+from .results import ContextSwitchRecord, RunResult, UtilizationSample
+from .scenario import ExperimentBuilder, Scenario
+
+__all__ = [
+    "Decision",
+    "DecisionModule",
+    "empty_configuration",
+    "needs_switch",
+    "stop_terminated_vms",
+    "LoopObserver",
+    "RecordingObserver",
+    "ControlLoop",
+    "policy_label",
+    "resolve_policy",
+    "UnknownDecisionModuleError",
+    "available_decision_modules",
+    "get_decision_module",
+    "register_decision_module",
+    "ContextSwitchRecord",
+    "RunResult",
+    "UtilizationSample",
+    "ExperimentBuilder",
+    "Scenario",
+]

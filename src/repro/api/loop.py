@@ -1,0 +1,394 @@
+"""The pluggable observe/decide/plan/execute control loop (Section 3.1).
+
+The loop iterates: (i) observe the CPU and memory consumption of the running
+VMs through the monitoring service, (ii) run the *decision module* to compute
+the vjob states of the next iteration, (iii) plan the cluster-wide context
+switch towards a cheap viable configuration, and (iv) execute it with the
+drivers, then waits for the monitoring information to refresh.
+
+Unlike the original hard-wired simulation, :class:`ControlLoop` is
+policy-agnostic: any :class:`~repro.api.decision.DecisionModule` — selected
+by registry name or passed as an instance — drives the same loop, and every
+run produces the same structured :class:`~repro.api.results.RunResult`.
+Prefer the :class:`~repro.api.scenario.Scenario` facade over instantiating
+the loop by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from .. import config
+from ..core.context_switch import ClusterContextSwitch
+from ..core.cost import plan_cost
+from ..model.errors import PlanningError
+from ..model.node import Node
+from ..model.queue import VJobQueue
+from ..model.vjob import VJobState
+from ..model.vm import VMState
+from ..sim.cluster import SimulatedCluster
+from ..sim.executor import PlanExecutor
+from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
+from ..sim.monitoring import MonitoringService
+from ..workloads.traces import VJobWorkload
+from .decision import Decision, DecisionModule, needs_switch
+from .events import LoopObserver
+from .registry import get_decision_module
+from .results import ContextSwitchRecord, RunResult, UtilizationSample
+
+PolicyLike = Union[str, DecisionModule]
+
+
+def policy_label(policy: PolicyLike) -> str:
+    """The display/registry label of a policy name or module instance."""
+    if isinstance(policy, str):
+        return policy
+    return getattr(policy, "name", type(policy).__name__)
+
+
+def resolve_policy(
+    policy: PolicyLike, options: Optional[Mapping[str, Any]] = None
+) -> tuple[DecisionModule, str]:
+    """Turn a registry name or a module instance into ``(module, label)``."""
+    if isinstance(policy, str):
+        return get_decision_module(policy, **dict(options or {})), policy
+    if options:
+        raise ValueError(
+            "policy_options only apply when the policy is selected by name"
+        )
+    return policy, policy_label(policy)
+
+
+class ControlLoop:
+    """Run one decision policy over a simulated cluster and its workloads."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        workloads: Sequence[VJobWorkload],
+        policy: PolicyLike = "consolidation",
+        policy_options: Optional[Mapping[str, Any]] = None,
+        period: float = config.DECISION_PERIOD_S,
+        optimizer_timeout: float = 10.0,
+        use_optimizer: bool = True,
+        hypervisor: HypervisorModel = DEFAULT_HYPERVISOR,
+        monitoring_delay: float = config.MONITORING_DELAY_S,
+        max_time: float = 24 * 3600.0,
+        observers: Sequence[LoopObserver] = (),
+        max_consecutive_planning_failures: int = 25,
+    ) -> None:
+        self.workloads = list(workloads)
+        self.period = period
+        self.max_time = max_time
+        self.hypervisor = hypervisor
+        self.observers = list(observers)
+        self.max_consecutive_planning_failures = max_consecutive_planning_failures
+
+        self.cluster = SimulatedCluster(nodes=nodes)
+        self.queue = VJobQueue()
+        self.progress: dict[str, float] = {}
+        self._submitted: set[str] = set()
+
+        stale = [
+            w.vjob.name
+            for w in self.workloads
+            if w.vjob.state is not VJobState.WAITING
+        ]
+        if stale:
+            raise ValueError(
+                f"vjobs {stale} are not in their initial WAITING state — a "
+                "run mutates vjob state, so each run needs freshly-built "
+                "workloads"
+            )
+        for workload in self.workloads:
+            self.progress[workload.vjob.name] = 0.0
+            for vm in workload.vjob.vms:
+                self.cluster.add_vm(vm)
+
+        self.decision_module, self.policy_name = resolve_policy(
+            policy, policy_options
+        )
+        self.switcher = ClusterContextSwitch(
+            optimizer_timeout=optimizer_timeout, use_optimizer=use_optimizer
+        )
+        self.executor = PlanExecutor(hypervisor=hypervisor)
+        self.monitoring = MonitoringService(
+            demand_source=self._demand_source, refresh_delay=monitoring_delay
+        )
+
+    # ------------------------------------------------------------------ #
+    # workload plumbing                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _demand_source(self, _time: float) -> dict[str, int]:
+        """Current CPU demand of every VM, derived from the vjob progress."""
+        demands: dict[str, int] = {}
+        for workload in self.workloads:
+            progress = self.progress[workload.vjob.name]
+            for vm_name, trace in workload.traces.items():
+                demands[vm_name] = trace.demand_at(progress)
+        return demands
+
+    def _submit_pending(self, now: float) -> None:
+        for workload in self.workloads:
+            vjob = workload.vjob
+            if vjob.name not in self._submitted and vjob.submitted_at <= now:
+                self.queue.submit(vjob)
+                self._submitted.add(vjob.name)
+
+    def _vjob_of_vm(self) -> dict[str, str]:
+        mapping: dict[str, str] = {}
+        for workload in self.workloads:
+            for vm in workload.vjob.vm_names:
+                mapping[vm] = workload.vjob.name
+        return mapping
+
+    # ------------------------------------------------------------------ #
+    # state synchronisation                                               #
+    # ------------------------------------------------------------------ #
+
+    def _sync_vjob_states(self) -> None:
+        """Align the life-cycle state of every submitted vjob with the state
+        of its VMs in the cluster configuration."""
+        configuration = self.cluster.configuration
+        for vjob in self.queue.ordered():
+            if vjob.is_terminated:
+                continue
+            states = {configuration.state_of(vm) for vm in vjob.vm_names}
+            if states == {VMState.TERMINATED}:
+                vjob.state = VJobState.TERMINATED
+            elif VMState.RUNNING in states:
+                vjob.state = VJobState.RUNNING
+            elif VMState.SLEEPING in states:
+                vjob.state = VJobState.SLEEPING
+            else:
+                vjob.state = VJobState.WAITING
+
+    def _mark_finished_vjobs(self, now: float, result: RunResult) -> None:
+        """Vjobs whose traces are exhausted signal the loop to stop them."""
+        for workload in self.workloads:
+            vjob = workload.vjob
+            if vjob.is_terminated or vjob.name not in self._submitted:
+                continue
+            if vjob.state is VJobState.RUNNING and workload.is_finished(
+                self.progress[vjob.name]
+            ):
+                vjob.terminate()
+                result.completion_times.setdefault(vjob.name, now)
+                self._notify("on_vjob_completed", vjob.name, now)
+
+    # ------------------------------------------------------------------ #
+    # main loop                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunResult:
+        result = RunResult(makespan=0.0, policy=self.policy_name)
+        now = 0.0
+        vjob_of_vm = self._vjob_of_vm()
+        planning_failures = 0
+        consecutive_failures = 0
+        self._notify("on_run_start", self)
+
+        while now < self.max_time:
+            self._submit_pending(now)
+
+            # (i) observe
+            observation = self.monitoring.observe(now, self.cluster.configuration)
+            for vm_name, demand in observation.cpu_demands.items():
+                self.cluster.update_demand(vm_name, demand)
+            self._notify("on_iteration", now, self.cluster.configuration)
+
+            # finished applications ask the loop to stop their vjob
+            self._mark_finished_vjobs(now, result)
+
+            if self.queue.all_terminated() and len(self._submitted) == len(
+                self.workloads
+            ):
+                break
+
+            # (ii) decide
+            decision = self.decision_module.decide(
+                self.cluster.configuration, self.queue, observation.cpu_demands
+            )
+            self._notify("on_decision", now, decision)
+
+            # (iii) plan and (iv) execute if something must change
+            switch_duration = 0.0
+            involved_nodes: set[str] = set()
+            report = None
+            if needs_switch(self.cluster.configuration, decision):
+                try:
+                    report = self._plan(decision, vjob_of_vm)
+                except PlanningError:
+                    # Planning can fail transiently (e.g. a migration cycle
+                    # with no pivot node on a packed cluster).  Keep the
+                    # current configuration for this round — the next
+                    # iteration observes fresh demands and retries.
+                    planning_failures += 1
+                    report = self._fallback_plan(decision, vjob_of_vm)
+                if report is not None:
+                    consecutive_failures = 0
+                else:
+                    consecutive_failures += 1
+                    if (
+                        consecutive_failures
+                        >= self.max_consecutive_planning_failures
+                    ):
+                        # The decision is permanently unplannable: fail
+                        # loudly instead of spinning until max_time and
+                        # returning plausible-looking garbage.
+                        raise PlanningError(
+                            f"policy {self.policy_name!r} produced "
+                            f"{consecutive_failures} consecutive unplannable "
+                            f"decisions (last at simulated time {now:.0f}s); "
+                            "the scenario cannot make progress"
+                        )
+            else:
+                # No switch needed is progress too: a transient failure
+                # followed by a satisfied decision must not count towards
+                # the consecutive-failure abort.
+                consecutive_failures = 0
+            if report is not None:
+                execution = self.executor.execute(
+                    report.plan, self.cluster, start_time=now
+                )
+                switch_duration = execution.duration
+                involved_nodes = execution.involved_nodes()
+                record = self._record_switch(now, report, execution)
+                result.switches.append(record)
+                self._notify("on_switch", record, report)
+                self.monitoring.notify_reconfiguration(now + switch_duration)
+                self._sync_vjob_states()
+
+            # sample utilization after the switch
+            sample = self._sample(now)
+            result.utilization.append(sample)
+            self._notify("on_sample", sample)
+
+            # advance simulated time and the progress of the running vjobs
+            step = max(self.period, switch_duration)
+            self._advance_progress(step, switch_duration, involved_nodes)
+            now += step
+
+        result.makespan = (
+            max(result.completion_times.values()) if result.completion_times else now
+        )
+        result.metadata["final_viable"] = self.cluster.configuration.is_viable()
+        result.metadata["simulated_time"] = now
+        result.metadata["planning_failures"] = planning_failures
+        self._notify("on_run_end", result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _notify(self, hook: str, *payload: Any) -> None:
+        for observer in self.observers:
+            getattr(observer, hook)(*payload)
+
+    def _plan(self, decision: Decision, vjob_of_vm: Mapping[str, str]):
+        """Plan the switch: towards the policy's explicit target when it
+        computed one, through the optimizer otherwise."""
+        if decision.target is not None:
+            return self.switcher.plan_to(
+                self.cluster.configuration, decision.target, vjob_of_vm
+            )
+        if not self.switcher.use_optimizer and decision.fallback_target is None:
+            raise ValueError(
+                "use_optimizer=False needs the policy to supply an explicit "
+                f"target or fallback placement, but {self.policy_name!r} "
+                "returned neither — use a policy with a fallback (e.g. "
+                "'consolidation' or 'ffd') or enable the optimizer"
+            )
+        return self.switcher.compute(
+            self.cluster.configuration,
+            decision.vm_states,
+            vjob_of_vm=vjob_of_vm,
+            fallback_target=decision.fallback_target,
+        )
+
+    def _fallback_plan(self, decision: Decision, vjob_of_vm: Mapping[str, str]):
+        """Last-resort plan towards the decision's fallback target; ``None``
+        when there is no fallback or it cannot be planned either."""
+        if decision.fallback_target is None or decision.target is not None:
+            return None
+        try:
+            report = self.switcher.plan_to(
+                self.cluster.configuration, decision.fallback_target, vjob_of_vm
+            )
+        except PlanningError:
+            return None
+        # plan_to() does not know it planned a fallback; flag it so the
+        # RunResult fallback statistics stay truthful.
+        report.used_fallback = True
+        return report
+
+    def _record_switch(self, now, report, execution) -> ContextSwitchRecord:
+        from ..core.actions import ActionKind, Resume
+
+        local_resumes = sum(
+            1
+            for item in execution.actions
+            if isinstance(item.action, Resume) and item.action.is_local
+        )
+        return ContextSwitchRecord(
+            time=now,
+            cost=plan_cost(report.plan).total,
+            duration=execution.duration,
+            migrations=execution.count(ActionKind.MIGRATE),
+            runs=execution.count(ActionKind.RUN),
+            stops=execution.count(ActionKind.STOP),
+            suspends=execution.count(ActionKind.SUSPEND),
+            resumes=execution.count(ActionKind.RESUME),
+            local_resumes=local_resumes,
+            used_fallback=report.used_fallback,
+        )
+
+    def _sample(self, now: float) -> UtilizationSample:
+        configuration = self.cluster.configuration
+        capacity = configuration.total_capacity()
+        usage = configuration.total_usage()
+        demand_units = 0
+        for workload in self.workloads:
+            vjob = workload.vjob
+            if vjob.name not in self._submitted or vjob.is_terminated:
+                continue
+            progress = self.progress[vjob.name]
+            demand_units += sum(
+                trace.demand_at(progress) for trace in workload.traces.values()
+            )
+        return UtilizationSample(
+            time=now,
+            cpu_demand_units=demand_units,
+            cpu_used_units=usage.cpu,
+            cpu_capacity_units=capacity.cpu,
+            memory_used_mb=usage.memory,
+        )
+
+    def _advance_progress(
+        self, step: float, switch_duration: float, involved_nodes: set[str]
+    ) -> None:
+        """Advance the execution of the running vjobs by ``step`` seconds.
+
+        Running VMs hosted on nodes touched by the context switch are slowed
+        down during the switch window (Section 2.3 measured a 1.3-1.5x factor);
+        the remaining part of the interval progresses at full speed.
+        """
+        configuration = self.cluster.configuration
+        factor = config.INTERFERENCE_FACTOR_LOCAL
+        for workload in self.workloads:
+            vjob = workload.vjob
+            if vjob.state is not VJobState.RUNNING:
+                continue
+            slowed = False
+            if switch_duration > 0 and involved_nodes:
+                for vm_name in vjob.vm_names:
+                    if configuration.location_of(vm_name) in involved_nodes:
+                        slowed = True
+                        break
+            if slowed:
+                effective = (step - switch_duration) + switch_duration / factor
+            else:
+                effective = step
+            self.progress[vjob.name] += effective

@@ -1,0 +1,93 @@
+"""Structured results shared by every control-loop run.
+
+One :class:`RunResult` is produced per scenario run regardless of the policy
+driving the loop, so benchmarks, examples and tests compare strategies
+without policy-specific plumbing: the Figure 11 context-switch records, the
+Figure 13 utilization samples, the per-vjob completion times and the headline
+makespan all live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ContextSwitchRecord:
+    """One cluster-wide context switch performed during a run (Figure 11)."""
+
+    time: float
+    cost: int
+    duration: float
+    migrations: int
+    runs: int
+    stops: int
+    suspends: int
+    resumes: int
+    local_resumes: int
+    used_fallback: bool = False
+
+    @property
+    def action_count(self) -> int:
+        return self.migrations + self.runs + self.stops + self.suspends + self.resumes
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One point of the Figure 13 utilization curves."""
+
+    time: float
+    cpu_demand_units: int
+    cpu_used_units: int
+    cpu_capacity_units: int
+    memory_used_mb: int
+
+    @property
+    def cpu_fraction(self) -> float:
+        if self.cpu_capacity_units == 0:
+            return 0.0
+        return self.cpu_used_units / self.cpu_capacity_units
+
+    @property
+    def cpu_demand_fraction(self) -> float:
+        """Demanded CPU over capacity; can exceed 1 on an overloaded cluster,
+        like the 29/22 peak of Section 5.2."""
+        if self.cpu_capacity_units == 0:
+            return 0.0
+        return self.cpu_demand_units / self.cpu_capacity_units
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one control-loop run.
+
+    ``policy`` names the decision module that drove the run (its registry
+    key when available); ``metadata`` carries run-level extras such as the
+    viability of the final configuration.
+    """
+
+    makespan: float = 0.0
+    policy: str = ""
+    switches: list[ContextSwitchRecord] = field(default_factory=list)
+    utilization: list[UtilizationSample] = field(default_factory=list)
+    completion_times: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def average_switch_duration(self) -> float:
+        significant = [s.duration for s in self.switches if s.action_count]
+        if not significant:
+            return 0.0
+        return sum(significant) / len(significant)
+
+    @property
+    def switch_count(self) -> int:
+        return sum(1 for s in self.switches if s.action_count)
+
+    @property
+    def total_switch_cost(self) -> int:
+        return sum(s.cost for s in self.switches)
+
+    def completed(self, name: str) -> bool:
+        return name in self.completion_times

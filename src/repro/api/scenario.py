@@ -1,0 +1,246 @@
+"""The ``Scenario`` / ``ExperimentBuilder`` facade over the control loop.
+
+A :class:`Scenario` is a declarative description of one experiment — the
+cluster, the workloads, the decision policy (by registry name or instance)
+and the loop parameters.  It replaces hand-constructed loop wiring::
+
+    from repro import Scenario
+
+    result = Scenario(nodes=nodes, workloads=workloads, policy="consolidation").run()
+
+The same scenario runs unmodified under any registered policy
+(:meth:`Scenario.with_policy`, :meth:`Scenario.compare`), and
+:meth:`Scenario.run_static` executes the analytic FCFS + static-allocation
+baseline of Section 5.2 on the identical workload for head-to-head
+comparisons.  :class:`ExperimentBuilder` is the fluent spelling of the same
+facade for incremental construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Sequence
+
+from .. import config
+from ..model.node import Node
+from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
+from ..workloads.traces import VJobWorkload
+from .events import LoopObserver
+from .loop import ControlLoop, PolicyLike, policy_label
+from .results import RunResult
+
+
+@dataclass
+class Scenario:
+    """A declarative experiment: cluster + workloads + policy + loop knobs."""
+
+    nodes: Sequence[Node] = ()
+    workloads: Sequence[VJobWorkload] = ()
+    policy: PolicyLike = "consolidation"
+    policy_options: dict[str, Any] = field(default_factory=dict)
+    period: float = config.DECISION_PERIOD_S
+    optimizer_timeout: float = 10.0
+    use_optimizer: bool = True
+    hypervisor: HypervisorModel = DEFAULT_HYPERVISOR
+    monitoring_delay: float = config.MONITORING_DELAY_S
+    max_time: float = 24 * 3600.0
+    max_consecutive_planning_failures: int = 25
+    observers: list[LoopObserver] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.nodes = list(self.nodes)
+        self.workloads = list(self.workloads)
+        if not self.nodes:
+            raise ValueError("a scenario needs at least one node")
+
+    # ------------------------------------------------------------------ #
+    # construction helpers                                                #
+    # ------------------------------------------------------------------ #
+
+    def with_policy(self, policy: PolicyLike, **options: Any) -> "Scenario":
+        """A copy of this scenario driven by another decision policy."""
+        return replace(
+            self,
+            policy=policy,
+            policy_options=dict(options),
+            observers=list(self.observers),
+        )
+
+    def observe(self, observer: LoopObserver) -> "Scenario":
+        """Attach an observer (returns ``self`` for chaining)."""
+        self.observers.append(observer)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> ControlLoop:
+        """Wire the control loop for this scenario without running it.
+
+        Use this when the experiment needs access to the live simulation
+        state (queue, cluster configuration) after the run.
+        """
+        # Workloads carry mutable vjob state; fresh vjobs per build would
+        # require deep-copying traces, so one scenario instance should be
+        # rebuilt from fresh workloads for truly independent repetitions.
+        return ControlLoop(
+            nodes=self.nodes,
+            workloads=self.workloads,
+            policy=self.policy,
+            policy_options=self.policy_options,
+            period=self.period,
+            optimizer_timeout=self.optimizer_timeout,
+            use_optimizer=self.use_optimizer,
+            hypervisor=self.hypervisor,
+            monitoring_delay=self.monitoring_delay,
+            max_time=self.max_time,
+            observers=self.observers,
+            max_consecutive_planning_failures=(
+                self.max_consecutive_planning_failures
+            ),
+        )
+
+    def run(self) -> RunResult:
+        """Build the loop and run the scenario to completion."""
+        return self.build().run()
+
+    def run_static(self, backfilling: Optional[str] = None) -> RunResult:
+        """Run the analytic FCFS + static-allocation baseline (Section 5.2)
+        on the same cluster and workloads.
+
+        When ``backfilling`` is not given and this scenario's policy is the
+        loop's ``"fcfs"`` module, the baseline uses the *same* backfilling
+        setting as that module, so head-to-head comparisons measure the
+        static-vs-loop distinction rather than mismatched backfilling
+        defaults; otherwise the paper's EASY default applies.
+        """
+        from ..entropy.static import StaticAllocationSimulator
+
+        if backfilling is None:
+            if policy_label(self.policy) == "fcfs":
+                if isinstance(self.policy, str):
+                    from ..decision.fcfs import FCFSDecisionModule
+
+                    backfilling = self.policy_options.get(
+                        "backfilling", FCFSDecisionModule().backfilling
+                    )
+                else:
+                    backfilling = getattr(self.policy, "backfilling", "easy")
+            else:
+                backfilling = "easy"
+        return StaticAllocationSimulator(
+            self.nodes, self.workloads, backfilling=backfilling
+        ).run()
+
+    def compare(
+        self,
+        policies: Sequence[PolicyLike],
+        workload_factory=None,
+    ) -> dict[str, RunResult]:
+        """Run this scenario once per policy and key the results by policy.
+
+        Vjob state is mutated by a run, so comparing policies on the *same*
+        workload objects needs a ``workload_factory`` — a zero-argument
+        callable returning fresh workloads for each run.  Without one, the
+        scenario's own workloads are reused and a second run would observe
+        terminated vjobs; a ``ValueError`` keeps that mistake loud.
+        """
+        if workload_factory is None and len(policies) > 1:
+            raise ValueError(
+                "comparing several policies mutates vjob state; pass "
+                "workload_factory=lambda: <fresh workloads> so each run "
+                "starts from pristine vjobs"
+            )
+        labels = [policy_label(policy) for policy in policies]
+        if len(set(labels)) != len(labels):
+            raise ValueError(
+                f"policies must have distinct labels, got {labels}; results "
+                "are keyed by label, so duplicates would silently overwrite "
+                "each other — give custom modules distinct `name` attributes"
+            )
+        results: dict[str, RunResult] = {}
+        for policy in policies:
+            if policy == self.policy:
+                # Keep the scenario's own options for its configured policy.
+                scenario = self.with_policy(policy, **self.policy_options)
+            else:
+                scenario = self.with_policy(policy)
+            if workload_factory is not None:
+                scenario.workloads = list(workload_factory())
+            results[policy_label(policy)] = scenario.run()
+        return results
+
+
+class ExperimentBuilder:
+    """Fluent builder for :class:`Scenario`.
+
+    Example::
+
+        result = (
+            ExperimentBuilder()
+            .nodes(make_working_nodes(4, cpu_capacity=2, memory_capacity=3584))
+            .workloads(workloads)
+            .policy("fcfs", backfilling="none")
+            .optimizer_timeout(2.0)
+            .observe(RecordingObserver())
+            .run()
+        )
+    """
+
+    def __init__(self) -> None:
+        # Only explicitly-set overrides are stored; Scenario owns every
+        # default, so the two construction paths cannot drift apart.
+        self._overrides: dict[str, Any] = {}
+        self._observers: list[LoopObserver] = []
+
+    def nodes(self, nodes: Sequence[Node]) -> "ExperimentBuilder":
+        self._overrides["nodes"] = nodes
+        return self
+
+    def workloads(self, workloads: Sequence[VJobWorkload]) -> "ExperimentBuilder":
+        self._overrides["workloads"] = workloads
+        return self
+
+    def policy(self, policy: PolicyLike, **options: Any) -> "ExperimentBuilder":
+        self._overrides["policy"] = policy
+        self._overrides["policy_options"] = dict(options)
+        return self
+
+    def period(self, seconds: float) -> "ExperimentBuilder":
+        self._overrides["period"] = seconds
+        return self
+
+    def optimizer_timeout(self, seconds: float) -> "ExperimentBuilder":
+        self._overrides["optimizer_timeout"] = seconds
+        return self
+
+    def use_optimizer(self, enabled: bool) -> "ExperimentBuilder":
+        self._overrides["use_optimizer"] = enabled
+        return self
+
+    def hypervisor(self, model: HypervisorModel) -> "ExperimentBuilder":
+        self._overrides["hypervisor"] = model
+        return self
+
+    def monitoring_delay(self, seconds: float) -> "ExperimentBuilder":
+        self._overrides["monitoring_delay"] = seconds
+        return self
+
+    def max_time(self, seconds: float) -> "ExperimentBuilder":
+        self._overrides["max_time"] = seconds
+        return self
+
+    def max_consecutive_planning_failures(self, count: int) -> "ExperimentBuilder":
+        self._overrides["max_consecutive_planning_failures"] = count
+        return self
+
+    def observe(self, observer: LoopObserver) -> "ExperimentBuilder":
+        self._observers.append(observer)
+        return self
+
+    def build(self) -> Scenario:
+        return Scenario(observers=list(self._observers), **self._overrides)
+
+    def run(self) -> RunResult:
+        return self.build().run()

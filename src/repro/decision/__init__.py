@@ -1,20 +1,42 @@
-"""Decision modules: placement heuristics and scheduling policies."""
+"""Decision modules: placement heuristics and scheduling policies.
 
-from .consolidation import ConsolidationDecisionModule, Decision
-from .fcfs import BatchJob, FCFSScheduler, JobAllocation, Schedule
-from .ffd import ffd_order, ffd_place, ffd_target_configuration
-from .rjsp import RJSPResult, select_running_vjobs
+Every policy implements the :class:`repro.api.DecisionModule` protocol and is
+published in the registry (:mod:`repro.api.registry`) under its ``name``:
+``"consolidation"``, ``"fcfs"``, ``"ffd"`` and ``"rjsp"``.
+"""
+
+from ..api.decision import Decision
+from .consolidation import ConsolidationDecisionModule
+from .fcfs import (
+    BatchJob,
+    FCFSDecisionModule,
+    FCFSScheduler,
+    JobAllocation,
+    Schedule,
+)
+from .ffd import (
+    FFDDecisionModule,
+    ffd_commit,
+    ffd_order,
+    ffd_place,
+    ffd_target_configuration,
+)
+from .rjsp import RJSPDecisionModule, RJSPResult, select_running_vjobs
 
 __all__ = [
     "ConsolidationDecisionModule",
     "Decision",
     "BatchJob",
+    "FCFSDecisionModule",
     "FCFSScheduler",
     "JobAllocation",
     "Schedule",
+    "FFDDecisionModule",
+    "ffd_commit",
     "ffd_order",
     "ffd_place",
     "ffd_target_configuration",
+    "RJSPDecisionModule",
     "RJSPResult",
     "select_running_vjobs",
 ]

@@ -8,39 +8,28 @@ sleep or keep waiting.  Compared to classic dynamic consolidation it also
 handles *overloaded* clusters: when no viable assignment exists for every
 running vjob, the lowest-priority ones are suspended instead of letting nodes
 stay overloaded.
+
+Registered as ``"consolidation"`` in :mod:`repro.api.registry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
+from ..api.decision import Decision, stop_terminated_vms
 from ..model.configuration import Configuration
 from ..model.queue import VJobQueue
-from ..model.vjob import VJobState, index_vms_by_vjob
-from ..model.vm import VMState
+from ..model.vjob import index_vms_by_vjob
 from .ffd import ffd_target_configuration
-from .rjsp import RJSPResult, select_running_vjobs
+from .rjsp import select_running_vjobs
 
-
-@dataclass
-class Decision:
-    """What the decision module wants the next configuration to look like."""
-
-    vm_states: dict[str, VMState] = field(default_factory=dict)
-    vjob_states: dict[str, VJobState] = field(default_factory=dict)
-    rjsp: Optional[RJSPResult] = None
-    #: Fallback target configuration computed with FFD (used when the CP
-    #: search cannot produce an assignment in time).
-    fallback_target: Optional[Configuration] = None
-
-    @property
-    def is_noop(self) -> bool:
-        return not self.vm_states
+__all__ = ["ConsolidationDecisionModule", "Decision"]
 
 
 class ConsolidationDecisionModule:
     """FCFS-driven dynamic consolidation (the paper's sample policy)."""
+
+    name = "consolidation"
 
     def __init__(self, period: float = 30.0) -> None:
         #: Decision period in seconds (Section 3.2 uses 30 s).
@@ -57,19 +46,14 @@ class ConsolidationDecisionModule:
         vm_states = dict(rjsp.vm_states)
 
         # Terminated vjobs: make sure their VMs are stopped.
-        for vjob in queue.terminated():
-            for vm in vjob.vms:
-                if configuration.has_vm(vm.name) and configuration.state_of(
-                    vm.name
-                ) is VMState.RUNNING:
-                    vm_states[vm.name] = VMState.TERMINATED
+        stop_terminated_vms(configuration, queue, vm_states)
 
         fallback = ffd_target_configuration(configuration, vm_states)
         return Decision(
             vm_states=vm_states,
             vjob_states=dict(rjsp.vjob_states),
-            rjsp=rjsp,
             fallback_target=fallback,
+            metadata={"rjsp": rjsp},
         )
 
     @staticmethod

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
+from ..api.decision import Decision, stop_terminated_vms
 from ..model.configuration import Configuration
+from ..model.queue import VJobQueue
 from ..model.vm import VirtualMachine, VMState
 
 
@@ -56,6 +58,25 @@ def ffd_place(
             trial.add_vm(vm)
             trial.set_running(vm.name, chosen)
         placement[vm.name] = chosen
+    return placement
+
+
+def ffd_commit(
+    trial: Configuration, vms: Sequence[VirtualMachine]
+) -> Optional[dict[str, str]]:
+    """Place ``vms`` on ``trial`` with FFD and commit them as running.
+
+    The shared place-then-commit step of the trial packings (RJSP feasibility
+    test, FCFS admission).  Returns the placement, or ``None`` — with
+    ``trial`` untouched — when at least one VM cannot be placed.
+    """
+    placement = ffd_place(trial, vms)
+    if placement is None:
+        return None
+    for vm in vms:
+        if not trial.has_vm(vm.name):
+            trial.add_vm(vm)
+        trial.set_running(vm.name, placement[vm.name])
     return placement
 
 
@@ -101,3 +122,38 @@ def ffd_target_configuration(
         else:
             target.set_waiting(name)
     return target
+
+
+class FFDDecisionModule:
+    """The First-Fit-Decreasing replacement planner as a pluggable policy.
+
+    The Section 5.1 baseline: vjobs are selected exactly like the sample
+    consolidation policy (the RJSP), but the target configuration is the
+    first viable placement FFD finds when packing from scratch — without
+    trying to keep VMs where they are — so the resulting reconfiguration
+    plans are on average ~95 % more expensive than the CP optimizer's.  The
+    explicit :attr:`~repro.api.decision.Decision.target` short-circuits the
+    optimizer in the control loop.  Registered as ``"ffd"``.
+    """
+
+    name = "ffd"
+
+    def decide(
+        self,
+        configuration: Configuration,
+        queue: VJobQueue,
+        demands: Optional[dict[str, int]] = None,
+    ) -> Decision:
+        # Imported here: rjsp imports helpers from this module.
+        from .rjsp import select_running_vjobs
+
+        rjsp = select_running_vjobs(configuration, queue, demands)
+        vm_states = dict(rjsp.vm_states)
+        stop_terminated_vms(configuration, queue, vm_states)
+        target = ffd_target_configuration(configuration, vm_states)
+        return Decision(
+            vm_states=vm_states,
+            vjob_states=dict(rjsp.vjob_states),
+            target=target,
+            metadata={"rjsp": rjsp},
+        )

@@ -15,12 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..api.decision import Decision, empty_configuration, stop_terminated_vms
 from ..model.configuration import Configuration
-from ..model.node import Node
 from ..model.queue import VJobQueue
 from ..model.vjob import VJob, VJobState
 from ..model.vm import VMState
-from .ffd import ffd_place
+from .ffd import ffd_commit
 
 
 @dataclass
@@ -45,21 +45,6 @@ class RJSPResult:
         return len(self.accepted)
 
 
-def _empty_cluster(configuration: Configuration) -> Configuration:
-    """A copy of the configuration with every VM parked out of the nodes, so
-    the packing trial starts from free nodes."""
-    trial = Configuration(nodes=[
-        Node(
-            name=node.name,
-            cpu_capacity=node.cpu_capacity,
-            memory_capacity=node.memory_capacity,
-            role=node.role,
-        )
-        for node in configuration.nodes
-    ])
-    return trial
-
-
 def select_running_vjobs(
     configuration: Configuration,
     queue: VJobQueue,
@@ -79,7 +64,7 @@ def select_running_vjobs(
         monitoring service.
     """
     result = RJSPResult()
-    trial = _empty_cluster(configuration)
+    trial = empty_configuration(configuration)
 
     for vjob in queue.pending():
         vms = []
@@ -91,13 +76,8 @@ def select_running_vjobs(
                 observed = observed.with_cpu_demand(demands[vm.name])
             vms.append(observed)
 
-        placement = ffd_place(trial, vms)
+        placement = ffd_commit(trial, vms)
         if placement is not None:
-            # The vjob fits: commit its VMs to the trial configuration.
-            for vm in vms:
-                if not trial.has_vm(vm.name):
-                    trial.add_vm(vm)
-                trial.set_running(vm.name, placement[vm.name])
             result.accepted.append(vjob.name)
             result.vjob_states[vjob.name] = VJobState.RUNNING
             for vm in vms:
@@ -122,3 +102,32 @@ def _rejection_state(vjob: VJob) -> VJobState:
     if vjob.state in (VJobState.RUNNING, VJobState.SLEEPING):
         return VJobState.SLEEPING
     return VJobState.WAITING
+
+
+class RJSPDecisionModule:
+    """Pure Running Job Selection as a pluggable policy.
+
+    A thin adapter over :func:`select_running_vjobs`: the maximum
+    prefix-respecting set of vjobs runs, the rest sleeps or waits, and the CP
+    optimizer alone chooses the placement (no FFD fallback, so an exhausted
+    time budget raises instead of degrading to an expensive plan).  Useful to
+    isolate the contribution of the fallback in ablations.  Registered as
+    ``"rjsp"``.
+    """
+
+    name = "rjsp"
+
+    def decide(
+        self,
+        configuration: Configuration,
+        queue: VJobQueue,
+        demands: Optional[dict[str, int]] = None,
+    ) -> Decision:
+        rjsp = select_running_vjobs(configuration, queue, demands)
+        vm_states = dict(rjsp.vm_states)
+        stop_terminated_vms(configuration, queue, vm_states)
+        return Decision(
+            vm_states=vm_states,
+            vjob_states=dict(rjsp.vjob_states),
+            metadata={"rjsp": rjsp},
+        )

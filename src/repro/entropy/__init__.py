@@ -1,8 +1,14 @@
-"""The Entropy control loop and the static-allocation baseline."""
+"""The Entropy control loop and the static-allocation baseline.
+
+The loop itself now lives in :mod:`repro.api`; this package keeps the
+historical entry points (:class:`EntropySimulation`, the consolidation-driven
+loop) and the analytic FCFS baseline (:class:`StaticAllocationSimulator`).
+"""
 
 from .loop import (
     ContextSwitchRecord,
     EntropySimulation,
+    RunResult,
     SimulationResult,
     UtilizationSample,
 )
@@ -11,6 +17,7 @@ from .static import StaticAllocationSimulator, StaticRunResult
 __all__ = [
     "ContextSwitchRecord",
     "EntropySimulation",
+    "RunResult",
     "SimulationResult",
     "UtilizationSample",
     "StaticAllocationSimulator",

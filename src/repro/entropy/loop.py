@@ -1,105 +1,48 @@
 """The Entropy control loop (Section 3.1) driving the simulated cluster.
 
-Entropy iterates: (i) observe the CPU and memory consumption of the running
-VMs through the monitoring service, (ii) run the decision module to compute
-the vjob states of the next iteration, (iii) plan the cluster-wide context
-switch towards a cheap viable configuration, and (iv) execute it with the
-drivers.  The loop then waits for the monitoring information to refresh before
-iterating again.
+The loop implementation now lives in :mod:`repro.api.loop` as the
+policy-agnostic :class:`~repro.api.loop.ControlLoop`; this module keeps the
+historical entry point: :class:`EntropySimulation` is the loop wired to the
+paper's sample policy (dynamic consolidation, Section 3.2), producing the
+data behind Figures 11 and 13 and the 150-minute completion time of
+Section 5.2.
 
-:class:`EntropySimulation` runs that loop in simulated time against the
-:mod:`repro.sim` substrate and the NASGrid-like workloads, producing the data
-behind Figures 11 and 13 and the 150-minute completion time of Section 5.2.
+New code should prefer the :class:`~repro.api.scenario.Scenario` facade::
+
+    from repro import Scenario
+
+    result = Scenario(nodes=nodes, workloads=workloads, policy="consolidation").run()
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from .. import config
-from ..core.context_switch import ClusterContextSwitch
-from ..core.cost import plan_cost
-from ..decision.consolidation import ConsolidationDecisionModule, Decision
+from ..api.loop import ControlLoop
+from ..api.results import ContextSwitchRecord, RunResult, UtilizationSample
 from ..model.node import Node
-from ..model.queue import VJobQueue
-from ..model.vjob import VJob, VJobState
-from ..model.vm import VMState
-from ..sim.cluster import SimulatedCluster
-from ..sim.executor import PlanExecutor
 from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
-from ..sim.monitoring import MonitoringService
 from ..workloads.traces import VJobWorkload
 
+#: Historical name of the structured run result.
+SimulationResult = RunResult
 
-@dataclass(frozen=True)
-class ContextSwitchRecord:
-    """One cluster-wide context switch performed during a run (Figure 11)."""
-
-    time: float
-    cost: int
-    duration: float
-    migrations: int
-    runs: int
-    stops: int
-    suspends: int
-    resumes: int
-    local_resumes: int
-    used_fallback: bool = False
-
-    @property
-    def action_count(self) -> int:
-        return self.migrations + self.runs + self.stops + self.suspends + self.resumes
+__all__ = [
+    "ContextSwitchRecord",
+    "EntropySimulation",
+    "RunResult",
+    "SimulationResult",
+    "UtilizationSample",
+]
 
 
-@dataclass(frozen=True)
-class UtilizationSample:
-    """One point of the Figure 13 utilization curves."""
+class EntropySimulation(ControlLoop):
+    """The control loop driven by the dynamic-consolidation policy.
 
-    time: float
-    cpu_demand_units: int
-    cpu_used_units: int
-    cpu_capacity_units: int
-    memory_used_mb: int
-
-    @property
-    def cpu_fraction(self) -> float:
-        if self.cpu_capacity_units == 0:
-            return 0.0
-        return self.cpu_used_units / self.cpu_capacity_units
-
-    @property
-    def cpu_demand_fraction(self) -> float:
-        """Demanded CPU over capacity; can exceed 1 on an overloaded cluster,
-        like the 29/22 peak of Section 5.2."""
-        if self.cpu_capacity_units == 0:
-            return 0.0
-        return self.cpu_demand_units / self.cpu_capacity_units
-
-
-@dataclass
-class SimulationResult:
-    """Everything measured during one Entropy run."""
-
-    makespan: float
-    switches: list[ContextSwitchRecord] = field(default_factory=list)
-    utilization: list[UtilizationSample] = field(default_factory=list)
-    completion_times: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def average_switch_duration(self) -> float:
-        significant = [s.duration for s in self.switches if s.action_count]
-        if not significant:
-            return 0.0
-        return sum(significant) / len(significant)
-
-    @property
-    def switch_count(self) -> int:
-        return sum(1 for s in self.switches if s.action_count)
-
-
-class EntropySimulation:
-    """Simulate the Entropy loop over a set of NASGrid-like vjobs."""
+    Kept for backward compatibility with the original hard-wired API; it is
+    exactly ``ControlLoop(policy="consolidation")``.
+    """
 
     def __init__(
         self,
@@ -112,236 +55,15 @@ class EntropySimulation:
         monitoring_delay: float = config.MONITORING_DELAY_S,
         max_time: float = 24 * 3600.0,
     ) -> None:
-        self.workloads = list(workloads)
-        self.period = period
-        self.max_time = max_time
-        self.hypervisor = hypervisor
-
-        self.cluster = SimulatedCluster(nodes=nodes)
-        self.queue = VJobQueue()
-        self.progress: dict[str, float] = {}
-        self._submitted: set[str] = set()
-
-        for workload in self.workloads:
-            self.progress[workload.vjob.name] = 0.0
-            for vm in workload.vjob.vms:
-                self.cluster.add_vm(vm)
-
-        self.decision_module = ConsolidationDecisionModule(period=period)
-        self.switcher = ClusterContextSwitch(
-            optimizer_timeout=optimizer_timeout, use_optimizer=use_optimizer
+        super().__init__(
+            nodes=nodes,
+            workloads=workloads,
+            policy="consolidation",
+            policy_options={"period": period},
+            period=period,
+            optimizer_timeout=optimizer_timeout,
+            use_optimizer=use_optimizer,
+            hypervisor=hypervisor,
+            monitoring_delay=monitoring_delay,
+            max_time=max_time,
         )
-        self.executor = PlanExecutor(hypervisor=hypervisor)
-        self.monitoring = MonitoringService(
-            demand_source=self._demand_source, refresh_delay=monitoring_delay
-        )
-
-    # ------------------------------------------------------------------ #
-    # workload plumbing                                                   #
-    # ------------------------------------------------------------------ #
-
-    def _workload(self, vjob_name: str) -> VJobWorkload:
-        for workload in self.workloads:
-            if workload.vjob.name == vjob_name:
-                return workload
-        raise KeyError(vjob_name)
-
-    def _demand_source(self, _time: float) -> dict[str, int]:
-        """Current CPU demand of every VM, derived from the vjob progress."""
-        demands: dict[str, int] = {}
-        for workload in self.workloads:
-            progress = self.progress[workload.vjob.name]
-            for vm_name, trace in workload.traces.items():
-                demands[vm_name] = trace.demand_at(progress)
-        return demands
-
-    def _submit_pending(self, now: float) -> None:
-        for workload in self.workloads:
-            vjob = workload.vjob
-            if vjob.name not in self._submitted and vjob.submitted_at <= now:
-                self.queue.submit(vjob)
-                self._submitted.add(vjob.name)
-
-    def _vjob_of_vm(self) -> dict[str, str]:
-        mapping: dict[str, str] = {}
-        for workload in self.workloads:
-            for vm in workload.vjob.vm_names:
-                mapping[vm] = workload.vjob.name
-        return mapping
-
-    # ------------------------------------------------------------------ #
-    # state synchronisation                                               #
-    # ------------------------------------------------------------------ #
-
-    def _sync_vjob_states(self) -> None:
-        """Align the life-cycle state of every submitted vjob with the state
-        of its VMs in the cluster configuration."""
-        configuration = self.cluster.configuration
-        for vjob in self.queue.ordered():
-            if vjob.is_terminated:
-                continue
-            states = {configuration.state_of(vm) for vm in vjob.vm_names}
-            if states == {VMState.TERMINATED}:
-                vjob.state = VJobState.TERMINATED
-            elif VMState.RUNNING in states:
-                vjob.state = VJobState.RUNNING
-            elif VMState.SLEEPING in states:
-                vjob.state = VJobState.SLEEPING
-            else:
-                vjob.state = VJobState.WAITING
-
-    def _mark_finished_vjobs(self, now: float, result: SimulationResult) -> None:
-        """Vjobs whose traces are exhausted signal Entropy to stop them."""
-        for workload in self.workloads:
-            vjob = workload.vjob
-            if vjob.is_terminated or vjob.name not in self._submitted:
-                continue
-            if vjob.state is VJobState.RUNNING and workload.is_finished(
-                self.progress[vjob.name]
-            ):
-                vjob.terminate()
-                result.completion_times.setdefault(vjob.name, now)
-
-    # ------------------------------------------------------------------ #
-    # main loop                                                           #
-    # ------------------------------------------------------------------ #
-
-    def run(self) -> SimulationResult:
-        result = SimulationResult(makespan=0.0)
-        now = 0.0
-        vjob_of_vm = self._vjob_of_vm()
-
-        while now < self.max_time:
-            self._submit_pending(now)
-
-            # (i) observe
-            observation = self.monitoring.observe(now, self.cluster.configuration)
-            for vm_name, demand in observation.cpu_demands.items():
-                self.cluster.update_demand(vm_name, demand)
-
-            # finished applications ask Entropy to stop their vjob
-            self._mark_finished_vjobs(now, result)
-
-            if self.queue.all_terminated() and len(self._submitted) == len(
-                self.workloads
-            ):
-                break
-
-            # (ii) decide
-            decision = self.decision_module.decide(
-                self.cluster.configuration, self.queue, observation.cpu_demands
-            )
-
-            # (iii) plan and (iv) execute if something must change
-            switch_duration = 0.0
-            involved_nodes: set[str] = set()
-            if self._needs_switch(decision):
-                report = self.switcher.compute(
-                    self.cluster.configuration,
-                    decision.vm_states,
-                    vjob_of_vm=vjob_of_vm,
-                    fallback_target=decision.fallback_target,
-                )
-                execution = self.executor.execute(
-                    report.plan, self.cluster, start_time=now
-                )
-                switch_duration = execution.duration
-                involved_nodes = execution.involved_nodes()
-                result.switches.append(
-                    self._record_switch(now, report, execution)
-                )
-                self.monitoring.notify_reconfiguration(now + switch_duration)
-                self._sync_vjob_states()
-
-            # sample utilization after the switch
-            result.utilization.append(self._sample(now))
-
-            # advance simulated time and the progress of the running vjobs
-            step = max(self.period, switch_duration)
-            self._advance_progress(step, switch_duration, involved_nodes)
-            now += step
-
-        result.makespan = (
-            max(result.completion_times.values()) if result.completion_times else now
-        )
-        return result
-
-    # ------------------------------------------------------------------ #
-    # helpers                                                             #
-    # ------------------------------------------------------------------ #
-
-    def _needs_switch(self, decision: Decision) -> bool:
-        configuration = self.cluster.configuration
-        for vm_name, state in decision.vm_states.items():
-            if configuration.state_of(vm_name) is not state:
-                return True
-        return not configuration.is_viable()
-
-    def _record_switch(self, now, report, execution) -> ContextSwitchRecord:
-        from ..core.actions import ActionKind, Resume
-
-        local_resumes = sum(
-            1
-            for item in execution.actions
-            if isinstance(item.action, Resume) and item.action.is_local
-        )
-        return ContextSwitchRecord(
-            time=now,
-            cost=plan_cost(report.plan).total,
-            duration=execution.duration,
-            migrations=execution.count(ActionKind.MIGRATE),
-            runs=execution.count(ActionKind.RUN),
-            stops=execution.count(ActionKind.STOP),
-            suspends=execution.count(ActionKind.SUSPEND),
-            resumes=execution.count(ActionKind.RESUME),
-            local_resumes=local_resumes,
-            used_fallback=report.used_fallback,
-        )
-
-    def _sample(self, now: float) -> UtilizationSample:
-        configuration = self.cluster.configuration
-        capacity = configuration.total_capacity()
-        usage = configuration.total_usage()
-        demand_units = 0
-        for workload in self.workloads:
-            vjob = workload.vjob
-            if vjob.name not in self._submitted or vjob.is_terminated:
-                continue
-            progress = self.progress[vjob.name]
-            demand_units += sum(
-                trace.demand_at(progress) for trace in workload.traces.values()
-            )
-        return UtilizationSample(
-            time=now,
-            cpu_demand_units=demand_units,
-            cpu_used_units=usage.cpu,
-            cpu_capacity_units=capacity.cpu,
-            memory_used_mb=usage.memory,
-        )
-
-    def _advance_progress(
-        self, step: float, switch_duration: float, involved_nodes: set[str]
-    ) -> None:
-        """Advance the execution of the running vjobs by ``step`` seconds.
-
-        Running VMs hosted on nodes touched by the context switch are slowed
-        down during the switch window (Section 2.3 measured a 1.3-1.5x factor);
-        the remaining part of the interval progresses at full speed.
-        """
-        configuration = self.cluster.configuration
-        factor = config.INTERFERENCE_FACTOR_LOCAL
-        for workload in self.workloads:
-            vjob = workload.vjob
-            if vjob.state is not VJobState.RUNNING:
-                continue
-            slowed = False
-            if switch_duration > 0 and involved_nodes:
-                for vm_name in vjob.vm_names:
-                    if configuration.location_of(vm_name) in involved_nodes:
-                        slowed = True
-                        break
-            if slowed:
-                effective = (step - switch_duration) + switch_duration / factor
-            else:
-                effective = step
-            self.progress[vjob.name] += effective

@@ -11,22 +11,37 @@ exposes and the reason the 9-vjob campaign needs ~250 minutes instead of ~150.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..api.results import RunResult, UtilizationSample
 from ..decision.fcfs import BatchJob, FCFSScheduler, Schedule
 from ..model.node import Node
 from ..workloads.traces import VJobWorkload
-from .loop import UtilizationSample
 
 
 @dataclass
-class StaticRunResult:
-    """Outcome of a static-allocation (FCFS) run."""
+class StaticRunResult(RunResult):
+    """Outcome of a static-allocation (FCFS) run.
 
-    schedule: Schedule
-    makespan: float
-    utilization: list[UtilizationSample] = field(default_factory=list)
-    completion_times: dict[str, float] = field(default_factory=dict)
+    A :class:`~repro.api.results.RunResult` (so the analysis helpers compare
+    it directly with control-loop runs) extended with the analytic
+    :class:`~repro.decision.fcfs.Schedule` behind the Figure 12 diagram.
+    ``schedule`` is keyword-only: the base class owns the positional slots,
+    so legacy positional construction fails loudly instead of silently
+    mis-assigning fields.
+    """
+
+    schedule: Optional[Schedule] = field(default=None, kw_only=True)
+
+    def __post_init__(self) -> None:
+        # Catches legacy v1.0 positional construction (schedule first),
+        # which would otherwise silently land a Schedule in `makespan`.
+        if not isinstance(self.makespan, (int, float)):
+            raise TypeError(
+                "StaticRunResult fields moved to RunResult order in v1.1; "
+                "construct with keywords: StaticRunResult(schedule=..., "
+                "makespan=...)"
+            )
 
 
 class StaticAllocationSimulator:
@@ -77,6 +92,7 @@ class StaticAllocationSimulator:
         result = StaticRunResult(
             schedule=schedule,
             makespan=schedule.makespan,
+            policy="static",
             completion_times=completion,
         )
         result.utilization = self._utilization_series(schedule, total_cpus)

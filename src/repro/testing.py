@@ -1,0 +1,55 @@
+"""Factories shared by the test-suite, the examples and the benchmarks.
+
+The test modules are not a package, so they cannot relatively import shared
+helpers from their ``conftest.py``; these factories live in the installed
+package instead and are imported absolutely (``from repro.testing import
+make_vm``).  They are also handy for quick interactive experiments.
+"""
+
+from __future__ import annotations
+
+from .model.vjob import VJob
+from .model.vm import VirtualMachine
+from .workloads.traces import VJobWorkload, alternating_trace, constant_trace
+
+__all__ = ["make_vm", "make_vjob", "make_workload"]
+
+
+def make_vm(
+    name: str, memory: int = 512, cpu: int = 0, vjob: str = ""
+) -> VirtualMachine:
+    """A VM with the paper's defaults (512 MB, idle) unless overridden."""
+    return VirtualMachine(name=name, memory=memory, cpu_demand=cpu, vjob=vjob)
+
+
+def make_vjob(
+    name: str,
+    vm_count: int = 2,
+    memory: int = 512,
+    cpu: int = 1,
+    priority: int = 0,
+) -> VJob:
+    """A vjob of ``vm_count`` identical VMs named ``<name>.vm<i>``."""
+    vms = [
+        make_vm(f"{name}.vm{i}", memory=memory, cpu=cpu, vjob=name)
+        for i in range(vm_count)
+    ]
+    return VJob(name=name, vms=vms, priority=priority)
+
+
+def make_workload(
+    name: str,
+    vm_count: int = 2,
+    memory: int = 512,
+    duration: float = 120.0,
+    priority: int = 0,
+    idle_head: float = 0.0,
+) -> VJobWorkload:
+    """A vjob whose VMs compute for ``duration`` seconds (optionally after an
+    idle phase of ``idle_head`` seconds)."""
+    vjob = make_vjob(name, vm_count=vm_count, memory=memory, priority=priority)
+    if idle_head > 0:
+        trace = alternating_trace([(idle_head, 0), (duration, 1)])
+    else:
+        trace = constant_trace(duration, cpu_demand=1)
+    return VJobWorkload(vjob=vjob, traces={vm.name: trace for vm in vjob.vms})

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.model import Configuration, Node, VirtualMachine, make_working_nodes
+from repro.model import Configuration, Node, make_working_nodes
+from repro.testing import make_vm
 
 
 @pytest.fixture
@@ -22,10 +23,6 @@ def paper_nodes() -> list[Node]:
 @pytest.fixture
 def empty_configuration(three_nodes) -> Configuration:
     return Configuration(nodes=three_nodes)
-
-
-def make_vm(name: str, memory: int = 512, cpu: int = 0, vjob: str = "") -> VirtualMachine:
-    return VirtualMachine(name=name, memory=memory, cpu_demand=cpu, vjob=vjob)
 
 
 @pytest.fixture

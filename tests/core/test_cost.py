@@ -8,7 +8,7 @@ from repro.core.plan import Pool, plan_from_pools
 from repro.model.configuration import Configuration
 from repro.model.node import make_working_nodes
 
-from ..conftest import make_vm
+from repro.testing import make_vm
 
 
 @pytest.fixture

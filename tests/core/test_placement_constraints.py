@@ -15,7 +15,7 @@ from repro.model.errors import PlanningError
 from repro.model.node import make_working_nodes
 from repro.model.vm import VMState
 
-from ..conftest import make_vm
+from repro.testing import make_vm
 
 
 @pytest.fixture

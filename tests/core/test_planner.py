@@ -12,7 +12,7 @@ from repro.model.configuration import Configuration
 from repro.model.errors import NoPivotAvailableError, PlanningError
 from repro.model.node import make_working_nodes
 
-from ..conftest import make_vm
+from repro.testing import make_vm
 
 
 def two_node_cluster(memory=2048, cpu=1, count=2):

@@ -108,7 +108,9 @@ def test_branch_and_bound_matches_brute_force_on_small_instances(instance):
     variables = [
         model.int_var(f"x{i}", range(len(capacities))) for i in range(len(demands))
     ]
-    total = model.int_var("total", range(0, 100 * len(demands) + 1))
+    # per-VM cost is (index + node) % 3 * 100, i.e. up to 200 — the domain
+    # must cover the worst total or the CP search wrongly proves infeasible
+    total = model.int_var("total", range(0, 200 * len(demands) + 1))
     model.add_constraint(VectorPacking(variables, demands, capacities))
     model.add_constraint(ElementSum(variables, costs, total))
     result = Solver(model).solve(minimize=total)

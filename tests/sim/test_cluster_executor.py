@@ -11,7 +11,7 @@ from repro.sim.cluster import SimulatedCluster
 from repro.sim.executor import PlanExecutor, estimate_duration
 from repro.sim.hypervisor import DEFAULT_HYPERVISOR
 
-from ..conftest import make_vm
+from repro.testing import make_vm
 
 
 @pytest.fixture

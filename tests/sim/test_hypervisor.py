@@ -9,7 +9,7 @@ from repro.model.node import make_working_nodes
 from repro.sim.hypervisor import DEFAULT_HYPERVISOR, FAST_STOP_HYPERVISOR, HypervisorModel
 from repro.sim.storage import TransferMethod
 
-from ..conftest import make_vm
+from repro.testing import make_vm
 
 
 @pytest.fixture

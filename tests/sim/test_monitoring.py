@@ -6,7 +6,7 @@ from repro.model.configuration import Configuration
 from repro.model.node import make_working_nodes
 from repro.sim.monitoring import MonitoringService, constant_demands
 
-from ..conftest import make_vm
+from repro.testing import make_vm
 
 
 @pytest.fixture
