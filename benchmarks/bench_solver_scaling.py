@@ -1,0 +1,208 @@
+"""Solver-core scaling — event-driven engine vs the naive-fixpoint reference.
+
+The paper's control loop (Section 5.1) depends on the CP optimizer handling
+200-node RJSP instances inside a 40 s budget.  This benchmark measures the
+solver core itself on generated 200-node scenarios at 100, 200 and 400 VMs
+(seeded, same seeds for both engines):
+
+* the scenario is generated, the sample consolidation policy derives the
+  target VM states, and the optimizer searches for the cheapest placement;
+* the greedy incumbent is disabled (``use_greedy_bound=False``) so the
+  branch-and-bound search itself is exercised — with the incumbent the easy
+  instances are refuted at the root and nothing would be measured;
+* both engines run the *same* heuristics and reach the same propagation
+  fixpoints, so they walk **identical search trees** (property-tested in
+  ``tests/properties/test_propagation_equivalence.py``).  Each solve is
+  capped at a per-tier **node budget** (``node_limit``) chosen to cover the
+  initial descent, the first improving solutions and a large slice of
+  branch-and-bound refutation (40-100k backtracks); both engines therefore
+  perform exactly the same search work and the wall-clock ratio is a pure
+  propagation-speed measurement.  Instances solved to proven optimality
+  before the budget simply measure the full time-to-proof (also identical
+  work).
+
+``search_seconds`` is the solver's own elapsed time; ``speedup`` is the
+median of the per-sample (paired, same instance, same work) time ratios.
+
+Run standalone (``python benchmarks/bench_solver_scaling.py``) for the full
+sweep, or through ``benchmarks/harness.py`` which records the results into
+``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Optional, Sequence
+
+from repro.cp import ENGINES
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.decision import ConsolidationDecisionModule
+from repro.workloads import TraceConfigurationGenerator
+
+#: VM counts of the sweep (200 working nodes, as in Section 5.1).
+TIERS = (100, 200, 400)
+#: Samples (seeds) per tier.
+SAMPLES_PER_TIER = 3
+#: Wall-clock safety cap per solve, seconds (the node budget is the real
+#: effort cap; this only guards against pathological instances).
+TIMEOUT_S = 120.0
+
+
+def default_node_limit(vm_count: int) -> int:
+    """Per-tier node budget, calibrated so a sample stays under ~15 s for the
+    reference engine while still covering a large refutation slice."""
+    return 600 if vm_count > 200 else 400
+
+
+def _solve_once(
+    scenario, decision, engine: str, timeout: float, node_limit: Optional[int]
+) -> dict:
+    optimizer = ContextSwitchOptimizer(
+        timeout=timeout,
+        engine=engine,
+        use_greedy_bound=False,
+        node_limit=node_limit,
+    )
+    started = time.monotonic()
+    result = optimizer.optimize(
+        scenario.configuration,
+        decision.vm_states,
+        vjob_of_vm=scenario.vjob_of_vm(),
+        fallback_target=decision.fallback_target,
+    )
+    total_seconds = time.monotonic() - started
+    stats = result.statistics
+    search_seconds = stats.elapsed if stats is not None else total_seconds
+    record = {
+        "search_seconds": round(search_seconds, 6),
+        "total_seconds": round(total_seconds, 6),
+        "cost": result.cost,
+    }
+    if stats is not None:
+        record.update(
+            nodes=stats.nodes,
+            backtracks=stats.backtracks,
+            propagations=stats.propagations,
+            solutions=stats.solutions,
+            proven_optimal=stats.proven_optimal,
+            timed_out=stats.timed_out,
+            node_limit_reached=stats.limit_reached,
+        )
+    return record
+
+
+def run_tier(
+    vm_count: int,
+    samples: int = SAMPLES_PER_TIER,
+    timeout: float = TIMEOUT_S,
+    node_count: int = 200,
+    node_limit: Optional[int] = None,
+) -> dict:
+    """Benchmark one VM-count tier; returns the per-sample records and the
+    per-engine medians plus the median paired speedup."""
+    budget = node_limit if node_limit is not None else default_node_limit(vm_count)
+    tier_samples = []
+    for sample in range(samples):
+        seed = 1_000 * vm_count + sample
+        scenario = TraceConfigurationGenerator(
+            node_count=node_count, seed=seed
+        ).generate(vm_count)
+        decision = ConsolidationDecisionModule().decide(
+            scenario.configuration, scenario.queue
+        )
+        record = {"seed": seed, "vms": scenario.vm_count}
+        for engine in ENGINES:
+            record[engine] = _solve_once(scenario, decision, engine, timeout, budget)
+        event, fixpoint = record["event"], record["fixpoint"]
+        record["same_work"] = (event["nodes"], event["backtracks"]) == (
+            fixpoint["nodes"],
+            fixpoint["backtracks"],
+        )
+        record["speedup"] = (
+            round(fixpoint["search_seconds"] / event["search_seconds"], 2)
+            if event["search_seconds"]
+            else None
+        )
+        tier_samples.append(record)
+
+    medians = {
+        f"{engine}_search_seconds": round(
+            statistics.median(s[engine]["search_seconds"] for s in tier_samples), 6
+        )
+        for engine in ENGINES
+    }
+    paired = [s["speedup"] for s in tier_samples if s["speedup"] is not None]
+    medians["speedup"] = round(statistics.median(paired), 2) if paired else None
+    return {
+        "vm_count": vm_count,
+        "node_count": node_count,
+        "node_limit": budget,
+        "timeout_seconds": timeout,
+        "samples": tier_samples,
+        "median": medians,
+    }
+
+
+def run(
+    tiers: Sequence[int] = TIERS,
+    samples: int = SAMPLES_PER_TIER,
+    timeout: float = TIMEOUT_S,
+    node_count: int = 200,
+    node_limit: Optional[int] = None,
+) -> dict:
+    """Run every tier and return the full result document."""
+    return {
+        "engines": list(ENGINES),
+        "greedy_incumbent": False,
+        "methodology": (
+            "identical search trees capped at a per-tier node budget; "
+            "speedup is the median of paired per-instance time ratios"
+        ),
+        "tiers": [
+            run_tier(
+                vm_count,
+                samples=samples,
+                timeout=timeout,
+                node_count=node_count,
+                node_limit=node_limit,
+            )
+            for vm_count in tiers
+        ],
+    }
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        "Solver scaling - event-driven engine vs naive fixpoint "
+        "(200-node scenarios, identical search work per engine)",
+        f"{'VMs':>5}  {'budget':>6}  {'event (s)':>10}  {'fixpoint (s)':>13}  {'speedup':>8}",
+    ]
+    for tier in results["tiers"]:
+        median = tier["median"]
+        lines.append(
+            f"{tier['vm_count']:>5}  {tier['node_limit']:>6}  "
+            f"{median['event_search_seconds']:>10.3f}  "
+            f"{median['fixpoint_search_seconds']:>13.3f}  "
+            f"{median['speedup'] or float('nan'):>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def bench_solver_scaling_smoke():
+    """One-sample smoke of the smallest tier, for ``pytest benchmarks``."""
+    results = run(tiers=(TIERS[0],), samples=1)
+    print()
+    print(format_results(results))
+    tier = results["tiers"][0]
+    sample = tier["samples"][0]
+    # Both engines performed the same search work on the same instance.
+    assert sample["same_work"]
+    assert sample["event"]["cost"] == sample["fixpoint"]["cost"]
+
+
+if __name__ == "__main__":
+    full = run()
+    print(format_results(full))
+    print(json.dumps(full, indent=2))

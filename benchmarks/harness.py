@@ -1,0 +1,185 @@
+"""Recorded benchmark harness — runs the bench suite and emits ``BENCH_*.json``.
+
+The repository keeps a performance trajectory across PRs: every harness run
+executes the figure/table benchmarks (as a timed pytest pass per module) plus
+the solver scaling sweep (``bench_solver_scaling.py``), and writes a single
+JSON document with the numbers.  ``BENCH_PR2.json`` at the repository root is
+the committed snapshot for this PR; CI re-runs the smallest scaling tier as a
+smoke job and uploads the fresh document as an artifact.
+
+Usage::
+
+    python benchmarks/harness.py                 # full sweep -> BENCH_PR2.json
+    python benchmarks/harness.py --quick         # smallest tier, 1 sample,
+                                                 # figure benches skipped
+    python benchmarks/harness.py --tiers 200 --samples 5 --timeout 30
+    python benchmarks/harness.py -o /tmp/bench.json
+
+The solver-scaling section reports, per tier, the median search time of the
+event-driven engine and of the retained naive-fixpoint reference engine, and
+their ratio (``speedup``).  See the README "Performance" section for how to
+read the document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+#: --quick runs write here by default so a local smoke never clobbers the
+#: committed full-sweep snapshot.
+QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_solver_scaling  # noqa: E402  (path set up above)
+
+
+def figure_bench_modules() -> list[Path]:
+    """Every figure/table benchmark driver, excluding the scaling sweep run
+    natively and this harness itself."""
+    return sorted(
+        path
+        for path in BENCH_DIR.glob("bench_*.py")
+        if path.name != "bench_solver_scaling.py"
+    )
+
+
+def run_figure_benches(timeout: float = 900.0) -> list[dict]:
+    """Run each figure benchmark as its own pytest process and time it."""
+    records = []
+    for module in figure_bench_modules():
+        started = time.monotonic()
+        try:
+            completed = subprocess.run(
+                [sys.executable, "-m", "pytest", str(module), "-q", "--no-header"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=timeout,
+            )
+            status = "passed" if completed.returncode == 0 else "failed"
+        except subprocess.TimeoutExpired:
+            status = "timeout"
+        records.append(
+            {
+                "module": module.name,
+                "status": status,
+                "seconds": round(time.monotonic() - started, 2),
+            }
+        )
+        print(f"  {module.name:<40} {status:>8} {records[-1]['seconds']:>8.1f}s")
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT.name}, or "
+             f"{QUICK_OUTPUT.name} with --quick)",
+    )
+    parser.add_argument(
+        "--tiers", type=int, nargs="+", default=list(bench_solver_scaling.TIERS),
+        help="VM counts of the scaling sweep",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=bench_solver_scaling.SAMPLES_PER_TIER,
+        help="seeded samples per tier",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=bench_solver_scaling.TIMEOUT_S,
+        help="wall-clock safety cap per solve, seconds",
+    )
+    parser.add_argument(
+        "--node-limit", type=int, default=None,
+        help="override the per-tier node budget (default: calibrated per tier)",
+    )
+    parser.add_argument(
+        "--skip-figures", action="store_true",
+        help="skip the figure/table benchmark modules",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: smallest tier, one sample, figures skipped",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 1) when the *largest* benchmarked tier's median "
+             "speedup over the fixpoint reference drops below this "
+             "threshold — the CI regression gate for the event engine "
+             "(the largest tier is the least noise-sensitive)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.tiers = [min(args.tiers)]
+        args.samples = 1
+        args.skip_figures = True
+    if args.output is None:
+        args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
+
+    document = {
+        "label": "PR2 - event-driven CP solver core",
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "harness": {
+            "tiers": args.tiers,
+            "samples_per_tier": args.samples,
+            "timeout_seconds": args.timeout,
+            "node_limit": args.node_limit,
+            "quick": args.quick,
+        },
+    }
+
+    print(f"solver scaling: tiers={args.tiers} samples={args.samples} "
+          f"timeout={args.timeout}s")
+    document["solver_scaling"] = bench_solver_scaling.run(
+        tiers=args.tiers,
+        samples=args.samples,
+        timeout=args.timeout,
+        node_limit=args.node_limit,
+    )
+    print(bench_solver_scaling.format_results(document["solver_scaling"]))
+
+    if not args.skip_figures:
+        print("figure benchmarks:")
+        document["figure_benches"] = run_figure_benches()
+
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None:
+        gate_tier = max(
+            document["solver_scaling"]["tiers"], key=lambda tier: tier["vm_count"]
+        )
+        speedup = gate_tier["median"]["speedup"] or 0
+        if speedup < args.min_speedup:
+            print(
+                f"REGRESSION: {gate_tier['vm_count']}-VM tier speedup "
+                f"{speedup}x is below the {args.min_speedup}x gate"
+            )
+            return 1
+        print(
+            f"speedup gate ok: {gate_tier['vm_count']}-VM tier at "
+            f"{speedup}x >= {args.min_speedup}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

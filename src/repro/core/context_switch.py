@@ -51,10 +51,13 @@ class ClusterContextSwitch:
         optimizer_timeout: float = 40.0,
         planner_options: Optional[PlannerOptions] = None,
         use_optimizer: bool = True,
+        engine: str = "event",
     ) -> None:
         self.planner = ReconfigurationPlanner(planner_options)
         self.optimizer = ContextSwitchOptimizer(
-            timeout=optimizer_timeout, planner_options=planner_options
+            timeout=optimizer_timeout,
+            planner_options=planner_options,
+            engine=engine,
         )
         self.use_optimizer = use_optimizer
 

@@ -28,9 +28,11 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..model.configuration import Configuration
-from ..model.errors import PlanningError
+from ..model.errors import PlanningError, SolverError
 from ..model.vm import VMState
 from ..cp import (
+    ENGINES,
+    ActivityLastConflict,
     ElementSum,
     IntVar,
     Model,
@@ -74,10 +76,25 @@ class ContextSwitchOptimizer:
         timeout: float = 40.0,
         planner_options: Optional[PlannerOptions] = None,
         first_solution_only: bool = False,
+        engine: str = "event",
+        use_greedy_bound: bool = True,
+        node_limit: Optional[int] = None,
     ) -> None:
+        """``engine`` selects the propagation engine (``"event"`` or the
+        naive ``"fixpoint"`` reference); ``use_greedy_bound=False`` disables
+        the greedy incumbent so the search effort itself can be measured
+        (used by ``benchmarks/bench_solver_scaling.py``); ``node_limit``
+        caps the search-tree size deterministically."""
+        if engine not in ENGINES:
+            raise SolverError(
+                f"unknown propagation engine {engine!r}; expected one of {ENGINES}"
+            )
         self.timeout = timeout
         self.planner = ReconfigurationPlanner(planner_options)
         self.first_solution_only = first_solution_only
+        self.engine = engine
+        self.use_greedy_bound = use_greedy_bound
+        self.node_limit = node_limit
 
     # ------------------------------------------------------------------ #
     # public API                                                          #
@@ -341,7 +358,10 @@ class ContextSwitchOptimizer:
             {k: math.ceil(v / scale) for k, v in table.items()} for table in tables
         ]
         scaled_upper = sum(max(table.values()) for table in scaled_tables)
-        total_var = model.int_var("total_cost", range(scaled_upper + 1))
+        # Interval domain: the objective spans up to _MAX_OBJECTIVE_RANGE
+        # values and is only ever tightened from the outside in, so bound
+        # updates must not pay for the width.
+        total_var = model.interval_var("total_cost", 0, scaled_upper)
         model.add_constraint(ElementSum(assignment_vars, scaled_tables, total_var))
 
         # First-fail flavoured ordering: the most demanding VMs first
@@ -358,7 +378,9 @@ class ContextSwitchOptimizer:
         # greedy repair is unaware of relational placement constraints, so it
         # is only used when none are requested.
         greedy = (
-            self._greedy_assignment(current, running_vms) if not constraints else None
+            self._greedy_assignment(current, running_vms)
+            if self.use_greedy_bound and not constraints
+            else None
         )
         initial_bound = None
         if greedy is not None:
@@ -367,10 +389,14 @@ class ContextSwitchOptimizer:
                 for i, vm_name in enumerate(running_vms)
             )
 
+        # Last-conflict intensification around the paper's static
+        # biggest-first order: after a failure the search branches on the
+        # conflicting variable first instead of thrashing down the order.
         solver = Solver(
             model,
-            variable_selector=static_order(ordered_vars),
+            variable_selector=ActivityLastConflict(static_order(ordered_vars)),
             value_selector=prefer_value(preferences),
+            engine=self.engine,
         )
         result = solver.solve(
             minimize=total_var,
@@ -378,6 +404,7 @@ class ContextSwitchOptimizer:
             collect_all=True,
             first_solution_only=self.first_solution_only,
             initial_bound=initial_bound,
+            node_limit=self.node_limit,
         )
         improving = [
             solution.objective * scale

@@ -9,13 +9,16 @@ optimization of the cluster-wide context switch relies on (Section 4.3).
 
 from .constraints import (
     AllDifferent,
+    AllEqual,
     Constraint,
     ElementSum,
     LinearLessEqual,
     VectorPacking,
 )
-from .domain import Domain
+from .domain import Domain, IntervalDomain
 from .solver import (
+    ENGINES,
+    ActivityLastConflict,
     Model,
     SearchResult,
     SearchStatistics,
@@ -26,15 +29,19 @@ from .solver import (
     prefer_value,
     static_order,
 )
-from .variables import IntVar, make_int_var, value_of
+from .variables import IntVar, make_int_var, make_interval_var, value_of
 
 __all__ = [
     "AllDifferent",
+    "AllEqual",
     "Constraint",
     "ElementSum",
     "LinearLessEqual",
     "VectorPacking",
     "Domain",
+    "IntervalDomain",
+    "ENGINES",
+    "ActivityLastConflict",
     "Model",
     "SearchResult",
     "SearchStatistics",
@@ -46,5 +53,6 @@ __all__ = [
     "static_order",
     "IntVar",
     "make_int_var",
+    "make_interval_var",
     "value_of",
 ]

@@ -12,15 +12,29 @@ generic ones that keep the solver usable on its own:
 * :class:`AllDifferent` — a value-based all-different, handy for tests and
   for pivot selection experiments.
 
-Each constraint implements ``propagate(store)``; ``store`` exposes the domain
-mutations that are recorded on the solver trail.  Propagation raises
-:class:`~repro.model.errors.InconsistencyError` when a domain would become
-empty or a constraint is certainly violated.
+Propagation is *event-driven*: each constraint declares a scheduling
+``priority`` (cheap propagators drain first) and whether it is ``idempotent``
+(its own prunings cannot enable further prunings by itself, so the store need
+not requeue it for self-inflicted events).  A constraint implements:
+
+* ``propagate(store)`` — stateless propagation from scratch.  Used by the
+  naive-fixpoint reference engine and by unit tests; always correct.
+* ``register(store)`` / ``propagate_events(store, dirty)`` — the incremental
+  protocol of the event engine.  ``register`` (re)builds internal counters at
+  the start of a search; ``propagate_events`` receives the model indices of
+  the watched variables whose domain changed since the last call and updates
+  the counters by deltas, undoing them on backtrack through
+  ``store.record_undo``.  The default implementation falls back to the
+  stateless ``propagate``.
+
+``store`` exposes the domain mutations that are recorded on the solver trail.
+Propagation raises :class:`~repro.model.errors.InconsistencyError` when a
+domain would become empty or a constraint is certainly violated.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Collection, Mapping, Sequence
 
 from ..model.errors import InconsistencyError
 from .variables import IntVar
@@ -29,12 +43,27 @@ from .variables import IntVar
 class Constraint:
     """Base class of all constraints."""
 
+    #: Propagation-queue priority: 0 (cheapest, drained first) to 3.
+    priority: int = 1
+    #: True when the constraint's own prunings never require re-running it.
+    idempotent: bool = False
+
     def variables(self) -> Sequence[IntVar]:
         raise NotImplementedError
 
     def propagate(self, store) -> None:
-        """Filter the domains of the constraint's variables."""
+        """Filter the domains of the constraint's variables from scratch."""
         raise NotImplementedError
+
+    def register(self, store) -> None:
+        """(Re)build incremental state at the start of an event-driven search."""
+
+    def propagate_events(self, store, dirty: Collection[int]) -> None:
+        """Incremental filtering given the model indices of changed variables.
+
+        The default falls back to full propagation, which is always sound.
+        """
+        self.propagate(store)
 
     def is_satisfied(self) -> bool:
         """Check the constraint on fully instantiated variables."""
@@ -43,7 +72,17 @@ class Constraint:
 
 class LinearLessEqual(Constraint):
     """``sum(coefficients[i] * vars[i]) <= bound`` with non-negative
-    coefficients."""
+    coefficients.
+
+    Event mode maintains the committed lower bound ``sum(c_i * min(x_i))``
+    incrementally: a domain event only costs the delta of the touched
+    variable, and the O(n) pruning pass runs only when the lower bound grew.
+    """
+
+    priority = 0
+    # remove_above never changes a variable's min, so self-prunings cannot
+    # re-trigger this propagator.
+    idempotent = True
 
     def __init__(self, variables: Sequence[IntVar], coefficients: Sequence[int], bound: int):
         if len(variables) != len(coefficients):
@@ -53,6 +92,10 @@ class LinearLessEqual(Constraint):
         self._vars = list(variables)
         self._coefficients = list(coefficients)
         self._bound = bound
+        self._index_of: dict[int, int] = {}
+        self._mins: list[int] = []
+        self._total_min = 0
+        self._primed = False
 
     def variables(self) -> Sequence[IntVar]:
         return self._vars
@@ -73,6 +116,53 @@ class LinearLessEqual(Constraint):
             if var.max > limit:
                 store.remove_above(var, limit)
 
+    # -- event-driven protocol -------------------------------------------------
+
+    def register(self, store) -> None:
+        self._index_of = {var.index: i for i, var in enumerate(self._vars)}
+        self._mins = [c * v.min for c, v in zip(self._coefficients, self._vars)]
+        self._total_min = sum(self._mins)
+        # The first propagation must run the pruning pass even though the
+        # counters were just seeded (the bound may already cut the domains).
+        self._primed = False
+
+    def _restore_min(self, i: int, old: int, delta: int):
+        def undo() -> None:
+            self._mins[i] = old
+            self._total_min -= delta
+        return undo
+
+    def propagate_events(self, store, dirty: Collection[int]) -> None:
+        grew = not self._primed
+        self._primed = True
+        for model_index in dirty:
+            i = self._index_of.get(model_index)
+            if i is None:
+                continue
+            new = self._coefficients[i] * self._vars[i].min
+            old = self._mins[i]
+            if new != old:
+                delta = new - old
+                self._mins[i] = new
+                self._total_min += delta
+                store.record_undo(self._restore_min(i, old, delta))
+                if delta > 0:
+                    grew = True
+        if self._total_min > self._bound:
+            raise InconsistencyError(
+                f"linear sum lower bound {self._total_min} exceeds {self._bound}"
+            )
+        if not grew:
+            return
+        total_min = self._total_min
+        mins = self._mins
+        for i, (coefficient, var) in enumerate(zip(self._coefficients, self._vars)):
+            if coefficient == 0:
+                continue
+            limit = (self._bound - (total_min - mins[i])) // coefficient
+            if var.max > limit:
+                store.remove_above(var, limit)
+
     def is_satisfied(self) -> bool:
         return (
             sum(c * v.value for c, v in zip(self._coefficients, self._vars))
@@ -87,7 +177,18 @@ class ElementSum(Constraint):
     non-negative cost.  Bound-consistent propagation in both directions:
     the total is squeezed between the sum of per-variable minima and maxima,
     and values whose cost would push the sum above ``total.max`` are pruned.
+
+    Event mode keeps the per-variable cost bounds and their sums as trailed
+    counters: a domain event re-derives the bounds of the touched variable
+    only, and the value pruning walks each variable's costs in decreasing
+    order behind a trailed pointer, so every candidate value is examined at
+    most once per search branch however often the budget tightens.
     """
+
+    priority = 1
+    # Our own remove_above on the total changes total.max, which tightens the
+    # pruning budget — the store must requeue us for self-inflicted events.
+    idempotent = False
 
     def __init__(
         self,
@@ -100,14 +201,25 @@ class ElementSum(Constraint):
         self._vars = list(variables)
         self._tables = [dict(t) for t in tables]
         self._total = total
+        self._index_of: dict[int, int] = {}
+        self._lo: list[int] = []
+        self._hi: list[int] = []
+        self._lower = 0
+        self._upper = 0
+        #: Per-variable (cost, value) pairs sorted by decreasing cost, plus a
+        #: trailed pruning pointer into each list.
+        self._desc: list[list[tuple[int, int]]] = [
+            sorted(((c, v) for v, c in table.items()), reverse=True)
+            for table in self._tables
+        ]
+        self._ptr: list[int] = []
 
     def variables(self) -> Sequence[IntVar]:
         return [*self._vars, self._total]
 
     def _cost_bounds(self, index: int) -> tuple[int, int]:
         table = self._tables[index]
-        var = self._vars[index]
-        costs = [table[v] for v in var.raw_values()]
+        costs = [table[v] for v in self._vars[index].raw_values()]
         return min(costs), max(costs)
 
     def propagate(self, store) -> None:
@@ -129,6 +241,72 @@ class ElementSum(Constraint):
             if too_expensive:
                 store.remove_many(var, too_expensive)
 
+    # -- event-driven protocol -------------------------------------------------
+
+    def register(self, store) -> None:
+        self._index_of = {var.index: i for i, var in enumerate(self._vars)}
+        bounds = [self._cost_bounds(i) for i in range(len(self._vars))]
+        self._lo = [b[0] for b in bounds]
+        self._hi = [b[1] for b in bounds]
+        self._lower = sum(self._lo)
+        self._upper = sum(self._hi)
+        self._ptr = [0] * len(self._vars)
+
+    def _restore_bounds(self, i: int, lo: int, hi: int, d_lo: int, d_hi: int):
+        def undo() -> None:
+            self._lo[i] = lo
+            self._hi[i] = hi
+            self._lower -= d_lo
+            self._upper -= d_hi
+        return undo
+
+    def _restore_ptr(self, i: int, old: int):
+        def undo() -> None:
+            self._ptr[i] = old
+        return undo
+
+    def propagate_events(self, store, dirty: Collection[int]) -> None:
+        for model_index in dirty:
+            i = self._index_of.get(model_index)
+            if i is None:
+                continue  # the total variable; its bounds are read below
+            lo, hi = self._cost_bounds(i)
+            old_lo, old_hi = self._lo[i], self._hi[i]
+            if lo != old_lo or hi != old_hi:
+                d_lo, d_hi = lo - old_lo, hi - old_hi
+                self._lo[i] = lo
+                self._hi[i] = hi
+                self._lower += d_lo
+                self._upper += d_hi
+                store.record_undo(self._restore_bounds(i, old_lo, old_hi, d_lo, d_hi))
+        total = self._total
+        if self._lower > total.max or self._upper < total.min:
+            raise InconsistencyError("ElementSum: cost bounds incompatible with total")
+        store.remove_below(total, self._lower)
+        store.remove_above(total, self._upper)
+
+        budget_base = total.max - self._lower
+        lo = self._lo
+        desc = self._desc
+        ptr = self._ptr
+        for i, var in enumerate(self._vars):
+            budget = budget_base + lo[i]
+            costs = desc[i]
+            at = ptr[i]
+            if at >= len(costs) or costs[at][0] <= budget:
+                continue
+            old = at
+            too_expensive = []
+            while at < len(costs) and costs[at][0] > budget:
+                too_expensive.append(costs[at][1])
+                at += 1
+            ptr[i] = at
+            store.record_undo(self._restore_ptr(i, old))
+            # One batched event per variable: the minimum-cost value always
+            # survives (lower <= total.max implies lo[i] <= budget), so the
+            # batch can never empty the domain.
+            store.remove_many(var, too_expensive)
+
     def is_satisfied(self) -> bool:
         return (
             sum(self._tables[i][v.value] for i, v in enumerate(self._vars))
@@ -145,7 +323,17 @@ class VectorPacking(Constraint):
     domain as soon as the load already committed to ``j`` leaves too little
     room, and fails when committed load exceeds a capacity — the behaviour the
     paper obtains from Choco's packing / multi-knapsack constraints.
+
+    Event mode maintains the free capacity of every node and the set of
+    not-yet-committed items incrementally: committing an item on assignment
+    is an O(1) load delta (undone on backtrack), and only the nodes whose
+    free capacity shrank re-check the pending items.
     """
+
+    priority = 2
+    # propagate_events runs its own internal worklist to fixpoint (a pruning
+    # that instantiates an item is committed in the same call).
+    idempotent = True
 
     def __init__(
         self,
@@ -158,6 +346,10 @@ class VectorPacking(Constraint):
         self._vars = list(assignments)
         self._demands = [tuple(d) for d in demands]
         self._capacities = [tuple(c) for c in capacities]
+        self._index_of: dict[int, int] = {}
+        self._free: list[list[int]] = []
+        self._pending: set[int] = set()
+        self._primed = False
 
     def variables(self) -> Sequence[IntVar]:
         return self._vars
@@ -204,6 +396,71 @@ class VectorPacking(Constraint):
             if to_remove:
                 store.remove_many(var, to_remove)
 
+    # -- event-driven protocol -------------------------------------------------
+
+    def register(self, store) -> None:
+        self._index_of = {var.index: i for i, var in enumerate(self._vars)}
+        self._free = [list(capacity) for capacity in self._capacities]
+        self._pending = set(range(len(self._vars)))
+        # The first propagation re-checks every node so that items that do
+        # not fit an *empty* node are pruned like the reference engine does.
+        self._primed = False
+
+    def _release(self, i: int, node: int, cpu: int, mem: int):
+        def undo() -> None:
+            free = self._free[node]
+            free[0] += cpu
+            free[1] += mem
+            self._pending.add(i)
+        return undo
+
+    def _commit(self, store, i: int, changed_nodes: set[int]) -> None:
+        node = self._vars[i].value
+        if not 0 <= node < len(self._capacities):
+            raise InconsistencyError(
+                f"assignment {self._vars[i].name} targets unknown node {node}"
+            )
+        cpu, mem = self._demands[i]
+        free = self._free[node]
+        free[0] -= cpu
+        free[1] -= mem
+        self._pending.discard(i)
+        store.record_undo(self._release(i, node, cpu, mem))
+        if free[0] < 0 or free[1] < 0:
+            raise InconsistencyError(
+                f"node {node} overloaded by {self._vars[i].name}"
+            )
+        changed_nodes.add(node)
+
+    def propagate_events(self, store, dirty: Collection[int]) -> None:
+        worklist = [
+            i
+            for model_index in dirty
+            if (i := self._index_of.get(model_index)) is not None
+        ]
+        first = not self._primed
+        self._primed = True
+        while worklist or first:
+            changed_nodes: set[int] = (
+                set(range(len(self._capacities))) if first else set()
+            )
+            first = False
+            for i in worklist:
+                if i in self._pending and self._vars[i].is_instantiated:
+                    self._commit(store, i, changed_nodes)
+            worklist = []
+            for node in changed_nodes:
+                free_cpu, free_mem = self._free[node]
+                for i in list(self._pending):
+                    cpu, mem = self._demands[i]
+                    if cpu <= free_cpu and mem <= free_mem:
+                        continue
+                    var = self._vars[i]
+                    if node in var:
+                        store.remove(var, node)
+                        if var.is_instantiated:
+                            worklist.append(i)
+
     def is_satisfied(self) -> bool:
         node_count = len(self._capacities)
         loads = [[0, 0] for _ in range(node_count)]
@@ -233,7 +490,7 @@ class AllEqual(Constraint):
             return
         common = set(self._vars[0].raw_values())
         for var in self._vars[1:]:
-            common &= var.raw_values()
+            common &= set(var.raw_values())
         if not common:
             raise InconsistencyError("AllEqual: no common value left")
         for var in self._vars:

@@ -1,12 +1,27 @@
 """Finite integer domains for the constraint solver.
 
 The solver reproduces the small subset of Choco 1.2 the paper relies on:
-finite-domain integer variables, propagation to a fixpoint, a depth-first
+finite-domain integer variables, event-driven propagation, a depth-first
 search with a first-fail flavoured heuristic, and branch-and-bound
 minimization of a single cost variable (Section 4.3).
 
-Domains are plain sorted containers of ints.  Removals are recorded by the
-solver's trail so the search can backtrack without copying whole domains.
+Two representations are provided:
+
+* :class:`Domain` — a *sparse set* over an arbitrary finite set of integers.
+  Removing a value swaps it past the end of the active prefix and shrinks a
+  size counter, so every removal is O(1) and backtracking is a single integer
+  write (:meth:`Domain.restore_to`): the removed values are still sitting in
+  the array, in removal order, beyond the active prefix.  This replaces the
+  copy-on-restore sets of the first solver generation.
+* :class:`IntervalDomain` — a pair of bounds for variables that are only ever
+  tightened from the outside in (the branch-and-bound objective).  All bound
+  operations are O(1) regardless of the width of the interval, which matters
+  because the objective domain can span five to six figures.
+
+Both expose the same mutation API (mutations return the number of removed
+values) plus ``mark()``/``restore_to(token)`` used by the solver trail.
+Propagation raises :class:`~repro.model.errors.InconsistencyError` when a
+mutation would empty the domain.
 """
 
 from __future__ import annotations
@@ -17,96 +32,311 @@ from ..model.errors import InconsistencyError
 
 
 class Domain:
-    """A mutable finite set of integers."""
+    """A mutable finite set of integers backed by a sparse set."""
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_pos", "_size", "_rev", "_minmax", "_minmax_rev", "trail_stamp")
 
     def __init__(self, values: Iterable[int]):
-        self._values = set(int(v) for v in values)
-        if not self._values:
+        ordered = sorted({int(v) for v in values})
+        if not ordered:
             raise ValueError("a domain cannot be created empty")
+        self._values = ordered
+        self._pos = {v: i for i, v in enumerate(ordered)}
+        self._size = len(ordered)
+        self._rev = 0
+        self._minmax = (ordered[0], ordered[-1])
+        self._minmax_rev = 0
+        #: Trail era of the last save; managed by the solver store.
+        self.trail_stamp = -1
 
     # -- queries -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._size
 
     def __contains__(self, value: int) -> bool:
-        return value in self._values
+        pos = self._pos.get(value)
+        return pos is not None and pos < self._size
 
     def __iter__(self) -> Iterator[int]:
-        return iter(sorted(self._values))
+        return iter(sorted(self._values[: self._size]))
+
+    def _bounds(self) -> tuple[int, int]:
+        if self._minmax_rev != self._rev:
+            active = self._values
+            lo = hi = active[0]
+            for i in range(1, self._size):
+                v = active[i]
+                if v < lo:
+                    lo = v
+                elif v > hi:
+                    hi = v
+            self._minmax = (lo, hi)
+            self._minmax_rev = self._rev
+        return self._minmax
 
     @property
     def min(self) -> int:
-        return min(self._values)
+        return self._bounds()[0]
 
     @property
     def max(self) -> int:
-        return max(self._values)
+        return self._bounds()[1]
 
     @property
     def is_singleton(self) -> bool:
-        return len(self._values) == 1
+        return self._size == 1
 
     @property
     def value(self) -> int:
         """The single value of an instantiated domain."""
-        if not self.is_singleton:
+        if self._size != 1:
             raise ValueError("domain is not a singleton")
-        return next(iter(self._values))
+        return self._values[0]
 
     def values(self) -> tuple[int, ...]:
-        return tuple(sorted(self._values))
+        return tuple(sorted(self._values[: self._size]))
 
-    def raw_values(self) -> frozenset[int]:
+    def raw_values(self) -> tuple[int, ...]:
         """Unordered view of the domain (cheaper than :meth:`values` for the
         propagators' inner loops)."""
-        return frozenset(self._values)
+        return tuple(self._values[: self._size])
 
     def copy(self) -> "Domain":
-        clone = Domain.__new__(Domain)
-        clone._values = set(self._values)
-        return clone
+        return Domain(self._values[: self._size])
 
-    # -- mutations (return the set of removed values) -------------------------
+    # -- trail support --------------------------------------------------------
 
-    def remove(self, value: int) -> frozenset[int]:
-        if value not in self._values:
-            return frozenset()
-        if len(self._values) == 1:
+    def mark(self) -> int:
+        """Opaque token describing the current state, for :meth:`restore_to`."""
+        return self._size
+
+    def restore_to(self, token: int) -> None:
+        """O(1) backtracking: values removed since ``mark()`` returned
+        ``token`` are still parked right after the active prefix, so restoring
+        the size brings exactly those values back."""
+        self._size = token
+        self._rev += 1
+
+    # -- mutations (return the number of removed values) -----------------------
+
+    def _discard(self, value: int) -> None:
+        """Swap ``value`` just past the active prefix and shrink it."""
+        values, pos = self._values, self._pos
+        last = self._size - 1
+        at = pos[value]
+        other = values[last]
+        values[at] = other
+        pos[other] = at
+        values[last] = value
+        pos[value] = last
+        self._size = last
+
+    def remove(self, value: int) -> int:
+        pos = self._pos.get(value)
+        if pos is None or pos >= self._size:
+            return 0
+        if self._size == 1:
             raise InconsistencyError(f"removing {value} empties the domain")
-        self._values.discard(value)
-        return frozenset((value,))
+        self._discard(value)
+        self._rev += 1
+        return 1
 
-    def remove_many(self, values: Iterable[int]) -> frozenset[int]:
-        removed = self._values & set(values)
-        if not removed:
-            return frozenset()
-        if len(removed) == len(self._values):
+    def remove_many(self, values: Iterable[int]) -> int:
+        # dict.fromkeys dedups at C speed; the inline position check avoids
+        # __contains__ dispatch on this very hot path.
+        pos = self._pos
+        size = self._size
+        targets = [
+            v
+            for v in dict.fromkeys(values)
+            if (p := pos.get(v)) is not None and p < size
+        ]
+        if not targets:
+            return 0
+        if len(targets) == size:
             raise InconsistencyError("removal empties the domain")
-        self._values -= removed
-        return frozenset(removed)
+        for v in targets:
+            self._discard(v)
+        self._rev += 1
+        return len(targets)
 
-    def assign(self, value: int) -> frozenset[int]:
+    def assign(self, value: int) -> int:
         """Restrict the domain to a single value."""
-        if value not in self._values:
+        pos = self._pos.get(value)
+        if pos is None or pos >= self._size:
             raise InconsistencyError(f"value {value} not in domain")
-        removed = frozenset(v for v in self._values if v != value)
-        self._values = {value}
+        removed = self._size - 1
+        if removed:
+            # A swap within the active prefix keeps the sparse-set invariant:
+            # restoring the size restores the same *set* of values.
+            values, positions = self._values, self._pos
+            other = values[0]
+            values[0] = value
+            positions[value] = 0
+            values[pos] = other
+            positions[other] = pos
+            self._size = 1
+            self._rev += 1
         return removed
 
-    def remove_above(self, bound: int) -> frozenset[int]:
-        return self.remove_many([v for v in self._values if v > bound])
+    def remove_above(self, bound: int) -> int:
+        return self.remove_many([v for v in self._values[: self._size] if v > bound])
 
-    def remove_below(self, bound: int) -> frozenset[int]:
-        return self.remove_many([v for v in self._values if v < bound])
-
-    def restore(self, values: frozenset[int]) -> None:
-        """Put back values removed earlier (used by the trail)."""
-        self._values |= values
+    def remove_below(self, bound: int) -> int:
+        return self.remove_many([v for v in self._values[: self._size] if v < bound])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        if len(self._values) <= 8:
-            return f"Domain({sorted(self._values)})"
-        return f"Domain([{self.min}..{self.max}], size={len(self._values)})"
+        if self._size <= 8:
+            return f"Domain({sorted(self._values[: self._size])})"
+        return f"Domain([{self.min}..{self.max}], size={self._size})"
+
+
+class IntervalDomain:
+    """A contiguous domain ``[lo, hi]`` with O(1) bound tightening.
+
+    Used for the branch-and-bound objective variable, whose domain can span
+    :math:`10^5` values: the sparse set would pay O(width) on every bound
+    update, the interval pays O(1).  Only operations expressible on bounds are
+    supported — removing an interior value raises ``ValueError`` because the
+    representation cannot encode a hole.
+    """
+
+    __slots__ = ("_lo", "_hi", "_rev", "trail_stamp")
+
+    def __init__(self, lower: int, upper: int):
+        if upper < lower:
+            raise ValueError(f"empty interval [{lower}, {upper}]")
+        self._lo = int(lower)
+        self._hi = int(upper)
+        self._rev = 0
+        self.trail_stamp = -1
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._hi - self._lo + 1
+
+    def __contains__(self, value: int) -> bool:
+        return self._lo <= value <= self._hi
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._lo, self._hi + 1))
+
+    @property
+    def min(self) -> int:
+        return self._lo
+
+    @property
+    def max(self) -> int:
+        return self._hi
+
+    @property
+    def is_singleton(self) -> bool:
+        return self._lo == self._hi
+
+    @property
+    def value(self) -> int:
+        if self._lo != self._hi:
+            raise ValueError("domain is not a singleton")
+        return self._lo
+
+    def values(self) -> tuple[int, ...]:
+        return tuple(range(self._lo, self._hi + 1))
+
+    def raw_values(self) -> tuple[int, ...]:
+        return self.values()
+
+    def copy(self) -> "IntervalDomain":
+        return IntervalDomain(self._lo, self._hi)
+
+    # -- trail support --------------------------------------------------------
+
+    def mark(self) -> tuple[int, int]:
+        return (self._lo, self._hi)
+
+    def restore_to(self, token: tuple[int, int]) -> None:
+        self._lo, self._hi = token
+        self._rev += 1
+
+    # -- mutations -------------------------------------------------------------
+
+    def remove(self, value: int) -> int:
+        if value < self._lo or value > self._hi:
+            return 0
+        if self._lo == self._hi:
+            raise InconsistencyError(f"removing {value} empties the domain")
+        if value == self._lo:
+            self._lo += 1
+        elif value == self._hi:
+            self._hi -= 1
+        else:
+            raise ValueError(
+                "IntervalDomain cannot remove an interior value; use a Domain"
+            )
+        self._rev += 1
+        return 1
+
+    def remove_many(self, values: Iterable[int]) -> int:
+        """Peel values off the edges.  Atomic: the domain is only mutated
+        once the whole batch is known to be expressible on bounds (interior
+        holes raise ``ValueError`` *before* any change)."""
+        pending = sorted({v for v in values if self._lo <= v <= self._hi})
+        if not pending:
+            return 0
+        new_lo = self._lo
+        i = 0
+        while i < len(pending) and pending[i] == new_lo:
+            new_lo += 1
+            i += 1
+        new_hi = self._hi
+        j = len(pending) - 1
+        while j >= i and pending[j] == new_hi:
+            new_hi -= 1
+            j -= 1
+        if j >= i:
+            raise ValueError(
+                "IntervalDomain cannot remove interior values; use a Domain"
+            )
+        if new_lo > new_hi:
+            raise InconsistencyError("removal empties the domain")
+        removed = (new_lo - self._lo) + (self._hi - new_hi)
+        self._lo, self._hi = new_lo, new_hi
+        self._rev += 1
+        return removed
+
+    def assign(self, value: int) -> int:
+        if value < self._lo or value > self._hi:
+            raise InconsistencyError(f"value {value} not in domain")
+        removed = (self._hi - self._lo + 1) - 1
+        if removed:
+            self._lo = self._hi = value
+            self._rev += 1
+        return removed
+
+    def remove_above(self, bound: int) -> int:
+        if bound >= self._hi:
+            return 0
+        if bound < self._lo:
+            raise InconsistencyError(
+                f"removing values above {bound} empties [{self._lo}, {self._hi}]"
+            )
+        removed = self._hi - bound
+        self._hi = bound
+        self._rev += 1
+        return removed
+
+    def remove_below(self, bound: int) -> int:
+        if bound <= self._lo:
+            return 0
+        if bound > self._hi:
+            raise InconsistencyError(
+                f"removing values below {bound} empties [{self._lo}, {self._hi}]"
+            )
+        removed = bound - self._lo
+        self._lo = bound
+        self._rev += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IntervalDomain([{self._lo}..{self._hi}])"

@@ -1,31 +1,54 @@
-"""Depth-first search with propagation and branch-and-bound minimization.
+"""Depth-first search with event-driven propagation and branch-and-bound.
 
 This is the Choco replacement used by :mod:`repro.core.optimizer`.  The search
 follows the strategy described in Section 4.3 of the paper:
 
-* constraint propagation to a fixpoint after every decision, so non-viable
-  partial configurations are discarded as early as possible;
+* event-driven constraint propagation: every constraint registers on the
+  variables it watches, and a domain change pushes only the affected
+  constraints onto a priority-bucketed propagation queue (idempotent
+  constraints are not requeued for their own prunings).  Incremental
+  propagators (packing loads, cost sums) update trailed counters by deltas
+  instead of recomputing from scratch, so a failed assignment costs O(1)
+  instead of a full sweep of the model;
 * a *first-fail* flavoured variable ordering — variables with the largest
-  requirements (or smallest domains) are instantiated first;
+  requirements (or smallest domains) are instantiated first — optionally
+  wrapped in :class:`ActivityLastConflict`, which branches on the variable of
+  the most recent conflict first and falls back to activity-weighted
+  first-fail;
 * value ordering that favours a variable's preferred value (its current host)
   to reduce the number of VM movements;
 * branch-and-bound on a single objective variable: every time a solution is
   found, the search continues looking for strictly cheaper ones until the
   optimum is proved or a timeout expires.
+
+The previous solver generation re-propagated *every* constraint to a fixpoint
+after *every* decision; that behaviour is retained as the ``"fixpoint"``
+reference engine so equivalence can be property-tested and the speedup of the
+event engine benchmarked (``benchmarks/bench_solver_scaling.py``).
 """
 
 from __future__ import annotations
 
+import itertools
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..model.errors import InconsistencyError, SolverError
 from .constraints import Constraint
-from .variables import IntVar
+from .variables import IntVar, make_interval_var
 
 VariableSelector = Callable[[Sequence[IntVar]], Optional[IntVar]]
 ValueSelector = Callable[[IntVar], Sequence[int]]
+
+#: Known propagation engines: ``"event"`` wakes only the constraints watching
+#: a changed variable; ``"fixpoint"`` re-propagates every constraint after
+#: every decision (the pre-event-engine reference behaviour).
+ENGINES = ("event", "fixpoint")
+
+#: Number of priority buckets in the propagation queue.
+_PRIORITY_LEVELS = 4
 
 
 # --------------------------------------------------------------------------- #
@@ -55,6 +78,42 @@ def static_order(order: Sequence[IntVar]) -> VariableSelector:
         return None
 
     return select
+
+
+class ActivityLastConflict:
+    """Last-conflict-first variable selection with an activity fallback.
+
+    Wraps a ``primary`` selector (typically the paper's static biggest-first
+    order).  When the most recent conflict's variable is still free it is
+    branched on first — chronological backtracking then stays close to the
+    source of the failure instead of thrashing through unrelated variables.
+    Without a primary selector, the fallback picks the free variable with the
+    highest failure activity per remaining value (a weighted first-fail).
+
+    The solver reports failures through :meth:`on_failure`; plain callables
+    without that method keep working unchanged.
+    """
+
+    def __init__(self, primary: Optional[VariableSelector] = None):
+        self._primary = primary
+        self._last_conflict: Optional[IntVar] = None
+
+    def __call__(self, variables: Sequence[IntVar]) -> Optional[IntVar]:
+        last = self._last_conflict
+        if last is not None and not last.is_instantiated:
+            return last
+        if self._primary is not None:
+            return self._primary(variables)
+        candidates = [v for v in variables if not v.is_instantiated]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda v: (v.activity / v.size, -v.size, -v.index))
+
+    def on_failure(self, var: IntVar) -> None:
+        self._last_conflict = var
+
+    def reset(self) -> None:
+        self._last_conflict = None
 
 
 def ascending_values(var: IntVar) -> Sequence[int]:
@@ -98,6 +157,11 @@ class Model:
     def int_var(self, name: str, values: Iterable[int]) -> IntVar:
         return self.add_variable(IntVar(name, values))
 
+    def interval_var(self, name: str, lower: int, upper: int) -> IntVar:
+        """A variable over a contiguous ``[lower, upper]`` domain with O(1)
+        bound tightening — use for wide objective domains."""
+        return self.add_variable(make_interval_var(name, lower, upper))
+
     def add_constraint(self, constraint: Constraint) -> Constraint:
         self._constraints.append(constraint)
         return constraint
@@ -133,8 +197,11 @@ class SearchStatistics:
     nodes: int = 0
     backtracks: int = 0
     solutions: int = 0
+    propagations: int = 0
+    events: int = 0
     proven_optimal: bool = False
     timed_out: bool = False
+    limit_reached: bool = False
     elapsed: float = 0.0
 
 
@@ -152,74 +219,153 @@ class SearchResult:
 
 
 # --------------------------------------------------------------------------- #
-# Store: trail-recorded domain mutations                                        #
+# Store: trail-recorded domain mutations + propagation queue                   #
 # --------------------------------------------------------------------------- #
 
 class _Store:
     """Applies domain reductions, records them on a trail, and schedules the
-    constraints watching the touched variables."""
+    constraints watching the touched variables.
 
-    def __init__(self, watchers: dict[int, list[Constraint]]):
-        self._trail: list[tuple[IntVar, frozenset[int]]] = []
+    The trail holds two kinds of entries: ``(domain, mark_token)`` pairs — at
+    most one per domain per level, thanks to era stamps — undone by the O(1)
+    :meth:`~repro.cp.domain.Domain.restore_to`, and ``(callable, None)`` undo
+    closures registered by incremental propagators to roll their counters
+    back.  The propagation queue is bucketed by constraint priority; a
+    constraint currently propagating is not requeued for its own events when
+    it declares itself idempotent.
+    """
+
+    #: Global era counter: eras never repeat across stores, so stale stamps on
+    #: domains reused by a later search can never collide.
+    _ERAS = itertools.count(1)
+
+    __slots__ = (
+        "_trail", "_levels", "_watchers", "_era", "_event_mode",
+        "_buckets", "_queued", "_dirty", "_active", "events",
+    )
+
+    def __init__(self, watchers: dict[int, list[Constraint]], event_mode: bool = True):
+        self._trail: list[tuple] = []
         self._levels: list[int] = []
         self._watchers = watchers
-        self._queue: list[Constraint] = []
+        self._era = next(_Store._ERAS)
+        #: False for the fixpoint reference engine: watchers are still woken
+        #: (the pre-event-engine behaviour) but no dirty-set bookkeeping is
+        #: done, so the reference timings carry no event-engine overhead.
+        self._event_mode = event_mode
+        self._buckets = tuple(deque() for _ in range(_PRIORITY_LEVELS))
         self._queued: set[int] = set()
+        self._dirty: dict[int, set[int]] = {}
+        self._active: Optional[Constraint] = None
+        self.events = 0
 
     # -- trail management ----------------------------------------------------
 
     def push_level(self) -> None:
         self._levels.append(len(self._trail))
+        self._era = next(_Store._ERAS)
 
     def pop_level(self) -> None:
         mark = self._levels.pop()
-        while len(self._trail) > mark:
-            var, removed = self._trail.pop()
-            var.domain.restore(removed)
+        trail = self._trail
+        while len(trail) > mark:
+            target, token = trail.pop()
+            if token is None:
+                target()
+            else:
+                target.restore_to(token)
+        self._era = next(_Store._ERAS)
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Register a closure run when the current level is popped."""
+        self._trail.append((undo, None))
+
+    def _save(self, domain) -> None:
+        if domain.trail_stamp != self._era:
+            self._trail.append((domain, domain.mark()))
+            domain.trail_stamp = self._era
 
     # -- propagation queue ---------------------------------------------------
 
     def schedule(self, constraint: Constraint) -> None:
-        if id(constraint) not in self._queued:
-            self._queue.append(constraint)
-            self._queued.add(id(constraint))
+        key = id(constraint)
+        if key not in self._queued:
+            self._queued.add(key)
+            self._buckets[constraint.priority].append(constraint)
 
-    def schedule_watchers(self, var: IntVar) -> None:
-        for constraint in self._watchers.get(var.index, ()):
-            self.schedule(constraint)
+    def mark_dirty(self, constraint: Constraint, indices: Iterable[int]) -> None:
+        dirty = self._dirty.setdefault(id(constraint), set())
+        dirty.update(indices)
+
+    def _changed(self, var: IntVar) -> None:
+        self.events += 1
+        index = var.index
+        if not self._event_mode:
+            for constraint in self._watchers.get(index, ()):
+                self.schedule(constraint)
+            return
+        active = self._active
+        for constraint in self._watchers.get(index, ()):
+            if constraint is active and constraint.idempotent:
+                continue
+            key = id(constraint)
+            dirty = self._dirty.get(key)
+            if dirty is None:
+                dirty = self._dirty[key] = set()
+            dirty.add(index)
+            if key not in self._queued:
+                self._queued.add(key)
+                self._buckets[constraint.priority].append(constraint)
 
     def pop_constraint(self) -> Optional[Constraint]:
-        if not self._queue:
-            return None
-        constraint = self._queue.pop(0)
-        self._queued.discard(id(constraint))
-        return constraint
+        for bucket in self._buckets:
+            if bucket:
+                constraint = bucket.popleft()
+                self._queued.discard(id(constraint))
+                return constraint
+        return None
+
+    def take_dirty(self, constraint: Constraint) -> frozenset[int]:
+        return self._dirty.pop(id(constraint), frozenset())
 
     def clear_queue(self) -> None:
-        self._queue.clear()
+        for bucket in self._buckets:
+            bucket.clear()
         self._queued.clear()
+        self._dirty.clear()
+        self._active = None
 
     # -- mutations -----------------------------------------------------------
 
-    def _record(self, var: IntVar, removed: frozenset[int]) -> None:
-        if removed:
-            self._trail.append((var, removed))
-            self.schedule_watchers(var)
-
     def remove(self, var: IntVar, value: int) -> None:
-        self._record(var, var.domain.remove(value))
+        domain = var.domain
+        self._save(domain)
+        if domain.remove(value):
+            self._changed(var)
 
     def remove_many(self, var: IntVar, values: Iterable[int]) -> None:
-        self._record(var, var.domain.remove_many(values))
+        domain = var.domain
+        self._save(domain)
+        if domain.remove_many(values):
+            self._changed(var)
 
     def remove_above(self, var: IntVar, bound: int) -> None:
-        self._record(var, var.domain.remove_above(bound))
+        domain = var.domain
+        self._save(domain)
+        if domain.remove_above(bound):
+            self._changed(var)
 
     def remove_below(self, var: IntVar, bound: int) -> None:
-        self._record(var, var.domain.remove_below(bound))
+        domain = var.domain
+        self._save(domain)
+        if domain.remove_below(bound):
+            self._changed(var)
 
     def assign(self, var: IntVar, value: int) -> None:
-        self._record(var, var.domain.assign(value))
+        domain = var.domain
+        self._save(domain)
+        if domain.assign(value):
+            self._changed(var)
 
 
 # --------------------------------------------------------------------------- #
@@ -234,15 +380,25 @@ class Solver:
         model: Model,
         variable_selector: VariableSelector = first_fail,
         value_selector: ValueSelector = ascending_values,
+        engine: str = "event",
     ) -> None:
+        if engine not in ENGINES:
+            raise SolverError(
+                f"unknown propagation engine {engine!r}; expected one of {ENGINES}"
+            )
         self._model = model
         self._variable_selector = variable_selector
         self._value_selector = value_selector
+        self._engine = engine
         watchers: dict[int, list[Constraint]] = {}
         for constraint in model.constraints:
             for var in constraint.variables():
                 watchers.setdefault(var.index, []).append(constraint)
         self._watchers = watchers
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     # -- public API ----------------------------------------------------------
 
@@ -254,6 +410,7 @@ class Solver:
         collect_all: bool = False,
         first_solution_only: bool = False,
         initial_bound: Optional[int] = None,
+        node_limit: Optional[int] = None,
     ) -> SearchResult:
         """Run the search.
 
@@ -278,13 +435,23 @@ class Solver:
             (e.g. a greedy repair of the current placement); only strictly
             better solutions are accepted, so an empty result means the
             incumbent was not improved within the budget.
+        node_limit:
+            Maximum number of search-tree nodes to expand; like the timeout,
+            reaching it returns the best solution so far without an optimality
+            proof.  Handy for deterministic effort caps in benchmarks.
         """
-        store = _Store(self._watchers)
+        event = self._engine == "event"
+        store = _Store(self._watchers, event_mode=event)
         stats = SearchStatistics()
         result = SearchResult(best=None, statistics=stats)
         deadline = None if timeout is None else time.monotonic() + timeout
         start = time.monotonic()
         best_cost: Optional[int] = initial_bound if minimize is not None else None
+        selector = self._variable_selector
+        notify_failure = getattr(selector, "on_failure", None)
+        reset_selector = getattr(selector, "reset", None)
+        if reset_selector is not None:
+            reset_selector()
 
         def out_of_time() -> bool:
             return deadline is not None and time.monotonic() > deadline
@@ -299,17 +466,33 @@ class Solver:
             return Solution(values=values, objective=objective)
 
         def propagate() -> bool:
-            """Propagate to fixpoint; False on inconsistency."""
+            """Drain the propagation queue; False on inconsistency.
+
+            In event mode only the constraints woken by domain events run, and
+            they receive the indices of their changed variables; in fixpoint
+            mode every constraint is rescheduled and re-propagated from
+            scratch (the pre-event-engine reference behaviour).
+            """
             try:
                 if minimize is not None and best_cost is not None:
                     store.remove_above(minimize, best_cost - 1)
-                for constraint in self._model.constraints:
-                    store.schedule(constraint)
+                if not event:
+                    for constraint in self._model.constraints:
+                        store.schedule(constraint)
                 while True:
                     constraint = store.pop_constraint()
                     if constraint is None:
                         return True
-                    constraint.propagate(store)
+                    stats.propagations += 1
+                    dirty = store.take_dirty(constraint)
+                    if event:
+                        store._active = constraint
+                        try:
+                            constraint.propagate_events(store, dirty)
+                        finally:
+                            store._active = None
+                    else:
+                        constraint.propagate(store)
             except InconsistencyError:
                 store.clear_queue()
                 return False
@@ -317,9 +500,18 @@ class Solver:
         def all_instantiated() -> bool:
             return all(var.is_instantiated for var in self._model.variables)
 
+        def record_failure(var: IntVar) -> None:
+            stats.backtracks += 1
+            var.activity += 1.0
+            if notify_failure is not None:
+                notify_failure(var)
+
         def search() -> bool:
             """Return True when the search must stop entirely."""
             nonlocal best_cost
+            if node_limit is not None and stats.nodes >= node_limit:
+                stats.limit_reached = True
+                return True
             stats.nodes += 1
             if out_of_time():
                 stats.timed_out = True
@@ -345,7 +537,7 @@ class Solver:
                     return True
                 return False
 
-            var = self._variable_selector(self._model.variables)
+            var = selector(self._model.variables)
             if var is None:
                 # all decision variables instantiated but some auxiliary ones
                 # are not: propagation should have fixed them, treat as failure
@@ -358,14 +550,17 @@ class Solver:
                 try:
                     store.assign(var, value)
                 except InconsistencyError:
+                    store.clear_queue()
                     store.pop_level()
-                    stats.backtracks += 1
+                    record_failure(var)
                     continue
                 if propagate():
                     if search():
                         store.pop_level()
                         return True
-                stats.backtracks += 1
+                    stats.backtracks += 1
+                else:
+                    record_failure(var)
                 store.pop_level()
                 if out_of_time():
                     stats.timed_out = True
@@ -373,20 +568,33 @@ class Solver:
             return False
 
         store.push_level()
-        if propagate():
-            stopped = search()
-        else:
-            stopped = False
-        store.pop_level()
+        try:
+            if event:
+                for constraint in self._model.constraints:
+                    constraint.register(store)
+                    store.mark_dirty(
+                        constraint, (var.index for var in constraint.variables())
+                    )
+                    store.schedule(constraint)
+            if propagate():
+                search()
+        finally:
+            # Unwind every level so the model's domains are restored even when
+            # a propagator raises something other than InconsistencyError
+            # (e.g. an unsupported interior removal on an IntervalDomain).
+            while store._levels:
+                store.pop_level()
 
-        del stopped
+        stats.events = store.events
         stats.elapsed = time.monotonic() - start
         if minimize is not None and not first_solution_only:
-            # In minimization mode the search only stops early on timeout, so
-            # exhausting the tree without a timeout proves optimality (of the
-            # best solution found, or of the external incumbent when an
-            # initial bound was supplied and never improved).
-            stats.proven_optimal = not stats.timed_out and (
-                result.best is not None or initial_bound is not None
+            # In minimization mode the search only stops early on timeout or
+            # node limit, so exhausting the tree without either proves
+            # optimality (of the best solution found, or of the external
+            # incumbent when an initial bound was supplied and never improved).
+            stats.proven_optimal = (
+                not stats.timed_out
+                and not stats.limit_reached
+                and (result.best is not None or initial_bound is not None)
             )
         return result

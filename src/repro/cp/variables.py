@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
-from .domain import Domain
+from .domain import Domain, IntervalDomain
 
 
 class IntVar:
@@ -12,16 +12,25 @@ class IntVar:
 
     Every mutation goes through the owning :class:`~repro.cp.solver.Solver`'s
     trail so the search can undo it on backtracking.  The variable itself only
-    exposes read access plus low-level ``_apply``/``_undo`` hooks.
+    exposes read access; ``activity`` is a failure counter maintained by the
+    search for the activity-based fallback heuristic.
     """
 
-    __slots__ = ("name", "domain", "_solver", "index")
+    __slots__ = ("name", "domain", "index", "activity")
 
-    def __init__(self, name: str, values: Iterable[int]):
+    def __init__(
+        self,
+        name: str,
+        values: Union[Iterable[int], Domain, IntervalDomain],
+    ):
         self.name = name
-        self.domain = Domain(values)
-        self._solver = None  # set when registered on a model/solver
+        if isinstance(values, (Domain, IntervalDomain)):
+            self.domain = values
+        else:
+            self.domain = Domain(values)
         self.index: int = -1
+        #: Number of search failures this variable was involved in.
+        self.activity: float = 0.0
 
     # -- read access ---------------------------------------------------------
 
@@ -48,7 +57,7 @@ class IntVar:
     def values(self) -> tuple[int, ...]:
         return self.domain.values()
 
-    def raw_values(self) -> frozenset[int]:
+    def raw_values(self) -> tuple[int, ...]:
         return self.domain.raw_values()
 
     def __contains__(self, value: int) -> bool:
@@ -63,6 +72,14 @@ def make_int_var(name: str, lower: int, upper: int) -> IntVar:
     if upper < lower:
         raise ValueError(f"{name}: empty interval [{lower}, {upper}]")
     return IntVar(name, range(lower, upper + 1))
+
+
+def make_interval_var(name: str, lower: int, upper: int) -> IntVar:
+    """Create a variable over an :class:`IntervalDomain` — O(1) bound
+    tightening for wide contiguous domains such as the objective."""
+    if upper < lower:
+        raise ValueError(f"{name}: empty interval [{lower}, {upper}]")
+    return IntVar(name, IntervalDomain(lower, upper))
 
 
 def value_of(var: IntVar, default: Optional[int] = None) -> Optional[int]:

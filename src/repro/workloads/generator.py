@@ -70,6 +70,10 @@ class TraceConfigurationGenerator:
         self.node_memory = node_memory
         self.vm_counts_per_vjob = tuple(vm_counts_per_vjob)
         self.memory_choices = tuple(memory_choices)
+        #: Seed this generator was built with; every random draw flows through
+        #: the private ``random.Random`` below (never the module-global
+        #: ``random``), so the same seed always yields the same scenarios.
+        self.seed = seed
         self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------ #

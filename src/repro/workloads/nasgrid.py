@@ -171,7 +171,9 @@ def nasgrid_traces(
     builder = _TRACE_BUILDERS[spec.benchmark]
     phase_lists = builder(spec.vm_count, spec.task_duration())
     if jitter:
-        rng = rng or random.Random()
+        # Deterministic fallback: an unseeded Random here would make trace
+        # generation — and everything downstream of it — unreproducible.
+        rng = rng or random.Random(0)
         jittered = []
         for phases in phase_lists:
             jittered.append(

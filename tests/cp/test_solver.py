@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cp import (
+    ActivityLastConflict,
     AllDifferent,
     ElementSum,
     LinearLessEqual,
@@ -159,3 +160,107 @@ class TestHeuristics:
         a.domain.remove(2)
         selector = prefer_value({"a": 2})
         assert 2 not in selector(a)
+
+    def test_activity_last_conflict_prefers_conflict_variable(self):
+        a = make_int_var("a", 0, 3)
+        b = make_int_var("b", 0, 3)
+        selector = ActivityLastConflict(static_order([a, b]))
+        assert selector([a, b]) is a
+        selector.on_failure(b)
+        assert selector([a, b]) is b
+        b.domain.assign(1)
+        # instantiated conflict variable: fall back to the primary order
+        assert selector([a, b]) is a
+
+    def test_activity_last_conflict_reset(self):
+        a = make_int_var("a", 0, 3)
+        b = make_int_var("b", 0, 3)
+        selector = ActivityLastConflict(static_order([a, b]))
+        selector.on_failure(b)
+        selector.reset()
+        assert selector([a, b]) is a
+
+    def test_activity_fallback_picks_highest_activity_density(self):
+        a = make_int_var("a", 0, 3)
+        b = make_int_var("b", 0, 1)
+        a.activity = 1.0
+        b.activity = 4.0
+        selector = ActivityLastConflict()
+        assert selector([a, b]) is b
+
+
+class TestEngines:
+    def _model(self):
+        model = Model()
+        x0 = model.int_var("x0", [0, 1])
+        x1 = model.int_var("x1", [0, 1])
+        total = model.interval_var("total", 0, 40)
+        model.add_constraint(
+            VectorPacking([x0, x1], [(1, 10), (1, 10)], [(1, 20), (1, 20)])
+        )
+        model.add_constraint(
+            ElementSum([x0, x1], [{0: 0, 1: 10}, {0: 10, 1: 0}], total)
+        )
+        return model, total
+
+    def test_unknown_engine_rejected(self):
+        model, _ = self._model()
+        with pytest.raises(SolverError):
+            Solver(model, engine="quantum")
+
+    @pytest.mark.parametrize("engine", ["event", "fixpoint"])
+    def test_both_engines_find_the_proven_optimum(self, engine):
+        model, total = self._model()
+        result = Solver(model, engine=engine).solve(minimize=total)
+        assert result.best.objective == 0
+        assert result.statistics.proven_optimal
+
+    def test_event_engine_counts_propagations_and_events(self):
+        model, total = self._model()
+        result = Solver(model, engine="event").solve(minimize=total)
+        assert result.statistics.propagations > 0
+        assert result.statistics.events > 0
+
+    def test_node_limit_caps_search_without_proof(self):
+        model = Model()
+        variables = [model.int_var(f"v{i}", range(8)) for i in range(8)]
+        total = model.interval_var("total", 0, 100)
+        model.add_constraint(AllDifferent(variables))
+        model.add_constraint(
+            ElementSum(variables, [{v: v for v in range(8)}] * 8, total)
+        )
+        result = Solver(model).solve(minimize=total, node_limit=3)
+        assert result.statistics.limit_reached
+        assert not result.statistics.proven_optimal
+        assert result.statistics.nodes == 3
+
+    def test_domains_restored_when_a_propagator_raises(self):
+        """Non-InconsistencyError exceptions must unwind the whole trail."""
+        model = Model()
+        x = model.int_var("x", [0, 2])
+        y = model.interval_var("y", 0, 4)
+        # AllDifferent over an interval variable triggers an interior removal
+        # (removing 2 from [0..4]), which IntervalDomain rejects.
+        model.add_constraint(AllDifferent([x, y]))
+        solver = Solver(model)
+        with pytest.raises(ValueError):
+            solver.solve()
+        assert x.values() == (0, 2)
+        assert y.min == 0 and y.max == 4
+
+    def test_interval_objective_matches_sparse_objective(self):
+        sparse = Model()
+        xs = [sparse.int_var(f"x{i}", [0, 1]) for i in range(3)]
+        total_sparse = sparse.int_var("total", range(0, 31))
+        sparse.add_constraint(
+            ElementSum(xs, [{0: 3, 1: 7}, {0: 5, 1: 1}, {0: 2, 1: 9}], total_sparse)
+        )
+        dense = Model()
+        ys = [dense.int_var(f"x{i}", [0, 1]) for i in range(3)]
+        total_dense = dense.interval_var("total", 0, 30)
+        dense.add_constraint(
+            ElementSum(ys, [{0: 3, 1: 7}, {0: 5, 1: 1}, {0: 2, 1: 9}], total_dense)
+        )
+        a = Solver(sparse).solve(minimize=total_sparse)
+        b = Solver(dense).solve(minimize=total_dense)
+        assert a.best.objective == b.best.objective == 6

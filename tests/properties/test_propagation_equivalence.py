@@ -1,0 +1,163 @@
+"""Propagation-engine equivalence properties.
+
+The event-driven engine (incremental propagators, priority queue, trailed
+counters) and the retained naive-fixpoint reference engine must be
+observationally identical on the RJSP-style models the optimizer builds:
+same satisfiability, same optimum, same proof-of-optimality status, and a
+returned solution that satisfies every constraint.  Any mismatch means an
+incremental counter or an idempotence flag is wrong.
+
+Each engine gets its own freshly built model: variables are stateful, so the
+two searches must not share domains.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cp import (
+    AllDifferent,
+    AllEqual,
+    ElementSum,
+    LinearLessEqual,
+    Model,
+    Solver,
+    VectorPacking,
+    prefer_value,
+    static_order,
+)
+
+MEMORY_SIZES = (256, 512, 1024, 2048)
+
+
+@st.composite
+def rjsp_instances(draw):
+    """A small randomized RJSP-like instance description (pure data, so the
+    model can be built once per engine)."""
+    node_count = draw(st.integers(min_value=1, max_value=4))
+    vm_count = draw(st.integers(min_value=1, max_value=5))
+    capacities = [
+        (
+            draw(st.integers(min_value=0, max_value=3)),
+            draw(st.sampled_from((2048, 4096, 8192))),
+        )
+        for _ in range(node_count)
+    ]
+    demands = [
+        (
+            draw(st.integers(min_value=0, max_value=2)),
+            draw(st.sampled_from(MEMORY_SIZES)),
+        )
+        for _ in range(vm_count)
+    ]
+    # Per-VM movement-cost tables over all nodes, like Table 1's cost model.
+    tables = [
+        {node: draw(st.integers(min_value=0, max_value=20)) for node in range(node_count)}
+        for _ in range(vm_count)
+    ]
+    preferences = {
+        f"x{i}": draw(st.integers(min_value=0, max_value=node_count - 1))
+        for i in range(vm_count)
+        if draw(st.booleans())
+    }
+    # Optional relational constraints, as Spread/Gather would add.
+    spread = draw(st.booleans()) and vm_count >= 2
+    gather = draw(st.booleans()) and vm_count >= 2 and not spread
+    # Optional external incumbent, as the greedy repair would seed.
+    initial_bound = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=30))
+    )
+    # Optional knapsack side constraint on the assignments themselves.
+    linear_bound = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=3 * vm_count)))
+    return {
+        "capacities": capacities,
+        "demands": demands,
+        "tables": tables,
+        "preferences": preferences,
+        "spread": spread,
+        "gather": gather,
+        "initial_bound": initial_bound,
+        "linear_bound": linear_bound,
+    }
+
+
+def _build(instance):
+    node_count = len(instance["capacities"])
+    model = Model()
+    assignment = [
+        model.int_var(f"x{i}", range(node_count))
+        for i in range(len(instance["demands"]))
+    ]
+    model.add_constraint(
+        VectorPacking(assignment, instance["demands"], instance["capacities"])
+    )
+    upper = sum(max(t.values()) for t in instance["tables"])
+    total = model.interval_var("total", 0, upper)
+    model.add_constraint(ElementSum(assignment, instance["tables"], total))
+    if instance["spread"]:
+        model.add_constraint(AllDifferent(assignment[:2]))
+    if instance["gather"]:
+        model.add_constraint(AllEqual(assignment[:2]))
+    if instance["linear_bound"] is not None:
+        model.add_constraint(
+            LinearLessEqual(assignment, [1] * len(assignment), instance["linear_bound"])
+        )
+    return model, assignment, total
+
+
+def _solve(instance, engine):
+    model, assignment, total = _build(instance)
+    solver = Solver(
+        model,
+        variable_selector=static_order(assignment),
+        value_selector=prefer_value(instance["preferences"]),
+        engine=engine,
+    )
+    result = solver.solve(
+        minimize=total, initial_bound=instance["initial_bound"], collect_all=True
+    )
+    return model, result
+
+
+@settings(max_examples=120, deadline=None)
+@given(rjsp_instances())
+def test_engines_agree_on_optimum_and_proof(instance):
+    model_e, event = _solve(instance, "event")
+    model_f, fixpoint = _solve(instance, "fixpoint")
+
+    assert event.has_solution == fixpoint.has_solution
+    assert event.statistics.proven_optimal == fixpoint.statistics.proven_optimal
+    if event.has_solution:
+        assert event.best.objective == fixpoint.best.objective
+        # The best solution of either engine satisfies every constraint of
+        # its own model (domains were mutated in place during the search, so
+        # check against the model that produced the solution).
+        for model, result in ((model_e, event), (model_f, fixpoint)):
+            for var in model.variables:
+                var.domain.assign(result.best[var.name])
+            assert all(c.is_satisfied() for c in model.constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rjsp_instances())
+def test_engines_agree_in_satisfaction_mode(instance):
+    results = {}
+    for engine in ("event", "fixpoint"):
+        model, assignment, total = _build(instance)
+        solver = Solver(model, variable_selector=static_order(assignment), engine=engine)
+        results[engine] = solver.solve()
+    assert results["event"].has_solution == results["fixpoint"].has_solution
+    if results["event"].has_solution:
+        assert results["event"].best.values == results["fixpoint"].best.values
+
+
+@settings(max_examples=60, deadline=None)
+@given(rjsp_instances())
+def test_event_engine_explores_the_same_tree(instance):
+    """With identical heuristics the engines must reach the same fixpoints,
+    hence walk byte-identical search trees (same node/backtrack counts)."""
+    _, event = _solve(instance, "event")
+    _, fixpoint = _solve(instance, "fixpoint")
+    assert event.statistics.nodes == fixpoint.statistics.nodes
+    assert event.statistics.backtracks == fixpoint.statistics.backtracks
+    assert event.statistics.solutions == fixpoint.statistics.solutions

@@ -71,12 +71,48 @@ class TestGeneratedScenario:
                 assert mapping[name] == workload.vjob.name
 
 
+def scenario_fingerprint(scenario):
+    """Every observable random choice of a generated scenario: placements,
+    states, VM sizes and demands, and the jittered trace phases."""
+    configuration = scenario.configuration
+    return {
+        "placement": scenario.configuration.placement(),
+        "states": {
+            name: configuration.state_of(name).value
+            for name in sorted(configuration.vm_names)
+        },
+        "vms": {
+            vm.name: (vm.memory, vm.cpu_demand)
+            for vm in configuration.vms
+        },
+        "vjob_states": [w.vjob.state.value for w in scenario.workloads],
+        "traces": {
+            name: [
+                (round(phase.duration, 9), phase.cpu_demand)
+                for phase in trace.phases
+            ]
+            for w in scenario.workloads
+            for name, trace in w.traces.items()
+        },
+    }
+
+
 class TestDeterminism:
     def test_same_seed_gives_same_scenario(self):
         a = TraceConfigurationGenerator(seed=3).generate(54)
         b = TraceConfigurationGenerator(seed=3).generate(54)
         assert a.configuration.placement() == b.configuration.placement()
         assert [w.vjob.state for w in a.workloads] == [w.vjob.state for w in b.workloads]
+
+    def test_same_seed_gives_identical_fingerprint(self):
+        """Not just the placement: memories, demands, states and the jittered
+        traces must all be byte-identical for the same seed."""
+        a = TraceConfigurationGenerator(seed=17).generate(108)
+        b = TraceConfigurationGenerator(seed=17).generate(108)
+        assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+    def test_seed_attribute_is_recorded(self):
+        assert TraceConfigurationGenerator(seed=17).seed == 17
 
     def test_explicit_seed_per_sample(self):
         generator = TraceConfigurationGenerator(seed=3)

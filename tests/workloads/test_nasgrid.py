@@ -68,6 +68,14 @@ class TestTraceStructure:
         assert [t.total_duration for t in a] == [t.total_duration for t in b]
         assert [t.total_duration for t in a] != [t.total_duration for t in c]
 
+    def test_jitter_without_rng_is_deterministic(self):
+        """The fallback RNG is seeded: two calls without an explicit rng must
+        produce the same jittered traces (no hidden global randomness)."""
+        spec = NASGridSpec(Benchmark.ED, ProblemClass.W, vm_count=3)
+        a = nasgrid_traces(spec, jitter=0.2)
+        b = nasgrid_traces(spec, jitter=0.2)
+        assert [t.total_duration for t in a] == [t.total_duration for t in b]
+
 
 class TestVJobFactory:
     def test_vjob_and_traces_are_consistent(self):
