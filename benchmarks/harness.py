@@ -1,24 +1,28 @@
 """Recorded benchmark harness — runs the bench suite and emits ``BENCH_*.json``.
 
 The repository keeps a performance trajectory across PRs: every harness run
-executes the figure/table benchmarks (as a timed pytest pass per module) plus
-the solver scaling sweep (``bench_solver_scaling.py``), and writes a single
-JSON document with the numbers.  ``BENCH_PR2.json`` at the repository root is
-the committed snapshot for this PR; CI re-runs the smallest scaling tier as a
-smoke job and uploads the fresh document as an artifact.
+executes the figure/table benchmarks (as a timed pytest pass per module), the
+solver scaling sweep (``bench_solver_scaling.py``) and the chaos recovery
+campaigns (``bench_chaos_recovery.py``), and writes a single JSON document
+with the numbers.  ``BENCH_PR3.json`` at the repository root is the committed
+snapshot for this PR (``BENCH_PR2.json`` stays as the previous point of the
+trajectory); CI re-runs the smallest tiers as a smoke job and uploads the
+fresh document as an artifact.
 
 Usage::
 
-    python benchmarks/harness.py                 # full sweep -> BENCH_PR2.json
-    python benchmarks/harness.py --quick         # smallest tier, 1 sample,
+    python benchmarks/harness.py                 # full sweep -> BENCH_PR3.json
+    python benchmarks/harness.py --quick         # smallest tiers, 1 sample,
                                                  # figure benches skipped
     python benchmarks/harness.py --tiers 200 --samples 5 --timeout 30
     python benchmarks/harness.py -o /tmp/bench.json
 
 The solver-scaling section reports, per tier, the median search time of the
 event-driven engine and of the retained naive-fixpoint reference engine, and
-their ratio (``speedup``).  See the README "Performance" section for how to
-read the document.
+their ratio (``speedup``); the chaos-recovery section reports the control
+loop's repair latency, makespan inflation and lost-vjob count under a crash +
+churn schedule.  See the README "Performance" section for how to read the
+document.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR3.json"
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -42,16 +46,20 @@ QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(BENCH_DIR))
 
-import bench_solver_scaling  # noqa: E402  (path set up above)
+import bench_chaos_recovery  # noqa: E402  (path set up above)
+import bench_solver_scaling  # noqa: E402
+
+#: Benchmarks run natively by this harness rather than as pytest modules.
+_NATIVE_MODULES = ("bench_solver_scaling.py", "bench_chaos_recovery.py")
 
 
 def figure_bench_modules() -> list[Path]:
-    """Every figure/table benchmark driver, excluding the scaling sweep run
+    """Every figure/table benchmark driver, excluding the sweeps run
     natively and this harness itself."""
     return sorted(
         path
         for path in BENCH_DIR.glob("bench_*.py")
-        if path.name != "bench_solver_scaling.py"
+        if path.name not in _NATIVE_MODULES
     )
 
 
@@ -110,8 +118,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the figure/table benchmark modules",
     )
     parser.add_argument(
+        "--chaos-samples", type=int, default=bench_chaos_recovery.SAMPLES_PER_TIER,
+        help="seeded samples per chaos-recovery tier",
+    )
+    parser.add_argument(
+        "--skip-chaos", action="store_true",
+        help="skip the chaos-recovery campaigns",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
-        help="smoke mode: smallest tier, one sample, figures skipped",
+        help="smoke mode: smallest tiers, one sample, figures skipped",
     )
     parser.add_argument(
         "--min-speedup", type=float, default=None,
@@ -122,15 +138,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    chaos_tiers = list(bench_chaos_recovery.TIERS)
     if args.quick:
         args.tiers = [min(args.tiers)]
         args.samples = 1
         args.skip_figures = True
+        args.chaos_samples = 1
+        chaos_tiers = [min(chaos_tiers)]
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
 
     document = {
-        "label": "PR2 - event-driven CP solver core",
+        "label": "PR3 - fault-injection & churn scenario engine",
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
             "python": platform.python_version(),
@@ -155,6 +174,14 @@ def main(argv: list[str] | None = None) -> int:
         node_limit=args.node_limit,
     )
     print(bench_solver_scaling.format_results(document["solver_scaling"]))
+
+    if not args.skip_chaos:
+        print(f"chaos recovery: tiers={chaos_tiers} "
+              f"samples={args.chaos_samples}")
+        document["chaos_recovery"] = bench_chaos_recovery.run(
+            tiers=chaos_tiers, samples=args.chaos_samples
+        )
+        print(bench_chaos_recovery.format_results(document["chaos_recovery"]))
 
     if not args.skip_figures:
         print("figure benchmarks:")

@@ -6,9 +6,10 @@ VM) are submitted at the same moment on an 11-node cluster.  The script runs
 both resource-management strategies on the same workload:
 
 * the FCFS + static allocation baseline (each vjob books one CPU per VM for
-  its whole duration);
-* the Entropy loop with dynamic consolidation and cluster-wide context
-  switches.
+  its whole duration), via :meth:`repro.Scenario.run_static`;
+* the control loop driven by the ``"consolidation"`` policy — the paper's
+  Entropy loop with dynamic consolidation and cluster-wide context
+  switches — via :meth:`repro.Scenario.run`.
 
 and prints the completion times, the utilization, and the statistics of the
 context switches (compare with Figures 11-13 of the paper).

@@ -6,8 +6,9 @@ running vjobs demand more processing units than the cluster owns.  The
 cluster-wide context switch also suspends the lowest-priority vjobs and resumes
 them later, which keeps every node viable at all times.  This example builds an
 overload on purpose (the demand jumps from idle to 6 processing units on a
-4-CPU cluster) and shows the sequence of context switches Entropy performs to
-absorb it and to catch up once the high-priority work completes.
+4-CPU cluster) and shows the sequence of context switches the control loop
+(``repro.Scenario`` with the ``"consolidation"`` policy) performs to absorb it
+and to catch up once the high-priority work completes.
 
 Run with::
 

@@ -43,6 +43,7 @@ from .api import (
     Decision,
     DecisionModule,
     ExperimentBuilder,
+    FaultRecord,
     LoopObserver,
     RunResult,
     Scenario,
@@ -51,6 +52,7 @@ from .api import (
     get_decision_module,
     register_decision_module,
 )
+from .sim.faults import FaultKind, FaultSchedule, random_fault_schedule
 from .core import (
     ClusterContextSwitch,
     ContextSwitchOptimizer,
@@ -79,6 +81,10 @@ __all__ = [
     "Decision",
     "DecisionModule",
     "ExperimentBuilder",
+    "FaultKind",
+    "FaultRecord",
+    "FaultSchedule",
+    "random_fault_schedule",
     "LoopObserver",
     "RunResult",
     "Scenario",

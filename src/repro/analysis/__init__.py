@@ -2,14 +2,17 @@
 
 from .metrics import (
     CostComparison,
+    RecoveryStatistics,
     SwitchStatistics,
     average_cost_reduction,
     average_cpu_utilization,
     average_memory_utilization_gb,
     cost_duration_pairs,
     group_by_vm_count,
+    makespan_inflation,
     makespan_reduction,
     mean_costs_by_vm_count,
+    recovery_statistics,
     resample,
     switch_statistics,
 )
@@ -17,7 +20,10 @@ from .report import banner, format_fraction, format_seconds, format_table, serie
 
 __all__ = [
     "CostComparison",
+    "RecoveryStatistics",
     "SwitchStatistics",
+    "makespan_inflation",
+    "recovery_statistics",
     "average_cost_reduction",
     "average_cpu_utilization",
     "average_memory_utilization_gb",

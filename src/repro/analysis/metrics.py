@@ -4,7 +4,9 @@ These helpers compute the figures the paper reports: average cost reduction of
 the optimizer over the FFD baseline (Figure 10), cost/duration statistics of
 the context switches (Figure 11), utilization curves (Figure 13) and the
 makespan reduction of dynamic consolidation over the static allocation
-(Section 5.2's headline 40 %).
+(Section 5.2's headline 40 %) — plus the recovery statistics of the chaos
+scenarios (repair latency, SLA violations, wasted migrations, makespan
+inflation under faults).
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Iterable, Optional, Sequence
 
-from ..api.results import ContextSwitchRecord, UtilizationSample
+from ..api.results import ContextSwitchRecord, RunResult, UtilizationSample
 
 
 # --------------------------------------------------------------------------- #
@@ -145,6 +147,53 @@ def makespan_reduction(baseline_makespan: float, entropy_makespan: float) -> flo
     if baseline_makespan <= 0:
         return 0.0
     return 1.0 - entropy_makespan / baseline_makespan
+
+
+# --------------------------------------------------------------------------- #
+# Chaos scenarios: recovery statistics                                         #
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class RecoveryStatistics:
+    """Aggregate health of one fault-injected run.
+
+    ``lost_vjobs`` must be 0 for a recovery to count as successful: every
+    submitted vjob eventually completed despite the injected faults.
+    """
+
+    fault_count: int
+    repaired_vjobs: int
+    mean_repair_latency: float
+    max_repair_latency: float
+    wasted_migrations: int
+    lost_vjobs: int
+    sla_violations: int
+
+    @property
+    def fully_recovered(self) -> bool:
+        return self.lost_vjobs == 0
+
+
+def recovery_statistics(result: RunResult) -> RecoveryStatistics:
+    """Summarize the chaos metrics of one run (all zeros when fault-free)."""
+    latencies = list(result.repair_latencies.values())
+    return RecoveryStatistics(
+        fault_count=len(result.faults),
+        repaired_vjobs=len(latencies),
+        mean_repair_latency=mean(latencies) if latencies else 0.0,
+        max_repair_latency=max(latencies) if latencies else 0.0,
+        wasted_migrations=result.wasted_migrations,
+        lost_vjobs=result.lost_vjob_count,
+        sla_violations=len(result.sla_violations),
+    )
+
+
+def makespan_inflation(baseline: float, chaotic: float) -> float:
+    """Fractional makespan increase of a chaos run over its fault-free twin
+    (0.10 = the faults cost 10 % extra wall-clock time)."""
+    if baseline <= 0:
+        return 0.0
+    return chaotic / baseline - 1.0
 
 
 def resample(

@@ -10,8 +10,12 @@ This package is the single entry point for building and running experiments:
 * :func:`register_decision_module` / :func:`get_decision_module` — the
   string-keyed policy registry ("consolidation", "fcfs", "ffd", "rjsp" are
   pre-registered);
-* :class:`RunResult` and friends — the structured result every run returns;
-* :class:`LoopObserver` — per-iteration hooks for metrics and tracing.
+* :class:`RunResult` and friends — the structured result every run returns,
+  including the chaos series (:class:`FaultRecord` timeline, repair
+  latencies, SLA violations, lost vjobs) populated when a scenario attaches
+  a :class:`~repro.sim.faults.FaultSchedule` (``Scenario(faults=...)``);
+* :class:`LoopObserver` — per-iteration hooks for metrics and tracing
+  (``on_fault`` / ``on_repair`` fire during chaos runs).
 """
 
 from .decision import (
@@ -29,10 +33,11 @@ from .registry import (
     get_decision_module,
     register_decision_module,
 )
-from .results import ContextSwitchRecord, RunResult, UtilizationSample
+from .results import ContextSwitchRecord, FaultRecord, RunResult, UtilizationSample
 from .scenario import ExperimentBuilder, Scenario
 
 __all__ = [
+    "FaultRecord",
     "Decision",
     "DecisionModule",
     "empty_configuration",

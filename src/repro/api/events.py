@@ -15,7 +15,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.context_switch import ContextSwitchReport
     from ..model.configuration import Configuration
     from .decision import Decision
-    from .results import ContextSwitchRecord, RunResult, UtilizationSample
+    from .results import (
+        ContextSwitchRecord,
+        FaultRecord,
+        RunResult,
+        UtilizationSample,
+    )
 
 
 class LoopObserver:
@@ -40,6 +45,13 @@ class LoopObserver:
 
     def on_vjob_completed(self, name: str, time: float) -> None:
         """A vjob finished all its work and was terminated."""
+
+    def on_fault(self, record: "FaultRecord") -> None:
+        """A fault fired and was applied to the cluster (chaos runs only)."""
+
+    def on_repair(self, name: str, latency: float) -> None:
+        """A vjob knocked out by a crash is running again; ``latency`` is the
+        crash-to-running repair time in seconds."""
 
     def on_run_end(self, result: "RunResult") -> None:
         """The loop completed; ``result`` is about to be returned."""
@@ -70,6 +82,12 @@ class RecordingObserver(LoopObserver):
 
     def on_vjob_completed(self, name: str, time: float) -> None:
         self.events.append(("vjob_completed", (name, time)))
+
+    def on_fault(self, record: "FaultRecord") -> None:
+        self.events.append(("fault", record))
+
+    def on_repair(self, name: str, latency: float) -> None:
+        self.events.append(("repair", (name, latency)))
 
     def on_run_end(self, result: "RunResult") -> None:
         self.events.append(("run_end", result))

@@ -12,6 +12,16 @@ by registry name or passed as an instance — drives the same loop, and every
 run produces the same structured :class:`~repro.api.results.RunResult`.
 Prefer the :class:`~repro.api.scenario.Scenario` facade over instantiating
 the loop by hand.
+
+The loop is also *fault-reactive*: with a
+:class:`~repro.sim.faults.FaultInjector` attached, scheduled faults fire at
+the start of each iteration.  A node crash evicts the node from the
+configuration and knocks the affected vjobs back to Waiting, so the next
+decision round re-plans them onto the surviving fleet; a failed migration
+leaves its VM on the source node and is re-derived (hence retried) by the
+next decision; slow nodes advance vjob progress more slowly; late-booting
+nodes join the configuration mid-run.  Repair latencies, SLA violations and
+wasted migrations are reported on the :class:`~repro.api.results.RunResult`.
 """
 
 from __future__ import annotations
@@ -28,13 +38,14 @@ from ..model.vjob import VJobState
 from ..model.vm import VMState
 from ..sim.cluster import SimulatedCluster
 from ..sim.executor import PlanExecutor
+from ..sim.faults import FaultEvent, FaultInjector, FaultKind, evict_node
 from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
 from ..sim.monitoring import MonitoringService
 from ..workloads.traces import VJobWorkload
 from .decision import Decision, DecisionModule, needs_switch
 from .events import LoopObserver
 from .registry import get_decision_module
-from .results import ContextSwitchRecord, RunResult, UtilizationSample
+from .results import ContextSwitchRecord, FaultRecord, RunResult, UtilizationSample
 
 PolicyLike = Union[str, DecisionModule]
 
@@ -76,6 +87,8 @@ class ControlLoop:
         max_time: float = 24 * 3600.0,
         observers: Sequence[LoopObserver] = (),
         max_consecutive_planning_failures: int = 25,
+        fault_injector: Optional[FaultInjector] = None,
+        sla_factor: Optional[float] = None,
     ) -> None:
         self.workloads = list(workloads)
         self.period = period
@@ -83,11 +96,23 @@ class ControlLoop:
         self.hypervisor = hypervisor
         self.observers = list(observers)
         self.max_consecutive_planning_failures = max_consecutive_planning_failures
+        self.faults = fault_injector
+        self.sla_factor = sla_factor
 
         self.cluster = SimulatedCluster(nodes=nodes)
         self.queue = VJobQueue()
         self.progress: dict[str, float] = {}
         self._submitted: set[str] = set()
+        #: vjob name -> time of the crash that knocked it out, until repaired.
+        self._repair_pending: dict[str, float] = {}
+        #: Late-booting nodes held back until their DELAYED_BOOT event fires.
+        self._delayed_nodes: dict[str, Node] = {}
+        if self.faults is not None:
+            for name in self.faults.delayed_boot_nodes():
+                if self.cluster.configuration.has_node(name):
+                    self._delayed_nodes[name] = (
+                        self.cluster.configuration.remove_node(name)
+                    )
 
         stale = [
             w.vjob.name
@@ -111,7 +136,9 @@ class ControlLoop:
         self.switcher = ClusterContextSwitch(
             optimizer_timeout=optimizer_timeout, use_optimizer=use_optimizer
         )
-        self.executor = PlanExecutor(hypervisor=hypervisor)
+        self.executor = PlanExecutor(
+            hypervisor=hypervisor, fault_injector=fault_injector
+        )
         self.monitoring = MonitoringService(
             demand_source=self._demand_source, refresh_delay=monitoring_delay
         )
@@ -192,6 +219,12 @@ class ControlLoop:
         while now < self.max_time:
             self._submit_pending(now)
 
+            # exogenous events first: faults scheduled since the previous
+            # iteration are detected now (monitoring-grain detection)
+            if self.faults is not None:
+                for event in self.faults.fire(now):
+                    self._apply_fault(event, now, result)
+
             # (i) observe
             observation = self.monitoring.observe(now, self.cluster.configuration)
             for vm_name, demand in observation.cpu_demands.items():
@@ -256,9 +289,11 @@ class ControlLoop:
                 involved_nodes = execution.involved_nodes()
                 record = self._record_switch(now, report, execution)
                 result.switches.append(record)
+                self._record_migration_faults(execution, result)
                 self._notify("on_switch", record, report)
                 self.monitoring.notify_reconfiguration(now + switch_duration)
                 self._sync_vjob_states()
+                self._check_repairs(now + switch_duration, result)
 
             # sample utilization after the switch
             sample = self._sample(now)
@@ -267,15 +302,24 @@ class ControlLoop:
 
             # advance simulated time and the progress of the running vjobs
             step = max(self.period, switch_duration)
-            self._advance_progress(step, switch_duration, involved_nodes)
+            self._advance_progress(step, switch_duration, involved_nodes, now)
             now += step
 
         result.makespan = (
             max(result.completion_times.values()) if result.completion_times else now
         )
+        result.unfinished_vjobs = sorted(
+            workload.vjob.name
+            for workload in self.workloads
+            if workload.vjob.name in self._submitted
+            and not workload.vjob.is_terminated
+        )
+        result.sla_violations = self._sla_violations(result)
         result.metadata["final_viable"] = self.cluster.configuration.is_viable()
         result.metadata["simulated_time"] = now
         result.metadata["planning_failures"] = planning_failures
+        if self.faults is not None:
+            result.metadata["unrepaired_vjobs"] = sorted(self._repair_pending)
         self._notify("on_run_end", result)
         return result
 
@@ -286,6 +330,145 @@ class ControlLoop:
     def _notify(self, hook: str, *payload: Any) -> None:
         for observer in self.observers:
             getattr(observer, hook)(*payload)
+
+    # ------------------------------------------------------------------ #
+    # fault handling                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _apply_fault(
+        self, event: FaultEvent, now: float, result: RunResult
+    ) -> None:
+        """Apply one due fault event and record it on the result."""
+        affected: tuple[str, ...] = ()
+        detail = ""
+        if event.kind is FaultKind.NODE_CRASH:
+            if self.cluster.configuration.has_node(event.target):
+                affected = self._crash_node(event.target, event.time)
+            elif event.target in self._delayed_nodes:
+                # The node died before it ever booted: cancel the pending
+                # boot so it does not later join the fleet alive.
+                del self._delayed_nodes[event.target]
+                detail = "crashed before boot; boot cancelled"
+            else:
+                detail = "node absent; ignored"
+        elif event.kind is FaultKind.DELAYED_BOOT:
+            node = self._delayed_nodes.pop(event.target, None)
+            if node is not None and not self.cluster.configuration.has_node(
+                node.name
+            ):
+                self.cluster.configuration.add_node(node)
+            elif node is None:
+                detail = "no pending boot (cancelled or unknown); ignored"
+            else:
+                detail = "node already present; ignored"
+        # NODE_SLOWDOWN needs no application step: the injector answers
+        # slowdown_factor() queries for the whole window.  The record below
+        # still marks the window opening on the fault timeline.
+        record = FaultRecord(
+            time=event.time,
+            kind=event.kind.value,
+            target=event.target,
+            detected_at=now,
+            affected_vjobs=affected,
+            detail=detail,
+        )
+        result.faults.append(record)
+        self._notify("on_fault", record)
+
+    def _crash_node(self, node_name: str, crash_time: float) -> tuple[str, ...]:
+        """Kill a node; the vjobs it hosted fall back to Waiting entirely.
+
+        The consistency requirement of Section 4.1 (all the VMs of a vjob
+        run together) extends to failures: losing one VM invalidates the
+        vjob's current execution, so every sibling VM is reset too and the
+        whole vjob re-enters the queue.  Progress already accumulated is
+        kept — the restart-from-checkpoint assumption documented in
+        ``docs/SIMULATOR_GUIDE.md``.
+        """
+        configuration = self.cluster.configuration
+        eviction = evict_node(configuration, node_name)
+        vjob_of_vm = self._vjob_of_vm()
+        affected = sorted(
+            {
+                vjob_of_vm[vm]
+                for vm in eviction.affected_vms
+                if vm in vjob_of_vm
+            }
+        )
+        repaired_names = []
+        for name in affected:
+            vjob = self.queue.get(name) if name in self.queue else None
+            if vjob is None or vjob.is_terminated:
+                continue
+            for vm in vjob.vm_names:
+                if configuration.has_vm(vm) and configuration.state_of(
+                    vm
+                ) is not VMState.TERMINATED:
+                    configuration.set_waiting(vm)
+            # Exogenous transition: a crash may force Running -> Waiting,
+            # which the life-cycle state machine (Figure 2) has no edge for.
+            vjob.state = VJobState.WAITING
+            self._repair_pending.setdefault(name, crash_time)
+            repaired_names.append(name)
+        for vm in eviction.affected_vms:
+            self.cluster.images.discard(vm)
+        return tuple(repaired_names)
+
+    def _record_migration_faults(self, execution, result: RunResult) -> None:
+        """Put every aborted migration of a switch on the fault timeline.
+
+        Unlike the scheduled faults, a migration failure only materializes
+        when the executor actually attempts the move, so it is recorded here
+        — at the attempt's start time — rather than in ``_apply_fault``.
+        """
+        from ..core.actions import ActionKind
+
+        for failure in execution.failures:
+            if (
+                failure.action.kind is not ActionKind.MIGRATE
+                or failure.reason != "migration-fault"
+            ):
+                continue
+            record = FaultRecord(
+                time=failure.start,
+                kind=FaultKind.MIGRATION_FAILURE.value,
+                target=failure.action.vm,
+                detected_at=failure.start,
+                detail=(
+                    f"migration {failure.action.source()} -> "
+                    f"{failure.action.destination()} aborted"
+                ),
+            )
+            result.faults.append(record)
+            self._notify("on_fault", record)
+
+    def _check_repairs(self, finish_time: float, result: RunResult) -> None:
+        """Vjobs knocked out by a crash that are running again are repaired;
+        the latency runs from the crash to the end of the restoring switch."""
+        for name in list(self._repair_pending):
+            vjob = self.queue.get(name)
+            if vjob.state is VJobState.RUNNING:
+                latency = finish_time - self._repair_pending.pop(name)
+                result.repair_latencies[name] = latency
+                self._notify("on_repair", name, latency)
+            elif vjob.is_terminated:
+                del self._repair_pending[name]
+
+    def _sla_violations(self, result: RunResult) -> list[str]:
+        """Vjobs whose turnaround exceeded ``sla_factor`` times their ideal
+        execution time (unfinished vjobs always violate)."""
+        if self.sla_factor is None:
+            return []
+        violations = set(result.unfinished_vjobs)
+        for workload in self.workloads:
+            vjob = workload.vjob
+            completed_at = result.completion_times.get(vjob.name)
+            if completed_at is None:
+                continue
+            turnaround = completed_at - vjob.submitted_at
+            if turnaround > self.sla_factor * workload.duration:
+                violations.add(vjob.name)
+        return sorted(violations)
 
     def _plan(self, decision: Decision, vjob_of_vm: Mapping[str, str]):
         """Plan the switch: towards the policy's explicit target when it
@@ -332,6 +515,12 @@ class ControlLoop:
             for item in execution.actions
             if isinstance(item.action, Resume) and item.action.is_local
         )
+        failed_migrations = sum(
+            1
+            for failure in execution.failures
+            if failure.action.kind is ActionKind.MIGRATE
+            and failure.reason == "migration-fault"
+        )
         return ContextSwitchRecord(
             time=now,
             cost=plan_cost(report.plan).total,
@@ -343,6 +532,7 @@ class ControlLoop:
             resumes=execution.count(ActionKind.RESUME),
             local_resumes=local_resumes,
             used_fallback=report.used_fallback,
+            failed_migrations=failed_migrations,
         )
 
     def _sample(self, now: float) -> UtilizationSample:
@@ -367,13 +557,20 @@ class ControlLoop:
         )
 
     def _advance_progress(
-        self, step: float, switch_duration: float, involved_nodes: set[str]
+        self,
+        step: float,
+        switch_duration: float,
+        involved_nodes: set[str],
+        now: float = 0.0,
     ) -> None:
         """Advance the execution of the running vjobs by ``step`` seconds.
 
         Running VMs hosted on nodes touched by the context switch are slowed
         down during the switch window (Section 2.3 measured a 1.3-1.5x factor);
-        the remaining part of the interval progresses at full speed.
+        the remaining part of the interval progresses at full speed.  On top
+        of that, a vjob with a VM on a fault-slowed node advances the whole
+        interval ``slowdown_factor`` times slower (the worst factor across
+        its VMs' hosts).
         """
         configuration = self.cluster.configuration
         factor = config.INTERFERENCE_FACTOR_LOCAL
@@ -382,13 +579,19 @@ class ControlLoop:
             if vjob.state is not VJobState.RUNNING:
                 continue
             slowed = False
-            if switch_duration > 0 and involved_nodes:
-                for vm_name in vjob.vm_names:
-                    if configuration.location_of(vm_name) in involved_nodes:
-                        slowed = True
-                        break
+            fault_slowdown = 1.0
+            for vm_name in vjob.vm_names:
+                host = configuration.location_of(vm_name)
+                if host is None:
+                    continue
+                if switch_duration > 0 and host in involved_nodes:
+                    slowed = True
+                if self.faults is not None:
+                    fault_slowdown = max(
+                        fault_slowdown, self.faults.slowdown_factor(host, now)
+                    )
             if slowed:
                 effective = (step - switch_duration) + switch_duration / factor
             else:
                 effective = step
-            self.progress[vjob.name] += effective
+            self.progress[vjob.name] += effective / fault_slowdown

@@ -4,7 +4,10 @@ One :class:`RunResult` is produced per scenario run regardless of the policy
 driving the loop, so benchmarks, examples and tests compare strategies
 without policy-specific plumbing: the Figure 11 context-switch records, the
 Figure 13 utilization samples, the per-vjob completion times and the headline
-makespan all live here.
+makespan all live here.  Chaos runs add their own series: the
+:class:`FaultRecord` timeline, per-vjob repair latencies, SLA violations and
+the wasted-migration count (see ``docs/SIMULATOR_GUIDE.md`` for what each
+metric means and how it is computed).
 """
 
 from __future__ import annotations
@@ -15,7 +18,11 @@ from typing import Any
 
 @dataclass(frozen=True)
 class ContextSwitchRecord:
-    """One cluster-wide context switch performed during a run (Figure 11)."""
+    """One cluster-wide context switch performed during a run (Figure 11).
+
+    ``failed_migrations`` counts migration attempts aborted by fault
+    injection during this switch (always 0 on a fault-free run).
+    """
 
     time: float
     cost: int
@@ -27,10 +34,35 @@ class ContextSwitchRecord:
     resumes: int
     local_resumes: int
     used_fallback: bool = False
+    failed_migrations: int = 0
 
     @property
     def action_count(self) -> int:
         return self.migrations + self.runs + self.stops + self.suspends + self.resumes
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault applied to the cluster during a run.
+
+    ``kind`` is the :class:`~repro.sim.faults.FaultKind` value string
+    (``"node_crash"``, ``"node_slowdown"``, ``"migration_failure"``,
+    ``"delayed_boot"``); ``time`` is when the fault was *scheduled* and
+    ``detected_at`` when the control loop observed and applied it (the next
+    iteration boundary — monitoring-grain detection, like a real cluster).
+    ``affected_vjobs`` lists the vjobs a crash knocked back to Waiting.
+    """
+
+    time: float
+    kind: str
+    target: str
+    detected_at: float = 0.0
+    affected_vjobs: tuple[str, ...] = ()
+    detail: str = ""
+
+    @property
+    def detection_delay(self) -> float:
+        return self.detected_at - self.time
 
 
 @dataclass(frozen=True)
@@ -65,6 +97,18 @@ class RunResult:
     ``policy`` names the decision module that drove the run (its registry
     key when available); ``metadata`` carries run-level extras such as the
     viability of the final configuration.
+
+    The chaos series are empty on fault-free runs:
+
+    * ``faults`` — chronological :class:`FaultRecord` timeline;
+    * ``repair_latencies`` — vjob name -> seconds between a crash knocking
+      the vjob out and the switch that put it back in the Running state
+      completing (detection delay included);
+    * ``sla_violations`` — vjobs whose turnaround exceeded
+      ``sla_factor x`` their ideal execution time (only populated when the
+      scenario sets ``sla_factor``); unfinished vjobs always violate;
+    * ``unfinished_vjobs`` — submitted vjobs that never completed ("lost"
+      vjobs; a recovery scenario is only healthy when this is empty).
     """
 
     makespan: float = 0.0
@@ -73,6 +117,10 @@ class RunResult:
     utilization: list[UtilizationSample] = field(default_factory=list)
     completion_times: dict[str, float] = field(default_factory=dict)
     metadata: dict[str, Any] = field(default_factory=dict)
+    faults: list[FaultRecord] = field(default_factory=list)
+    repair_latencies: dict[str, float] = field(default_factory=dict)
+    sla_violations: list[str] = field(default_factory=list)
+    unfinished_vjobs: list[str] = field(default_factory=list)
 
     @property
     def average_switch_duration(self) -> float:
@@ -88,6 +136,24 @@ class RunResult:
     @property
     def total_switch_cost(self) -> int:
         return sum(s.cost for s in self.switches)
+
+    @property
+    def mean_repair_latency(self) -> float:
+        """Average crash-to-running latency over the repaired vjobs (0.0
+        when nothing crashed)."""
+        if not self.repair_latencies:
+            return 0.0
+        return sum(self.repair_latencies.values()) / len(self.repair_latencies)
+
+    @property
+    def wasted_migrations(self) -> int:
+        """Migration attempts aborted by fault injection across the run."""
+        return sum(s.failed_migrations for s in self.switches)
+
+    @property
+    def lost_vjob_count(self) -> int:
+        """Submitted vjobs that never completed — 0 on a healthy recovery."""
+        return len(self.unfinished_vjobs)
 
     def completed(self, name: str) -> bool:
         return name in self.completion_times

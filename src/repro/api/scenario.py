@@ -23,6 +23,7 @@ from typing import Any, Mapping, Optional, Sequence
 
 from .. import config
 from ..model.node import Node
+from ..sim.faults import FaultInjector, FaultSchedule
 from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
 from ..workloads.traces import VJobWorkload
 from .events import LoopObserver
@@ -32,7 +33,15 @@ from .results import RunResult
 
 @dataclass
 class Scenario:
-    """A declarative experiment: cluster + workloads + policy + loop knobs."""
+    """A declarative experiment: cluster + workloads + policy + loop knobs.
+
+    ``faults`` attaches a :class:`~repro.sim.faults.FaultSchedule` (node
+    crashes, slow-downs, migration failures, delayed boots); a fresh
+    :class:`~repro.sim.faults.FaultInjector` is built per run so repeated
+    builds stay independent.  ``sla_factor`` turns on SLA accounting: a vjob
+    violates its SLA when its turnaround (completion minus submission time)
+    exceeds ``sla_factor`` times its ideal execution time.
+    """
 
     nodes: Sequence[Node] = ()
     workloads: Sequence[VJobWorkload] = ()
@@ -45,6 +54,8 @@ class Scenario:
     monitoring_delay: float = config.MONITORING_DELAY_S
     max_time: float = 24 * 3600.0
     max_consecutive_planning_failures: int = 25
+    faults: Optional[FaultSchedule] = None
+    sla_factor: Optional[float] = None
     observers: list[LoopObserver] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -66,6 +77,23 @@ class Scenario:
             observers=list(self.observers),
         )
 
+    def with_faults(
+        self,
+        schedule: FaultSchedule,
+        workloads: Optional[Sequence[VJobWorkload]] = None,
+    ) -> "Scenario":
+        """A copy of this scenario running under ``schedule``.
+
+        A run mutates vjob state, so comparing a fault-free run with its
+        chaotic twin needs fresh ``workloads`` for the copy (rebuild them
+        from the same seed); without them the copy shares this scenario's
+        workload objects and only one of the two scenarios can run.
+        """
+        copied = replace(self, faults=schedule, observers=list(self.observers))
+        if workloads is not None:
+            copied.workloads = list(workloads)
+        return copied
+
     def observe(self, observer: LoopObserver) -> "Scenario":
         """Attach an observer (returns ``self`` for chaining)."""
         self.observers.append(observer)
@@ -84,6 +112,8 @@ class Scenario:
         # Workloads carry mutable vjob state; fresh vjobs per build would
         # require deep-copying traces, so one scenario instance should be
         # rebuilt from fresh workloads for truly independent repetitions.
+        # The fault injector, by contrast, is rebuilt from the (passive)
+        # schedule here, so it never leaks state between builds.
         return ControlLoop(
             nodes=self.nodes,
             workloads=self.workloads,
@@ -99,6 +129,10 @@ class Scenario:
             max_consecutive_planning_failures=(
                 self.max_consecutive_planning_failures
             ),
+            fault_injector=(
+                FaultInjector(self.faults) if self.faults is not None else None
+            ),
+            sla_factor=self.sla_factor,
         )
 
     def run(self) -> RunResult:
@@ -233,6 +267,14 @@ class ExperimentBuilder:
 
     def max_consecutive_planning_failures(self, count: int) -> "ExperimentBuilder":
         self._overrides["max_consecutive_planning_failures"] = count
+        return self
+
+    def faults(self, schedule: FaultSchedule) -> "ExperimentBuilder":
+        self._overrides["faults"] = schedule
+        return self
+
+    def sla_factor(self, factor: float) -> "ExperimentBuilder":
+        self._overrides["sla_factor"] = factor
         return self
 
     def observe(self, observer: LoopObserver) -> "ExperimentBuilder":

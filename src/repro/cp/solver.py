@@ -373,7 +373,28 @@ class _Store:
 # --------------------------------------------------------------------------- #
 
 class Solver:
-    """Backtracking search over a :class:`Model`."""
+    """Backtracking search over a :class:`Model`.
+
+    Parameters
+    ----------
+    model:
+        The variables and constraints to search over.
+    variable_selector / value_selector:
+        Branching heuristics; the defaults are first-fail over ascending
+        values, the optimizer wraps them in the paper's biggest-first order
+        plus :class:`ActivityLastConflict`.
+    engine:
+        Propagation engine — ``"event"`` (default) wakes only the
+        constraints watching a changed variable through the
+        priority-bucketed queue; ``"fixpoint"`` re-propagates every
+        constraint after every decision (the first-generation reference
+        behaviour, retained so equivalence can be property-tested and the
+        speedup benchmarked).  Both engines walk identical search trees.
+
+    Effort is bounded per :meth:`solve` call via ``timeout`` (wall-clock)
+    and ``node_limit`` (deterministic search-tree cap) — see
+    :meth:`solve` for every knob.
+    """
 
     def __init__(
         self,

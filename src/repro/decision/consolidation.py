@@ -9,6 +9,12 @@ handles *overloaded* clusters: when no viable assignment exists for every
 running vjob, the lowest-priority ones are suspended instead of letting nodes
 stay overloaded.
 
+Because the whole queue is re-evaluated every round against the *current*
+configuration, the policy is fault-reactive without fault-specific code: a
+vjob knocked back to Waiting by a node crash is simply re-selected and
+re-placed on the surviving nodes, and a migration undone by a failure is
+re-derived on the next round (see :mod:`repro.sim.faults`).
+
 Registered as ``"consolidation"`` in :mod:`repro.api.registry`.
 """
 

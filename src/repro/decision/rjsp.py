@@ -8,6 +8,12 @@ Sleeping if it is currently running or sleeping, and stays Waiting otherwise.
 Because running vjobs release resources when their demand drops, previously
 rejected vjobs are re-evaluated at every round — hence the whole queue is
 always reconsidered.
+
+The selection packs onto whatever nodes the *current* configuration exposes,
+so cluster churn needs no special casing here: nodes evicted by a crash are
+simply absent from the trial packing, late-booting nodes enlarge it, and on
+a fleet with no capacity left every vjob is rejected (the loop then waits
+for capacity instead of planning an impossible switch).
 """
 
 from __future__ import annotations

@@ -16,12 +16,13 @@ New code should prefer the :class:`~repro.api.scenario.Scenario` facade::
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .. import config
 from ..api.loop import ControlLoop
 from ..api.results import ContextSwitchRecord, RunResult, UtilizationSample
 from ..model.node import Node
+from ..sim.faults import FaultInjector
 from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
 from ..workloads.traces import VJobWorkload
 
@@ -54,6 +55,7 @@ class EntropySimulation(ControlLoop):
         hypervisor: HypervisorModel = DEFAULT_HYPERVISOR,
         monitoring_delay: float = config.MONITORING_DELAY_S,
         max_time: float = 24 * 3600.0,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(
             nodes=nodes,
@@ -66,4 +68,5 @@ class EntropySimulation(ControlLoop):
             hypervisor=hypervisor,
             monitoring_delay=monitoring_delay,
             max_time=max_time,
+            fault_injector=fault_injector,
         )

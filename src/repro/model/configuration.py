@@ -16,6 +16,7 @@ from typing import Iterable, Iterator, Mapping, Optional
 
 from .errors import (
     DuplicateElementError,
+    ModelError,
     NonViableConfigurationError,
     UnknownNodeError,
     UnknownVMError,
@@ -96,6 +97,27 @@ class Configuration:
         if vm.name not in self._vms:
             raise UnknownVMError(vm.name)
         self._vms[vm.name] = vm
+
+    def remove_node(self, name: str) -> Node:
+        """Evict a node from the configuration (e.g. a crash or a drain).
+
+        The node must be empty: no VM may be running on it and no suspend
+        image may live on it — displace or kill those first (see
+        :func:`repro.sim.faults.evict_node` for the crash semantics).  Returns
+        the removed :class:`~repro.model.node.Node` so it can be re-added
+        later (a repaired node rejoining the fleet).
+        """
+        node = self.node(name)
+        placed = [vm for vm, host in self._placement.items() if host == name]
+        imaged = [vm for vm, host in self._images.items() if host == name]
+        if placed or imaged:
+            raise ModelError(
+                f"node {name!r} is not empty: running VMs {sorted(placed)} / "
+                f"suspend images {sorted(imaged)} must be displaced before "
+                "the node can be removed"
+            )
+        del self._nodes[name]
+        return node
 
     # ------------------------------------------------------------------ #
     # lookups                                                             #

@@ -2,7 +2,22 @@
 
 from .cluster import ClusterEvent, SimulatedCluster
 from .engine import EventHandle, SimulationEngine
-from .executor import ActionExecution, ExecutionReport, PlanExecutor, estimate_duration
+from .executor import (
+    ActionExecution,
+    ExecutionReport,
+    FailedAction,
+    PlanExecutor,
+    estimate_duration,
+)
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    NodeEviction,
+    evict_node,
+    random_fault_schedule,
+)
 from .hypervisor import DEFAULT_HYPERVISOR, FAST_STOP_HYPERVISOR, HypervisorModel
 from .monitoring import (
     DemandSource,
@@ -19,8 +34,16 @@ __all__ = [
     "SimulationEngine",
     "ActionExecution",
     "ExecutionReport",
+    "FailedAction",
     "PlanExecutor",
     "estimate_duration",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "NodeEviction",
+    "evict_node",
+    "random_fault_schedule",
     "DEFAULT_HYPERVISOR",
     "FAST_STOP_HYPERVISOR",
     "HypervisorModel",

@@ -2,8 +2,14 @@
 
 The cluster experiments of Section 5 are reproduced in simulated time: the
 engine keeps a priority queue of timestamped events and runs callbacks in
-chronological order.  It is deliberately small — the Entropy control loop and
-the plan executor only need ``schedule``/``run`` plus a monotonic clock.
+chronological order.  It is deliberately small — ``schedule``/``schedule_at``
+return a cancellable :class:`EventHandle`, ``run(until=...)`` drains the
+queue up to a deadline, and ``now`` is the monotonic simulated clock.
+
+Two consumers drive it today: the control loop's timing bookkeeping, and the
+fault-injection subsystem (:mod:`repro.sim.faults`), which schedules every
+fault of a :class:`~repro.sim.faults.FaultSchedule` as an engine event and
+drains the engine once per loop iteration.
 """
 
 from __future__ import annotations

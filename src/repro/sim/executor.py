@@ -6,12 +6,20 @@ parallel, pipelines the suspend and resume actions of a pool one second apart
 (sorted by hostname, as described in Section 4.1) so the VMs of a vjob are
 paused in a fixed order while the bulk of the image writing overlaps, and
 returns a detailed timing report the analysis layer uses for Figures 11-13.
+
+With a :class:`~repro.sim.faults.FaultInjector` attached, execution becomes
+*best-effort* instead of all-or-nothing: a migration the injector vetoes
+aborts mid-flight (the VM stays on its source node, the attempt's duration is
+wasted), and actions invalidated by an earlier failure are skipped rather
+than raising.  Every failed or skipped action is recorded in
+:attr:`ExecutionReport.failures` so the control loop can count wasted work
+and re-plan on the next round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .. import config
 from ..core.actions import Action, ActionKind
@@ -19,6 +27,9 @@ from ..core.plan import ReconfigurationPlan
 from ..model.errors import ExecutionError
 from .cluster import SimulatedCluster
 from .hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -35,19 +46,47 @@ class ActionExecution:
         return self.start + self.duration
 
 
+@dataclass(frozen=True)
+class FailedAction:
+    """One action that did not take effect during a fault-injected switch.
+
+    ``reason`` is ``"migration-fault"`` for a vetoed migration (the attempt
+    ran for ``duration`` seconds before aborting) or ``"cascade-skip"`` for
+    an action that became infeasible because an earlier action failed.
+    """
+
+    action: Action
+    pool_index: int
+    start: float
+    duration: float
+    reason: str
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
 @dataclass
 class ExecutionReport:
-    """Timing of a whole cluster-wide context switch."""
+    """Timing of a whole cluster-wide context switch.
+
+    ``actions`` only contains the actions that took effect; attempts broken
+    by fault injection land in ``failures`` (their wall-clock time still
+    counts towards the switch duration — a wasted migration is not free).
+    """
 
     start: float
     actions: list[ActionExecution] = field(default_factory=list)
     pool_windows: list[tuple[float, float]] = field(default_factory=list)
+    failures: list[FailedAction] = field(default_factory=list)
 
     @property
     def end(self) -> float:
-        if not self.actions:
+        if not self.actions and not self.failures:
             return self.start
-        return max(a.end for a in self.actions)
+        return max(
+            [a.end for a in self.actions] + [f.end for f in self.failures]
+        )
 
     @property
     def duration(self) -> float:
@@ -58,9 +97,13 @@ class ExecutionReport:
         return len(self.actions)
 
     def involved_nodes(self) -> set[str]:
+        """Nodes touched by the switch — including nodes that only hosted an
+        aborted attempt: a vetoed migration still ran its transfer (and a
+        cascade-skip still occupied its window), so those nodes suffer the
+        Section 2.3 interference slowdown too."""
         nodes: set[str] = set()
-        for execution in self.actions:
-            for node in (execution.action.source(), execution.action.destination()):
+        for item in (*self.actions, *self.failures):
+            for node in (item.action.source(), item.action.destination()):
                 if node is not None:
                     nodes.add(node)
         return nodes
@@ -68,17 +111,30 @@ class ExecutionReport:
     def count(self, kind: ActionKind) -> int:
         return sum(1 for a in self.actions if a.action.kind is kind)
 
+    def failed_count(self, kind: ActionKind) -> int:
+        return sum(1 for f in self.failures if f.action.kind is kind)
+
 
 class PlanExecutor:
-    """Apply a plan to a :class:`SimulatedCluster`, pool by pool."""
+    """Apply a plan to a :class:`SimulatedCluster`, pool by pool.
+
+    ``fault_injector`` (optional) turns on best-effort execution: migrations
+    the injector vetoes abort without effect and feasibility violations are
+    downgraded from :class:`~repro.model.errors.ExecutionError` to recorded
+    skips, because an aborted action legitimately invalidates its dependants.
+    Without an injector any infeasible action still raises — a plan that does
+    not execute on a healthy cluster is a planner bug, not a fault.
+    """
 
     def __init__(
         self,
         hypervisor: HypervisorModel = DEFAULT_HYPERVISOR,
         pipeline_delay: float = config.VJOB_PIPELINE_DELAY_S,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.hypervisor = hypervisor
         self.pipeline_delay = pipeline_delay
+        self.fault_injector = fault_injector
 
     def execute(
         self,
@@ -92,17 +148,19 @@ class PlanExecutor:
         returned report records when each action started and how long it took.
         """
         report = ExecutionReport(start=start_time)
+        injector = self.fault_injector
         clock = start_time
 
         for pool_index, pool in enumerate(plan.pools):
-            # Validate the pool before launching anything, mirroring the
-            # feasibility guarantee of the plan construction.
-            for action in pool:
-                if not action.is_feasible(cluster.configuration):
-                    raise ExecutionError(
-                        f"pool {pool_index}: action {action} not feasible at "
-                        "execution time"
-                    )
+            if injector is None:
+                # Validate the pool before launching anything, mirroring the
+                # feasibility guarantee of the plan construction.
+                for action in pool:
+                    if not action.is_feasible(cluster.configuration):
+                        raise ExecutionError(
+                            f"pool {pool_index}: action {action} not feasible "
+                            "at execution time"
+                        )
 
             ordered = sorted(
                 pool.actions,
@@ -120,6 +178,23 @@ class PlanExecutor:
                 duration = self.hypervisor.action_duration(
                     action, cluster.configuration
                 )
+                if (
+                    injector is not None
+                    and action.kind is ActionKind.MIGRATE
+                    and injector.should_fail_migration(action.vm, start)
+                ):
+                    # The transfer ran, then aborted: the time is wasted but
+                    # the VM never left its source node.
+                    failure = FailedAction(
+                        action=action,
+                        pool_index=pool_index,
+                        start=start,
+                        duration=duration,
+                        reason="migration-fault",
+                    )
+                    report.failures.append(failure)
+                    pool_end = max(pool_end, failure.end)
+                    continue
                 execution = ActionExecution(
                     action=action,
                     pool_index=pool_index,
@@ -131,18 +206,34 @@ class PlanExecutor:
 
             # Apply the pool's effects: liberating actions first, consumers
             # second (the end state is order independent, see the planner).
-            for execution in executions:
-                if not execution.action.consumes_resources():
+            applied: set[int] = set()
+            for consumes in (False, True):
+                for execution in executions:
+                    if execution.action.consumes_resources() is not consumes:
+                        continue
+                    if injector is not None and not execution.action.is_feasible(
+                        cluster.configuration
+                    ):
+                        report.failures.append(
+                            FailedAction(
+                                action=execution.action,
+                                pool_index=pool_index,
+                                start=execution.start,
+                                duration=execution.duration,
+                                reason="cascade-skip",
+                            )
+                        )
+                        continue
                     cluster.apply_action(
                         execution.action, execution.start, execution.duration
                     )
-            for execution in executions:
-                if execution.action.consumes_resources():
-                    cluster.apply_action(
-                        execution.action, execution.start, execution.duration
-                    )
+                    applied.add(id(execution))
 
-            report.actions.extend(executions)
+            # Keep the scheduling order in the report regardless of the
+            # liberate-then-consume application order.
+            report.actions.extend(
+                e for e in executions if id(e) in applied
+            )
             report.pool_windows.append((clock, pool_end))
             clock = pool_end
 

@@ -1,0 +1,348 @@
+"""Fault injection: node crashes, slow-downs, migration failures, late boots.
+
+The paper's evaluation replays clean, static campaigns, but the whole point
+of the cluster-wide context switch is reacting to a cluster whose *demand and
+availability* change under it.  This module adds the availability half: a
+seeded, scriptable fault schedule whose events fire inside the control loop,
+so policies observe failures mid-run and must re-plan.
+
+Four fault kinds are modelled:
+
+``NODE_CRASH``
+    The node disappears.  Running VMs hosted on it are killed and the suspend
+    images it stored are lost; the affected vjobs fall back to the Waiting
+    state (all their VMs together — the consistency requirement of
+    Section 4.1) and re-enter the queue, so the next decision round restarts
+    them elsewhere.  The node is evicted from the configuration: planners and
+    decision modules simply stop seeing it.
+``NODE_SLOWDOWN``
+    For a time window, vjob progress on the node advances ``factor`` times
+    slower (a failing disk, a noisy neighbour, thermal throttling).
+``MIGRATION_FAILURE``
+    A live migration aborts mid-flight: the VM stays on its source node, the
+    attempt's duration is wasted, and the switch report records the failure.
+    The loop replans the move on the next round — failed migrations re-enter
+    the queue implicitly because the decision module re-derives them.
+``DELAYED_BOOT``
+    A node of the fleet only becomes available at the event time (slow POST,
+    staggered power-on, late delivery).  Until then it is absent from the
+    configuration.
+
+Fault timing rides on the existing discrete-event
+:class:`~repro.sim.engine.SimulationEngine`: every scheduled event is an
+engine callback, and the control loop drains the engine up to its current
+simulated time at the start of each iteration — faults are therefore
+*detected* with the loop's monitoring granularity, like on a real cluster.
+
+Everything stochastic flows through seeded ``random.Random`` instances:
+the same :class:`FaultSchedule` always produces the same run, which is what
+lets ``tests/integration/golden/chaos_recovery.json`` pin an entire chaos
+campaign byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..model.configuration import Configuration
+from .engine import SimulationEngine
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault families."""
+
+    NODE_CRASH = "node_crash"
+    NODE_SLOWDOWN = "node_slowdown"
+    MIGRATION_FAILURE = "migration_failure"
+    DELAYED_BOOT = "delayed_boot"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names a node (crash, slowdown, delayed boot) or a VM
+    (migration failure).  ``factor`` and ``duration`` only apply to
+    slow-downs: progress on the node is divided by ``factor`` during
+    ``[time, time + duration)``.
+    """
+
+    time: float
+    kind: FaultKind
+    target: str
+    factor: float = 1.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind is FaultKind.NODE_SLOWDOWN:
+            if self.factor <= 1.0:
+                raise ValueError("a slowdown needs a factor > 1")
+            if self.duration <= 0:
+                raise ValueError("a slowdown needs a positive duration")
+
+    @property
+    def end(self) -> float:
+        """End of a slowdown window (the event time otherwise)."""
+        return self.time + self.duration
+
+
+@dataclass
+class FaultSchedule:
+    """A deterministic script of faults plus stochastic failure rates.
+
+    Build one fluently::
+
+        schedule = (
+            FaultSchedule()
+            .node_crash("node-1", at=120.0)
+            .node_slowdown("node-2", at=60.0, duration=300.0, factor=2.0)
+            .delayed_boot("node-3", until=240.0)
+            .migration_failure("vjob0.vm1", at=0.0)
+        )
+
+    or draw one from seeded rates with :func:`random_fault_schedule`.
+    ``migration_failure_rate`` additionally makes *every* migration attempt
+    fail with that probability (drawn from ``seed``, so runs stay
+    reproducible).  A schedule is a passive description — hand it to
+    :class:`~repro.api.scenario.Scenario` (``faults=schedule``), which builds
+    one fresh :class:`FaultInjector` per run.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+    migration_failure_rate: float = 0.0
+    seed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # fluent builders                                                     #
+    # ------------------------------------------------------------------ #
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self.events.append(event)
+        return self
+
+    def node_crash(self, node: str, at: float) -> "FaultSchedule":
+        """Crash ``node`` at time ``at`` (its VMs and images are lost)."""
+        return self.add(FaultEvent(time=at, kind=FaultKind.NODE_CRASH, target=node))
+
+    def node_slowdown(
+        self, node: str, at: float, duration: float, factor: float = 2.0
+    ) -> "FaultSchedule":
+        """Slow vjob progress on ``node`` by ``factor`` during the window."""
+        return self.add(
+            FaultEvent(
+                time=at,
+                kind=FaultKind.NODE_SLOWDOWN,
+                target=node,
+                factor=factor,
+                duration=duration,
+            )
+        )
+
+    def migration_failure(self, vm: str, at: float = 0.0) -> "FaultSchedule":
+        """Make the next migration of ``vm`` attempted at or after ``at``
+        abort (one-shot)."""
+        return self.add(
+            FaultEvent(time=at, kind=FaultKind.MIGRATION_FAILURE, target=vm)
+        )
+
+    def delayed_boot(self, node: str, until: float) -> "FaultSchedule":
+        """Keep ``node`` out of the cluster until time ``until``."""
+        return self.add(
+            FaultEvent(time=until, kind=FaultKind.DELAYED_BOOT, target=node)
+        )
+
+    # ------------------------------------------------------------------ #
+    # views                                                               #
+    # ------------------------------------------------------------------ #
+
+    def ordered(self) -> list[FaultEvent]:
+        """Events sorted by time, insertion order breaking ties."""
+        return sorted(self.events, key=lambda e: e.time)
+
+    def of_kind(self, kind: FaultKind) -> list[FaultEvent]:
+        return [e for e in self.ordered() if e.kind is kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or self.migration_failure_rate > 0
+
+
+def random_fault_schedule(
+    node_names: Sequence[str],
+    horizon: float,
+    seed: int = 0,
+    crash_rate_per_hour: float = 0.0,
+    slowdown_rate_per_hour: float = 0.0,
+    slowdown_factor: float = 2.0,
+    slowdown_duration: float = 300.0,
+    migration_failure_rate: float = 0.0,
+    max_crashes: Optional[int] = None,
+) -> FaultSchedule:
+    """Draw a seeded stochastic fault schedule over ``[0, horizon)``.
+
+    Crash and slowdown arrivals follow independent per-node Poisson processes
+    (exponential inter-arrival times at the given hourly rates); each node
+    crashes at most once.  ``max_crashes`` caps the total number of crashes so
+    a small cluster cannot be wiped out by an unlucky seed.  The same
+    arguments always produce the same schedule.
+    """
+    rng = random.Random(seed)
+    schedule = FaultSchedule(
+        migration_failure_rate=migration_failure_rate, seed=seed
+    )
+    crashes: list[FaultEvent] = []
+    for node in node_names:
+        if crash_rate_per_hour > 0:
+            at = rng.expovariate(crash_rate_per_hour / 3600.0)
+            if at < horizon:
+                crashes.append(
+                    FaultEvent(time=at, kind=FaultKind.NODE_CRASH, target=node)
+                )
+        if slowdown_rate_per_hour > 0:
+            t = rng.expovariate(slowdown_rate_per_hour / 3600.0)
+            while t < horizon:
+                schedule.node_slowdown(
+                    node, at=t, duration=slowdown_duration, factor=slowdown_factor
+                )
+                t += slowdown_duration + rng.expovariate(
+                    slowdown_rate_per_hour / 3600.0
+                )
+    crashes.sort(key=lambda e: e.time)
+    if max_crashes is not None:
+        crashes = crashes[:max_crashes]
+    for event in crashes:
+        schedule.add(event)
+    return schedule
+
+
+@dataclass(frozen=True)
+class NodeEviction:
+    """Outcome of evicting a node from a configuration (crash semantics)."""
+
+    node: str
+    #: Running VMs that were killed with the node.
+    displaced_vms: tuple[str, ...]
+    #: Sleeping VMs whose suspend image lived on the node and is now lost.
+    lost_images: tuple[str, ...]
+
+    @property
+    def affected_vms(self) -> tuple[str, ...]:
+        return self.displaced_vms + self.lost_images
+
+
+def evict_node(configuration: Configuration, node_name: str) -> NodeEviction:
+    """Apply the configuration-level effects of a node crash.
+
+    Running VMs on the node are killed (back to Waiting), suspend images
+    stored on it vanish (their sleeping VMs fall back to Waiting — there is
+    nothing left to resume), and the node itself is removed.  Callers own the
+    vjob-level consequences: the control loop additionally resets every
+    sibling VM of an affected vjob so the vjob restarts consistently.
+    """
+    displaced = tuple(configuration.vms_on(node_name))
+    lost = tuple(
+        vm
+        for vm in configuration.sleeping_vms()
+        if configuration.image_location_of(vm) == node_name
+    )
+    for vm in displaced + lost:
+        configuration.set_waiting(vm)
+    configuration.remove_node(node_name)
+    return NodeEviction(node=node_name, displaced_vms=displaced, lost_images=lost)
+
+
+class FaultInjector:
+    """Live state of one fault schedule during one control-loop run.
+
+    The injector schedules every event on a private
+    :class:`~repro.sim.engine.SimulationEngine`; the loop calls
+    :meth:`fire` once per iteration and applies whatever became due.  The
+    executor consults :meth:`should_fail_migration` per migration attempt and
+    the progress accounting consults :meth:`slowdown_factor` per node.
+
+    One injector serves exactly one run — it is as stateful as the workloads.
+    :meth:`Scenario.build <repro.api.scenario.Scenario.build>` therefore
+    creates a fresh injector from the scenario's schedule for every run.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._engine = SimulationEngine()
+        self._due: list[FaultEvent] = []
+        self.fired: list[FaultEvent] = []
+        #: One-shot scripted migration failures, armed until consumed.
+        self._pending_migration_faults: list[FaultEvent] = []
+        self._rng = random.Random(schedule.seed)
+        self._slowdowns: list[FaultEvent] = []
+        for event in schedule.ordered():
+            if event.kind is FaultKind.MIGRATION_FAILURE:
+                self._pending_migration_faults.append(event)
+            elif event.kind is FaultKind.NODE_SLOWDOWN:
+                # Windows are queried by time, no engine round-trip needed,
+                # but the event still fires so observers see it start.
+                self._slowdowns.append(event)
+                self._schedule(event)
+            else:
+                self._schedule(event)
+
+    def _schedule(self, event: FaultEvent) -> None:
+        self._engine.schedule_at(event.time, lambda e=event: self._due.append(e))
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def delayed_boot_nodes(self) -> tuple[str, ...]:
+        """Nodes that must be absent from the initial configuration."""
+        return tuple(
+            e.target for e in self.schedule.of_kind(FaultKind.DELAYED_BOOT)
+        )
+
+    def fire(self, now: float) -> list[FaultEvent]:
+        """Events that became due at or before ``now``, in schedule order."""
+        self._engine.run(until=now)
+        due, self._due = self._due, []
+        self.fired.extend(due)
+        return due
+
+    def slowdown_factor(self, node_name: str, time: float) -> float:
+        """Progress slow-down applying to ``node_name`` at ``time`` (>= 1)."""
+        factor = 1.0
+        for event in self._slowdowns:
+            if event.target == node_name and event.time <= time < event.end:
+                factor = max(factor, event.factor)
+        return factor
+
+    def should_fail_migration(self, vm_name: str, time: float) -> bool:
+        """Whether the migration of ``vm_name`` starting at ``time`` aborts.
+
+        Scripted one-shot failures are consumed first; otherwise the
+        stochastic ``migration_failure_rate`` draws from the injector's seeded
+        generator.  Either way the decision is deterministic for a given
+        schedule and execution history.
+        """
+        for event in self._pending_migration_faults:
+            if event.target == vm_name and event.time <= time:
+                self._pending_migration_faults.remove(event)
+                return True
+        if self.schedule.migration_failure_rate > 0:
+            return self._rng.random() < self.schedule.migration_failure_rate
+        return False
+
+    @property
+    def pending_events(self) -> int:
+        """Scheduled events that have not fired yet."""
+        return self._engine.pending_events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<FaultInjector fired={len(self.fired)} "
+            f"pending={self.pending_events}>"
+        )

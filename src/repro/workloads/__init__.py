@@ -1,5 +1,10 @@
 """Workload substrate: NASGrid-like vjobs, demand traces and generators."""
 
+from .churn import (
+    DEFAULT_NODE_PROFILES,
+    ChurnGenerator,
+    heterogeneous_nodes,
+)
 from .generator import (
     GeneratedScenario,
     TraceConfigurationGenerator,
@@ -25,6 +30,9 @@ from .traces import (
 )
 
 __all__ = [
+    "DEFAULT_NODE_PROFILES",
+    "ChurnGenerator",
+    "heterogeneous_nodes",
     "GeneratedScenario",
     "TraceConfigurationGenerator",
     "paper_cluster_nodes",

@@ -1,0 +1,170 @@
+"""Churn workloads: vjob arrival/departure streams and mixed node fleets.
+
+The Section 5.2 campaign submits every vjob at t = 0 on a homogeneous
+cluster.  Real clusters churn: vjobs of different shapes arrive over time
+(and depart when their work completes), and fleets mix machine generations.
+This module generates both sides of that churn from seeded generators, so
+chaos and capacity-pressure scenarios stay exactly reproducible:
+
+* :class:`ChurnGenerator` draws vjob *arrival streams* — exponential
+  inter-arrival times, per-vjob NGB benchmark/class, VM count and memory
+  sizes all drawn from one seeded ``random.Random``.  Departures are the
+  natural completions of the generated traces (problem class W gives
+  minutes-long vjobs, A and B progressively longer ones), so an arrival
+  stream *is* an arrival/departure stream once the loop runs it;
+* :meth:`ChurnGenerator.burst` submits a batch at one instant — the
+  "arrival burst exceeding capacity" stress case;
+* :func:`heterogeneous_nodes` builds a mixed fleet from weighted
+  ``(cpu, memory)`` profiles.
+
+Everything composes with the rest of the stack: the generated
+:class:`~repro.workloads.traces.VJobWorkload` objects carry ``submitted_at``
+timestamps the control loop already honours, and the node lists drop into
+``Scenario(nodes=...)`` (optionally with some nodes held back by a
+:meth:`~repro.sim.faults.FaultSchedule.delayed_boot` fault).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..model.node import Node
+from .nasgrid import (
+    MEMORY_CHOICES_MB,
+    Benchmark,
+    NASGridSpec,
+    ProblemClass,
+    make_nasgrid_vjob,
+)
+from .traces import VJobWorkload
+
+#: Default ``(cpu_capacity, memory_capacity)`` profiles of a mixed fleet:
+#: the paper's dual-core 3.5 GB worker, a bigger 4-way box and a small
+#: previous-generation node.
+DEFAULT_NODE_PROFILES: tuple[tuple[int, int], ...] = (
+    (2, 3584),
+    (4, 7168),
+    (1, 2048),
+)
+
+
+def heterogeneous_nodes(
+    count: int,
+    seed: int = 0,
+    profiles: Sequence[tuple[int, int]] = DEFAULT_NODE_PROFILES,
+    weights: Optional[Sequence[float]] = None,
+    prefix: str = "node",
+) -> list[Node]:
+    """Build ``count`` working nodes drawn from weighted hardware profiles.
+
+    The draw is seeded: the same arguments always return the same fleet.
+    ``weights`` defaults to uniform across ``profiles``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not profiles:
+        raise ValueError("at least one (cpu, memory) profile is required")
+    rng = random.Random(seed)
+    chosen = rng.choices(list(profiles), weights=weights, k=count)
+    return [
+        Node(name=f"{prefix}-{index}", cpu_capacity=cpu, memory_capacity=memory)
+        for index, (cpu, memory) in enumerate(chosen)
+    ]
+
+
+class ChurnGenerator:
+    """Seeded generator of vjob arrival streams.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private ``random.Random``; identical generators produce
+        identical streams.
+    mean_interarrival_s:
+        Mean of the exponential inter-arrival time between consecutive vjob
+        submissions.
+    vm_count_choices:
+        VM counts a vjob may have (the paper uses 9 and 18; churn scenarios
+        usually mix smaller shapes).
+    memory_choices:
+        Memory sizes (MB) drawn per VM.
+    benchmarks / problem_classes:
+        NGB dataflow graphs and problem classes to draw from; class W keeps
+        vjobs short (minutes), A and B make them progressively longer.
+    jitter:
+        Phase-duration jitter forwarded to the trace synthesis so two vjobs
+        with the same spec still differ.
+    name_prefix:
+        Vjob names are ``f"{name_prefix}{index}"``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean_interarrival_s: float = 120.0,
+        vm_count_choices: Sequence[int] = (2, 4, 9),
+        memory_choices: Sequence[int] = MEMORY_CHOICES_MB,
+        benchmarks: Sequence[Benchmark] = tuple(Benchmark),
+        problem_classes: Sequence[ProblemClass] = (
+            ProblemClass.W,
+            ProblemClass.A,
+        ),
+        jitter: float = 0.1,
+        name_prefix: str = "churn",
+    ) -> None:
+        if mean_interarrival_s <= 0:
+            raise ValueError("mean_interarrival_s must be positive")
+        self.seed = seed
+        self.mean_interarrival_s = mean_interarrival_s
+        self.vm_count_choices = tuple(vm_count_choices)
+        self.memory_choices = tuple(memory_choices)
+        self.benchmarks = tuple(benchmarks)
+        self.problem_classes = tuple(problem_classes)
+        self.jitter = jitter
+        self.name_prefix = name_prefix
+        self._rng = random.Random(seed)
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _draw_vjob(self, submitted_at: float) -> VJobWorkload:
+        rng = self._rng
+        spec = NASGridSpec(
+            benchmark=rng.choice(self.benchmarks),
+            problem_class=rng.choice(self.problem_classes),
+            vm_count=rng.choice(self.vm_count_choices),
+        )
+        memories = [rng.choice(self.memory_choices) for _ in range(spec.vm_count)]
+        workload = make_nasgrid_vjob(
+            name=f"{self.name_prefix}{self._index}",
+            spec=spec,
+            memory_mb=memories,
+            priority=self._index,
+            submitted_at=submitted_at,
+            rng=rng,
+            jitter=self.jitter,
+        )
+        self._index += 1
+        return workload
+
+    def workloads(
+        self, count: int, start_time: float = 0.0
+    ) -> list[VJobWorkload]:
+        """Draw ``count`` vjobs arriving after exponential inter-arrival
+        gaps, the first one ``start_time`` plus one gap into the run.
+
+        Successive calls continue the same stream (indices and the RNG state
+        carry over), so one generator can feed several phases of a scenario.
+        """
+        stream: list[VJobWorkload] = []
+        clock = start_time
+        for _ in range(count):
+            clock += self._rng.expovariate(1.0 / self.mean_interarrival_s)
+            stream.append(self._draw_vjob(submitted_at=clock))
+        return stream
+
+    def burst(self, count: int, at: float = 0.0) -> list[VJobWorkload]:
+        """Draw ``count`` vjobs all submitted at the same instant ``at`` —
+        the arrival burst that exceeds cluster capacity in the stress tests."""
+        return [self._draw_vjob(submitted_at=at) for _ in range(count)]

@@ -1,0 +1,104 @@
+"""Golden regression for the seeded end-to-end chaos scenario.
+
+The canonical chaos run — a node crash at t = 120 s under churn arrivals on a
+heterogeneous fleet — is executed through the ``Scenario`` facade and every
+observable output (completion times, switch records, fault timeline, repair
+latencies, SLA/lost-vjob accounting) is compared byte-for-byte against
+``tests/integration/golden/chaos_recovery.json``.  The same scenario is the
+step-by-step walkthrough of ``docs/SIMULATOR_GUIDE.md``; regenerate after an
+intentional behaviour change with::
+
+    REPRO_UPDATE_GOLDENS=1 python -m pytest tests/integration/test_chaos_golden.py
+"""
+
+from __future__ import annotations
+
+from repro import FaultSchedule, Scenario
+from repro.workloads import ChurnGenerator, ProblemClass, heterogeneous_nodes
+
+from test_golden_plans import OPTIMIZER_TIMEOUT_S, check_golden
+
+
+def chaos_scenario() -> Scenario:
+    """The canonical chaos scenario (also documented in the simulator guide):
+    5 mixed nodes, 5 churn-arriving vjobs, node-1 crashing at t = 120 s."""
+    generator = ChurnGenerator(
+        seed=11,
+        mean_interarrival_s=45.0,
+        vm_count_choices=(2, 3),
+        problem_classes=(ProblemClass.W,),
+    )
+    return Scenario(
+        nodes=heterogeneous_nodes(5, seed=7),
+        workloads=generator.workloads(5),
+        policy="consolidation",
+        optimizer_timeout=OPTIMIZER_TIMEOUT_S,
+        faults=FaultSchedule().node_crash("node-1", at=120.0),
+        sla_factor=6.0,
+    )
+
+
+def result_to_dict(result) -> dict:
+    return {
+        "policy": result.policy,
+        "makespan": round(result.makespan, 6),
+        "completion_times": {
+            name: round(time, 6)
+            for name, time in sorted(result.completion_times.items())
+        },
+        "switches": [
+            {
+                "time": round(s.time, 6),
+                "cost": s.cost,
+                "duration": round(s.duration, 6),
+                "migrations": s.migrations,
+                "runs": s.runs,
+                "stops": s.stops,
+                "suspends": s.suspends,
+                "resumes": s.resumes,
+                "local_resumes": s.local_resumes,
+                "used_fallback": s.used_fallback,
+                "failed_migrations": s.failed_migrations,
+            }
+            for s in result.switches
+        ],
+        "faults": [
+            {
+                "time": round(f.time, 6),
+                "kind": f.kind,
+                "target": f.target,
+                "detected_at": round(f.detected_at, 6),
+                "affected_vjobs": list(f.affected_vjobs),
+                "detail": f.detail,
+            }
+            for f in result.faults
+        ],
+        "repair_latencies": {
+            name: round(latency, 6)
+            for name, latency in sorted(result.repair_latencies.items())
+        },
+        "sla_violations": list(result.sla_violations),
+        "unfinished_vjobs": list(result.unfinished_vjobs),
+        "wasted_migrations": result.wasted_migrations,
+    }
+
+
+class TestChaosRecoveryGolden:
+    def test_crash_under_churn_recovers_and_matches_golden(self):
+        result = chaos_scenario().run()
+
+        # the headline invariants of the acceptance scenario, asserted
+        # directly so a golden regeneration cannot silently weaken them
+        assert result.unfinished_vjobs == [], "a vjob was lost to the crash"
+        assert result.repair_latencies, "the crash repaired nobody?"
+        assert all(l > 0 for l in result.repair_latencies.values())
+        assert [f.kind for f in result.faults] == ["node_crash"]
+
+        check_golden("chaos_recovery", result_to_dict(result))
+
+    def test_chaos_run_is_deterministic(self):
+        """Two fresh builds of the same scenario produce identical results —
+        the property the golden file relies on."""
+        first = result_to_dict(chaos_scenario().run())
+        second = result_to_dict(chaos_scenario().run())
+        assert first == second

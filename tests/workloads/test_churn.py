@@ -1,0 +1,86 @@
+"""Churn generator and heterogeneous fleet tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import ChurnGenerator, heterogeneous_nodes
+from repro.workloads.churn import DEFAULT_NODE_PROFILES
+
+
+class TestHeterogeneousNodes:
+    def test_same_seed_same_fleet(self):
+        a = heterogeneous_nodes(12, seed=4)
+        b = heterogeneous_nodes(12, seed=4)
+        assert [(n.name, n.cpu_capacity, n.memory_capacity) for n in a] == [
+            (n.name, n.cpu_capacity, n.memory_capacity) for n in b
+        ]
+
+    def test_profiles_are_respected(self):
+        profiles = ((8, 16384),)
+        nodes = heterogeneous_nodes(5, seed=0, profiles=profiles)
+        assert all(n.cpu_capacity == 8 and n.memory_capacity == 16384 for n in nodes)
+
+    def test_mixed_fleet_actually_mixes(self):
+        nodes = heterogeneous_nodes(30, seed=1)
+        capacities = {(n.cpu_capacity, n.memory_capacity) for n in nodes}
+        assert len(capacities) > 1
+        assert capacities <= set(DEFAULT_NODE_PROFILES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_nodes(-1)
+        with pytest.raises(ValueError):
+            heterogeneous_nodes(3, profiles=())
+
+
+class TestChurnGenerator:
+    def test_same_seed_same_stream(self):
+        def fingerprint(seed):
+            generator = ChurnGenerator(seed=seed)
+            return [
+                (
+                    w.vjob.name,
+                    round(w.vjob.submitted_at, 6),
+                    len(w.vjob.vms),
+                    tuple(vm.memory for vm in w.vjob.vms),
+                    round(w.duration, 6),
+                )
+                for w in generator.workloads(8)
+            ]
+
+        assert fingerprint(3) == fingerprint(3)
+        assert fingerprint(3) != fingerprint(4)
+
+    def test_arrivals_are_strictly_increasing(self):
+        generator = ChurnGenerator(seed=2, mean_interarrival_s=60.0)
+        stream = generator.workloads(10)
+        times = [w.vjob.submitted_at for w in stream]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_successive_calls_continue_the_stream(self):
+        generator = ChurnGenerator(seed=6)
+        first = generator.workloads(3)
+        second = generator.workloads(3, start_time=first[-1].vjob.submitted_at)
+        names = [w.vjob.name for w in first + second]
+        assert names == [f"churn{i}" for i in range(6)]
+        priorities = [w.vjob.priority for w in first + second]
+        assert priorities == list(range(6))
+
+    def test_burst_submits_everything_at_once(self):
+        generator = ChurnGenerator(seed=1)
+        burst = generator.burst(4, at=30.0)
+        assert all(w.vjob.submitted_at == 30.0 for w in burst)
+        assert len({w.vjob.name for w in burst}) == 4
+
+    def test_workloads_are_well_formed(self):
+        generator = ChurnGenerator(seed=9, vm_count_choices=(2, 4))
+        for workload in generator.workloads(5):
+            assert set(workload.traces) == set(workload.vjob.vm_names)
+            assert workload.duration > 0
+            assert workload.peak_cpu_demand >= 1
+
+    def test_mean_interarrival_validation(self):
+        with pytest.raises(ValueError):
+            ChurnGenerator(mean_interarrival_s=0.0)

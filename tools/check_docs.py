@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Documentation checker: intra-repo markdown links + embedded doctests.
+
+Two passes over the repository's markdown documentation (``README.md``,
+``ROADMAP.md``, ``CHANGES.md`` and everything under ``docs/``):
+
+1. **Link check** — every relative markdown link target (``[text](path)``)
+   must exist on disk; anchors and external ``http(s)``/``mailto`` links are
+   skipped.
+2. **Doctests** — every ``>>>`` block in ``docs/*.md`` is executed with the
+   standard :mod:`doctest` runner, so the guides' examples cannot rot.  The
+   guides are written so their outputs are deterministic (seeded generators,
+   generous CP budgets).
+
+Run locally with::
+
+    python tools/check_docs.py
+
+CI runs the same script in the ``docs`` job.  The module is also imported by
+``tests/docs/test_documentation.py`` so the tier-1 suite enforces both
+passes.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Markdown files whose links are validated.
+LINKED_FILES = ("README.md", "ROADMAP.md", "CHANGES.md")
+
+#: ``[text](target)`` — good enough for the plain links these docs use
+#: (no nested brackets, no reference-style links).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not filesystem paths.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _ensure_importable() -> None:
+    """Make ``repro`` importable for the doctests without an install."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+
+def markdown_files() -> list[Path]:
+    files = [REPO_ROOT / name for name in LINKED_FILES]
+    files.extend(sorted(DOCS_DIR.glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(paths: list[Path] | None = None) -> list[str]:
+    """Return one error string per broken relative link."""
+    errors: list[str] = []
+    for path in paths if paths is not None else markdown_files():
+        for number, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            for match in _LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL_PREFIXES):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: broken "
+                        f"link -> {target}"
+                    )
+    return errors
+
+
+_PROMPT_RE = re.compile(r"^\s*>>> ", re.MULTILINE)
+
+
+def doctest_files() -> list[Path]:
+    """Markdown guides containing at least one doctest prompt (a line
+    starting with ``>>>``; prose mentions of the prompt do not count)."""
+    return [
+        path
+        for path in sorted(DOCS_DIR.glob("*.md"))
+        if _PROMPT_RE.search(path.read_text())
+    ]
+
+
+def run_doctests(verbose: bool = False) -> list[str]:
+    """Run the doctests of every guide; returns one error per failing file."""
+    _ensure_importable()
+    errors: list[str] = []
+    for path in doctest_files():
+        failures, attempted = doctest.testfile(
+            str(path),
+            module_relative=False,
+            verbose=verbose,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        status = "ok" if not failures else "FAILED"
+        print(
+            f"doctest {path.relative_to(REPO_ROOT)}: {attempted} examples, "
+            f"{failures} failures [{status}]"
+        )
+        if failures:
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: {failures} doctest "
+                "failure(s)"
+            )
+        elif attempted == 0:
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: contains '>>>' but doctest "
+                "collected no examples (malformed block?)"
+            )
+    return errors
+
+
+def main() -> int:
+    link_errors = check_links()
+    for error in link_errors:
+        print(error)
+    print(
+        f"link check: {len(markdown_files())} files, "
+        f"{len(link_errors)} broken links"
+    )
+    doctest_errors = run_doctests()
+    if link_errors or doctest_errors:
+        print("documentation check FAILED")
+        return 1
+    print("documentation check ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
