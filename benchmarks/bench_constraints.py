@@ -1,0 +1,255 @@
+"""Constraint-compilation overhead — constrained vs unconstrained solves.
+
+The placement-constraint subsystem (``repro.constraints``) injects extra
+propagators (disequalities, Among, counting constraints) and domain
+restrictions into the optimizer's CP model.  This benchmark measures what
+that costs on the paper-scale instances: the Section 5.1 generated scenarios
+(200 working nodes) at 100 and 200 VMs, solved once without constraints and
+once under a representative catalog mix —
+
+* ``Spread`` over the VMs of the three largest vjobs (HA),
+* ``Ban`` of one vjob from five nodes (maintenance),
+* ``Fence`` of one vjob inside three quarters of the fleet (licensing),
+* ``RunningCapacity`` capping twenty nodes (blast radius).
+
+Both solves disable the greedy incumbent, share the per-tier node budget of
+``bench_solver_scaling`` and stop at the **first viable placement**
+(``first_solution_only``) — the planning-latency question a constrained
+control loop actually asks per switch.  The full branch-and-bound proof is
+deliberately *not* compared: an unconstrained instance is refuted almost for
+free once the keep-everything-in-place incumbent is found, while a
+constrained optimum genuinely costs more to prove, so the proof-time ratio
+measures problem hardness, not compilation overhead.  With identical descent
+work, the wall-clock ratio (``overhead``) isolates the propagation cost of
+the compiled constraints.  The PR4 acceptance gate is **median overhead
+< 2x on the 200-VM tier** — checked by ``bench_constraints_overhead_gate``
+when this module runs under pytest, and recorded in ``BENCH_PR4.json`` by
+the harness.
+
+Run standalone (``python benchmarks/bench_constraints.py``) or through
+``benchmarks/harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Optional, Sequence
+
+from repro.constraints import Ban, Fence, PlacementConstraint, RunningCapacity, Spread
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.decision import ConsolidationDecisionModule
+from repro.workloads import TraceConfigurationGenerator
+
+from bench_solver_scaling import default_node_limit
+
+#: VM counts of the sweep (200 working nodes, as in Section 5.1); the 200-VM
+#: tier is the acceptance tier.
+TIERS = (100, 200)
+SAMPLES_PER_TIER = 3
+TIMEOUT_S = 120.0
+#: The acceptance gate: constrained solve overhead on the largest tier.
+MAX_OVERHEAD = 2.0
+
+
+def representative_constraints(scenario) -> list[PlacementConstraint]:
+    """A catalog mix scaled to the generated scenario (always satisfiable:
+    the restrictions stay far below the fleet's slack)."""
+    vjobs = sorted(
+        (w.vjob for w in scenario.workloads),
+        key=lambda vjob: len(vjob.vm_names),
+        reverse=True,
+    )
+    node_names = list(scenario.configuration.node_names)
+    constraints: list[PlacementConstraint] = []
+    for vjob in vjobs[:3]:
+        constraints.append(Spread(vjob.vm_names))
+    if len(vjobs) > 3:
+        constraints.append(Ban(vjobs[3].vm_names, node_names[:5]))
+    if len(vjobs) > 4:
+        constraints.append(
+            Fence(vjobs[4].vm_names, node_names[: (3 * len(node_names)) // 4])
+        )
+    constraints.append(RunningCapacity(node_names[:20], 40))
+    return constraints
+
+
+def _solve(scenario, decision, constraints, timeout, node_limit) -> dict:
+    optimizer = ContextSwitchOptimizer(
+        timeout=timeout,
+        use_greedy_bound=False,
+        node_limit=node_limit,
+        first_solution_only=True,
+    )
+    started = time.monotonic()
+    result = optimizer.optimize(
+        scenario.configuration,
+        decision.vm_states,
+        vjob_of_vm=scenario.vjob_of_vm(),
+        fallback_target=decision.fallback_target,
+        constraints=constraints,
+    )
+    total_seconds = time.monotonic() - started
+    stats = result.statistics
+    record = {
+        "search_seconds": round(
+            stats.elapsed if stats is not None else total_seconds, 6
+        ),
+        "total_seconds": round(total_seconds, 6),
+        "cost": result.cost,
+        "used_fallback": result.used_fallback,
+    }
+    if stats is not None:
+        record.update(
+            nodes=stats.nodes,
+            backtracks=stats.backtracks,
+            propagations=stats.propagations,
+            solutions=stats.solutions,
+            proven_optimal=stats.proven_optimal,
+        )
+    return record
+
+
+def run_tier(
+    vm_count: int,
+    samples: int = SAMPLES_PER_TIER,
+    timeout: float = TIMEOUT_S,
+    node_count: int = 200,
+    node_limit: Optional[int] = None,
+) -> dict:
+    budget = node_limit if node_limit is not None else default_node_limit(vm_count)
+    tier_samples = []
+    for sample in range(samples):
+        seed = 7_000 * vm_count + sample
+        scenario = TraceConfigurationGenerator(
+            node_count=node_count, seed=seed
+        ).generate(vm_count)
+        decision = ConsolidationDecisionModule().decide(
+            scenario.configuration, scenario.queue
+        )
+        constraints = representative_constraints(scenario)
+        record = {
+            "seed": seed,
+            "vms": scenario.vm_count,
+            "constraint_count": len(constraints),
+            "unconstrained": _solve(scenario, decision, (), timeout, budget),
+            "constrained": _solve(
+                scenario, decision, constraints, timeout, budget
+            ),
+        }
+        base = record["unconstrained"]["search_seconds"]
+        record["overhead"] = (
+            round(record["constrained"]["search_seconds"] / base, 2)
+            if base
+            else None
+        )
+        tier_samples.append(record)
+
+    overheads = [s["overhead"] for s in tier_samples if s["overhead"] is not None]
+    return {
+        "vm_count": vm_count,
+        "node_count": node_count,
+        "node_limit": budget,
+        "timeout_seconds": timeout,
+        "samples": tier_samples,
+        "median": {
+            "unconstrained_search_seconds": round(
+                statistics.median(
+                    s["unconstrained"]["search_seconds"] for s in tier_samples
+                ),
+                6,
+            ),
+            "constrained_search_seconds": round(
+                statistics.median(
+                    s["constrained"]["search_seconds"] for s in tier_samples
+                ),
+                6,
+            ),
+            "overhead": round(statistics.median(overheads), 2)
+            if overheads
+            else None,
+        },
+    }
+
+
+def run(
+    tiers: Sequence[int] = TIERS,
+    samples: int = SAMPLES_PER_TIER,
+    timeout: float = TIMEOUT_S,
+    node_count: int = 200,
+    node_limit: Optional[int] = None,
+) -> dict:
+    return {
+        "greedy_incumbent": False,
+        "first_solution_only": True,
+        "max_overhead_gate": MAX_OVERHEAD,
+        "methodology": (
+            "same instance, same node budget, greedy incumbent disabled, "
+            "both solves stop at the first viable placement; overhead is "
+            "constrained/unconstrained search seconds (median of "
+            "per-instance ratios)"
+        ),
+        "catalog_mix": [
+            "Spread x3 (largest vjobs)",
+            "Ban (1 vjob, 5 nodes)",
+            "Fence (1 vjob, 3/4 fleet)",
+            "RunningCapacity (20 nodes <= 40 VMs)",
+        ],
+        "tiers": [
+            run_tier(
+                vm_count,
+                samples=samples,
+                timeout=timeout,
+                node_count=node_count,
+                node_limit=node_limit,
+            )
+            for vm_count in tiers
+        ],
+    }
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        "Constraint compilation overhead - constrained vs unconstrained "
+        "solves (200-node scenarios, shared node budget)",
+        f"{'VMs':>5}  {'budget':>6}  {'plain (s)':>10}  "
+        f"{'constrained (s)':>16}  {'overhead':>9}",
+    ]
+    for tier in results["tiers"]:
+        median = tier["median"]
+        lines.append(
+            f"{tier['vm_count']:>5}  {tier['node_limit']:>6}  "
+            f"{median['unconstrained_search_seconds']:>10.3f}  "
+            f"{median['constrained_search_seconds']:>16.3f}  "
+            f"{median['overhead'] or float('nan'):>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def largest_tier_overhead(results: dict) -> Optional[float]:
+    tier = max(results["tiers"], key=lambda tier: tier["vm_count"])
+    return tier["median"]["overhead"]
+
+
+def bench_constraints_overhead_gate():
+    """Smoke + acceptance gate for ``pytest benchmarks``: one sample of the
+    smallest tier must keep constrained overhead under the documented cap."""
+    results = run(tiers=(TIERS[0],), samples=1)
+    print()
+    print(format_results(results))
+    overhead = largest_tier_overhead(results)
+    assert overhead is not None
+    assert overhead < MAX_OVERHEAD, (
+        f"constrained solve overhead {overhead}x exceeds the "
+        f"{MAX_OVERHEAD}x acceptance gate"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    results = run()
+    print(format_results(results))
+    print(json.dumps(results, indent=2, sort_keys=True))

@@ -2,16 +2,17 @@
 
 The repository keeps a performance trajectory across PRs: every harness run
 executes the figure/table benchmarks (as a timed pytest pass per module), the
-solver scaling sweep (``bench_solver_scaling.py``) and the chaos recovery
-campaigns (``bench_chaos_recovery.py``), and writes a single JSON document
-with the numbers.  ``BENCH_PR3.json`` at the repository root is the committed
-snapshot for this PR (``BENCH_PR2.json`` stays as the previous point of the
-trajectory); CI re-runs the smallest tiers as a smoke job and uploads the
-fresh document as an artifact.
+solver scaling sweep (``bench_solver_scaling.py``), the chaos recovery
+campaigns (``bench_chaos_recovery.py``) and the placement-constraint
+overhead sweep (``bench_constraints.py``), and writes a single JSON document
+with the numbers.  ``BENCH_PR4.json`` at the repository root is the committed
+snapshot for this PR (``BENCH_PR2.json``/``BENCH_PR3.json`` stay as previous
+points of the trajectory); CI re-runs the smallest tiers as a smoke job and
+uploads the fresh document as an artifact.
 
 Usage::
 
-    python benchmarks/harness.py                 # full sweep -> BENCH_PR3.json
+    python benchmarks/harness.py                 # full sweep -> BENCH_PR4.json
     python benchmarks/harness.py --quick         # smallest tiers, 1 sample,
                                                  # figure benches skipped
     python benchmarks/harness.py --tiers 200 --samples 5 --timeout 30
@@ -21,8 +22,10 @@ The solver-scaling section reports, per tier, the median search time of the
 event-driven engine and of the retained naive-fixpoint reference engine, and
 their ratio (``speedup``); the chaos-recovery section reports the control
 loop's repair latency, makespan inflation and lost-vjob count under a crash +
-churn schedule.  See the README "Performance" section for how to read the
-document.
+churn schedule; the constraints section reports the constrained vs
+unconstrained solve overhead of the placement-constraint catalog (< 2x on
+the 200-VM tier is the PR4 acceptance gate).  See the README "Performance"
+section for how to read the document.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR3.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR4.json"
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -47,10 +50,15 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(BENCH_DIR))
 
 import bench_chaos_recovery  # noqa: E402  (path set up above)
+import bench_constraints  # noqa: E402
 import bench_solver_scaling  # noqa: E402
 
 #: Benchmarks run natively by this harness rather than as pytest modules.
-_NATIVE_MODULES = ("bench_solver_scaling.py", "bench_chaos_recovery.py")
+_NATIVE_MODULES = (
+    "bench_solver_scaling.py",
+    "bench_chaos_recovery.py",
+    "bench_constraints.py",
+)
 
 
 def figure_bench_modules() -> list[Path]:
@@ -126,6 +134,21 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the chaos-recovery campaigns",
     )
     parser.add_argument(
+        "--constraint-tiers", type=int, nargs="+",
+        default=list(bench_constraints.TIERS),
+        help="VM counts of the constraint-overhead sweep",
+    )
+    parser.add_argument(
+        "--skip-constraints", action="store_true",
+        help="skip the constraint-overhead sweep",
+    )
+    parser.add_argument(
+        "--max-constraint-overhead", type=float, default=None,
+        help="fail (exit 1) when the largest constraint tier's median "
+             "constrained/unconstrained solve ratio exceeds this threshold "
+             "— the PR4 acceptance gate (< 2x on the 200-VM tier)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: smallest tiers, one sample, figures skipped",
     )
@@ -145,11 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         args.skip_figures = True
         args.chaos_samples = 1
         chaos_tiers = [min(chaos_tiers)]
+        args.constraint_tiers = [min(args.constraint_tiers)]
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
 
     document = {
-        "label": "PR3 - fault-injection & churn scenario engine",
+        "label": "PR4 - placement-constraint subsystem",
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
             "python": platform.python_version(),
@@ -174,6 +198,17 @@ def main(argv: list[str] | None = None) -> int:
         node_limit=args.node_limit,
     )
     print(bench_solver_scaling.format_results(document["solver_scaling"]))
+
+    if not args.skip_constraints:
+        print(f"constraint overhead: tiers={args.constraint_tiers} "
+              f"samples={args.samples}")
+        document["constraints"] = bench_constraints.run(
+            tiers=args.constraint_tiers,
+            samples=args.samples,
+            timeout=args.timeout,
+            node_limit=args.node_limit,
+        )
+        print(bench_constraints.format_results(document["constraints"]))
 
     if not args.skip_chaos:
         print(f"chaos recovery: tiers={chaos_tiers} "
@@ -204,6 +239,28 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"speedup gate ok: {gate_tier['vm_count']}-VM tier at "
             f"{speedup}x >= {args.min_speedup}x"
+        )
+
+    if args.max_constraint_overhead is not None:
+        if "constraints" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --max-constraint-overhead was given "
+                "but the constraints sweep did not run (--skip-constraints?)"
+            )
+            return 1
+        overhead = bench_constraints.largest_tier_overhead(
+            document["constraints"]
+        )
+        if overhead is None or overhead > args.max_constraint_overhead:
+            print(
+                f"REGRESSION: constrained solve overhead {overhead}x exceeds "
+                f"the {args.max_constraint_overhead}x gate"
+            )
+            return 1
+        print(
+            f"constraint overhead gate ok: {overhead}x <= "
+            f"{args.max_constraint_overhead}x"
         )
     return 0
 

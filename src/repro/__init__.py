@@ -10,6 +10,10 @@ The package provides:
   and the structured ``RunResult``;
 * :mod:`repro.model` — nodes, VMs, vjobs, configurations, viability;
 * :mod:`repro.cp` — a finite-domain constraint solver (Choco replacement);
+* :mod:`repro.constraints` — the declarative placement-constraint catalog
+  (``Spread``, ``Gather``, ``Ban``, ``Fence``, ``Among``, ``Root``,
+  ``MaxOnline``, ``RunningCapacity``, ``Lonely``), compiled into the CP
+  optimizer and checked end to end;
 * :mod:`repro.core` — the cluster-wide context switch: actions, cost model,
   reconfiguration graphs/plans, planner and CP optimizer;
 * :mod:`repro.decision` — decision modules (FFD, RJSP, dynamic consolidation,
@@ -39,6 +43,7 @@ Quickstart::
 
 from . import config
 from .api import (
+    ConstraintViolationRecord,
     ControlLoop,
     Decision,
     DecisionModule,
@@ -51,6 +56,18 @@ from .api import (
     available_decision_modules,
     get_decision_module,
     register_decision_module,
+)
+from .constraints import (
+    Among,
+    Ban,
+    Fence,
+    Gather,
+    Lonely,
+    MaxOnline,
+    PlacementConstraint,
+    Root,
+    RunningCapacity,
+    Spread,
 )
 from .sim.faults import FaultKind, FaultSchedule, random_fault_schedule
 from .core import (
@@ -77,6 +94,17 @@ __version__ = "1.1.0"
 
 __all__ = [
     "config",
+    "Among",
+    "Ban",
+    "ConstraintViolationRecord",
+    "Fence",
+    "Gather",
+    "Lonely",
+    "MaxOnline",
+    "PlacementConstraint",
+    "Root",
+    "RunningCapacity",
+    "Spread",
     "ControlLoop",
     "Decision",
     "DecisionModule",

@@ -33,7 +33,13 @@ from .registry import (
     get_decision_module,
     register_decision_module,
 )
-from .results import ContextSwitchRecord, FaultRecord, RunResult, UtilizationSample
+from .results import (
+    ConstraintViolationRecord,
+    ContextSwitchRecord,
+    FaultRecord,
+    RunResult,
+    UtilizationSample,
+)
 from .scenario import ExperimentBuilder, Scenario
 
 __all__ = [
@@ -52,6 +58,7 @@ __all__ = [
     "available_decision_modules",
     "get_decision_module",
     "register_decision_module",
+    "ConstraintViolationRecord",
     "ContextSwitchRecord",
     "RunResult",
     "UtilizationSample",

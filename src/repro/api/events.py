@@ -16,6 +16,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..model.configuration import Configuration
     from .decision import Decision
     from .results import (
+        ConstraintViolationRecord,
         ContextSwitchRecord,
         FaultRecord,
         RunResult,
@@ -53,6 +54,12 @@ class LoopObserver:
         """A vjob knocked out by a crash is running again; ``latency`` is the
         crash-to-running repair time in seconds."""
 
+    def on_constraint_violation(
+        self, record: "ConstraintViolationRecord"
+    ) -> None:
+        """A placement constraint was observed broken (constrained runs
+        only); fires once per violation-timeline entry."""
+
     def on_run_end(self, result: "RunResult") -> None:
         """The loop completed; ``result`` is about to be returned."""
 
@@ -88,6 +95,11 @@ class RecordingObserver(LoopObserver):
 
     def on_repair(self, name: str, latency: float) -> None:
         self.events.append(("repair", (name, latency)))
+
+    def on_constraint_violation(
+        self, record: "ConstraintViolationRecord"
+    ) -> None:
+        self.events.append(("constraint_violation", record))
 
     def on_run_end(self, result: "RunResult") -> None:
         self.events.append(("run_end", result))

@@ -22,6 +22,14 @@ leaves its VM on the source node and is re-derived (hence retried) by the
 next decision; slow nodes advance vjob progress more slowly; late-booting
 nodes join the configuration mid-run.  Repair latencies, SLA violations and
 wasted migrations are reported on the :class:`~repro.api.results.RunResult`.
+
+With ``constraints`` (the :mod:`repro.constraints` catalog), every planning
+round honours the declared placement relations: the optimizer compiles them
+into its CP model, constraint-aware policies filter their candidate nodes,
+plans and the live cluster are checked continuously, and a node crash runs
+each constraint's repair hook *before* the victims are replanned onto the
+survivors.  Observed breaches land on the
+:attr:`RunResult.constraint_violations` timeline — never silently dropped.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from __future__ import annotations
 from typing import Any, Mapping, Optional, Sequence, Union
 
 from .. import config
+from ..constraints.base import PlacementConstraint
+from ..constraints.checker import check_configuration
 from ..core.context_switch import ClusterContextSwitch
 from ..core.cost import plan_cost
 from ..model.errors import PlanningError
@@ -45,7 +55,13 @@ from ..workloads.traces import VJobWorkload
 from .decision import Decision, DecisionModule, needs_switch
 from .events import LoopObserver
 from .registry import get_decision_module
-from .results import ContextSwitchRecord, FaultRecord, RunResult, UtilizationSample
+from .results import (
+    ConstraintViolationRecord,
+    ContextSwitchRecord,
+    FaultRecord,
+    RunResult,
+    UtilizationSample,
+)
 
 PolicyLike = Union[str, DecisionModule]
 
@@ -89,6 +105,7 @@ class ControlLoop:
         max_consecutive_planning_failures: int = 25,
         fault_injector: Optional[FaultInjector] = None,
         sla_factor: Optional[float] = None,
+        constraints: Sequence[PlacementConstraint] = (),
     ) -> None:
         self.workloads = list(workloads)
         self.period = period
@@ -98,6 +115,19 @@ class ControlLoop:
         self.max_consecutive_planning_failures = max_consecutive_planning_failures
         self.faults = fault_injector
         self.sla_factor = sla_factor
+        #: Placement constraints enforced by every planning round (and
+        #: re-applied on fault-driven replans).  The list is live: a node
+        #: crash runs each constraint's repair hook and may swap entries.
+        self.constraints: list[PlacementConstraint] = list(constraints)
+        #: Labels of the catalog as declared by the user — repairs mutate
+        #: ``self.constraints``, the declaration is what a run is compared by.
+        self._declared_constraints = [c.label for c in self.constraints]
+        #: True once the loop owns the decision module's constraint set —
+        #: repairs must keep pushing updates (including down to the empty
+        #: set, when every constraint retired).  Stays False for loops built
+        #: without constraints, so a module's own constructor-supplied
+        #: catalog is never clobbered.
+        self._constraints_managed = bool(self.constraints)
 
         self.cluster = SimulatedCluster(nodes=nodes)
         self.queue = VJobQueue()
@@ -133,6 +163,7 @@ class ControlLoop:
         self.decision_module, self.policy_name = resolve_policy(
             policy, policy_options
         )
+        self._offer_constraints()
         self.switcher = ClusterContextSwitch(
             optimizer_timeout=optimizer_timeout, use_optimizer=use_optimizer
         )
@@ -283,17 +314,25 @@ class ControlLoop:
                 consecutive_failures = 0
             if report is not None:
                 execution = self.executor.execute(
-                    report.plan, self.cluster, start_time=now
+                    report.plan,
+                    self.cluster,
+                    start_time=now,
+                    constraints=self.constraints,
                 )
                 switch_duration = execution.duration
                 involved_nodes = execution.involved_nodes()
                 record = self._record_switch(now, report, execution)
                 result.switches.append(record)
                 self._record_migration_faults(execution, result)
+                self._record_switch_violations(now, report, execution, result)
                 self._notify("on_switch", record, report)
                 self.monitoring.notify_reconfiguration(now + switch_duration)
                 self._sync_vjob_states()
                 self._check_repairs(now + switch_duration, result)
+
+            # constraint watchdog: the settled state of this iteration must
+            # honour the catalog, switch or not
+            self._record_configuration_violations(now + switch_duration, result)
 
             # sample utilization after the switch
             sample = self._sample(now)
@@ -318,6 +357,14 @@ class ControlLoop:
         result.metadata["final_viable"] = self.cluster.configuration.is_viable()
         result.metadata["simulated_time"] = now
         result.metadata["planning_failures"] = planning_failures
+        if self._declared_constraints:
+            # The declared catalog (stable identity of a constrained run) and
+            # the post-repair set actually enforced at the end — they differ
+            # when crashes adjusted or retired constraints mid-run.
+            result.metadata["constraints"] = list(self._declared_constraints)
+            result.metadata["active_constraints"] = [
+                c.label for c in self.constraints
+            ]
         if self.faults is not None:
             result.metadata["unrepaired_vjobs"] = sorted(self._repair_pending)
         self._notify("on_run_end", result)
@@ -332,6 +379,99 @@ class ControlLoop:
             getattr(observer, hook)(*payload)
 
     # ------------------------------------------------------------------ #
+    # placement constraints                                               #
+    # ------------------------------------------------------------------ #
+
+    def _offer_constraints(self) -> None:
+        """Hand the constraint set to the decision module when it is
+        constraint-aware (``use_constraints`` hook — the heuristic policies
+        filter their candidate nodes with it)."""
+        if not self._constraints_managed:
+            return
+        hook = getattr(self.decision_module, "use_constraints", None)
+        if hook is not None:
+            hook(tuple(self.constraints))
+
+    def _repair_constraints(self, node_name: str) -> None:
+        """Run every constraint's node-failure repair hook.
+
+        Constraints may adapt to the shrunken fleet (an elastic ``Fence``
+        dropping the dead node) or retire; the surviving set is re-offered to
+        the decision module so fault-driven replanning re-applies it when the
+        crashed vjobs are rescheduled onto the survivors.
+        """
+        if not self.constraints:
+            return
+        repaired = []
+        for constraint in self.constraints:
+            adjusted = constraint.on_node_failure(node_name)
+            if adjusted is not None:
+                repaired.append(adjusted)
+        self.constraints = repaired
+        # Push the adjusted set even when it became empty: the module must
+        # drop a fully-retired constraint, not keep filtering with it.
+        self._offer_constraints()
+
+    def _record_violation(
+        self, record: ConstraintViolationRecord, result: RunResult
+    ) -> None:
+        result.constraint_violations.append(record)
+        self._notify("on_constraint_violation", record)
+
+    def _record_switch_violations(
+        self, now: float, report, execution, result: RunResult
+    ) -> None:
+        """Timeline entries for this switch: the plan's intended intermediate
+        states (``phase="plan"``) and the live pool boundaries observed by
+        the executor (``phase="execution"``)."""
+        for violation in report.plan.constraint_violations:
+            self._record_violation(
+                ConstraintViolationRecord(
+                    time=now,
+                    constraint=violation.constraint,
+                    phase="plan",
+                    message=violation.message,
+                    stage=violation.stage,
+                ),
+                result,
+            )
+        for event in execution.constraint_violations:
+            self._record_violation(
+                ConstraintViolationRecord(
+                    time=event.time,
+                    constraint=event.constraint,
+                    phase="execution",
+                    message=event.message,
+                    # ExecutionReport pool indices are 0-based; the record's
+                    # stage counts pools *applied* so both phases agree on
+                    # the same boundary (stage 1 = after the first pool).
+                    stage=event.pool_index + 1,
+                ),
+                result,
+            )
+
+    def _record_configuration_violations(
+        self, time: float, result: RunResult
+    ) -> None:
+        """One ``phase="configuration"`` entry per constraint the settled
+        iteration state breaks (a persistent breach shows up once per
+        iteration — that repetition *is* the timeline)."""
+        if not self.constraints:
+            return
+        for violation in check_configuration(
+            self.cluster.configuration, self.constraints
+        ):
+            self._record_violation(
+                ConstraintViolationRecord(
+                    time=time,
+                    constraint=violation.constraint,
+                    phase="configuration",
+                    message=violation.message,
+                ),
+                result,
+            )
+
+    # ------------------------------------------------------------------ #
     # fault handling                                                      #
     # ------------------------------------------------------------------ #
 
@@ -342,6 +482,9 @@ class ControlLoop:
         affected: tuple[str, ...] = ()
         detail = ""
         if event.kind is FaultKind.NODE_CRASH:
+            # Constraint repair first: replanning the victims must happen
+            # against the adjusted catalog, not the pre-crash one.
+            self._repair_constraints(event.target)
             if self.cluster.configuration.has_node(event.target):
                 affected = self._crash_node(event.target, event.time)
             elif event.target in self._delayed_nodes:
@@ -475,7 +618,10 @@ class ControlLoop:
         computed one, through the optimizer otherwise."""
         if decision.target is not None:
             return self.switcher.plan_to(
-                self.cluster.configuration, decision.target, vjob_of_vm
+                self.cluster.configuration,
+                decision.target,
+                vjob_of_vm,
+                constraints=self.constraints,
             )
         if not self.switcher.use_optimizer and decision.fallback_target is None:
             raise ValueError(
@@ -489,6 +635,7 @@ class ControlLoop:
             decision.vm_states,
             vjob_of_vm=vjob_of_vm,
             fallback_target=decision.fallback_target,
+            constraints=self.constraints,
         )
 
     def _fallback_plan(self, decision: Decision, vjob_of_vm: Mapping[str, str]):
@@ -498,7 +645,10 @@ class ControlLoop:
             return None
         try:
             report = self.switcher.plan_to(
-                self.cluster.configuration, decision.fallback_target, vjob_of_vm
+                self.cluster.configuration,
+                decision.fallback_target,
+                vjob_of_vm,
+                constraints=self.constraints,
             )
         except PlanningError:
             return None

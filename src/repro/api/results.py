@@ -66,6 +66,32 @@ class FaultRecord:
 
 
 @dataclass(frozen=True)
+class ConstraintViolationRecord:
+    """One placement constraint observed broken during a run.
+
+    ``constraint`` is the catalog relation's stable label (its ``repr``);
+    ``phase`` tells where the breach was observed:
+
+    * ``"plan"`` — an intended intermediate state of a reconfiguration plan
+      (continuous satisfaction at pool granularity, reported by the planner);
+    * ``"execution"`` — the *live* cluster at a pool boundary while the
+      switch executed (fault-injected deviations included);
+    * ``"configuration"`` — the cluster state at an iteration boundary,
+      after the switch (or non-switch) of that round settled.
+
+    ``stage`` is the number of pools applied when the breach was observed
+    (``1`` = after the first pool) for the plan/execution phases — the same
+    boundary gets the same stage in both — and ``None`` otherwise.
+    """
+
+    time: float
+    constraint: str
+    phase: str
+    message: str = ""
+    stage: int | None = None
+
+
+@dataclass(frozen=True)
 class UtilizationSample:
     """One point of the Figure 13 utilization curves."""
 
@@ -109,6 +135,10 @@ class RunResult:
       scenario sets ``sla_factor``); unfinished vjobs always violate;
     * ``unfinished_vjobs`` — submitted vjobs that never completed ("lost"
       vjobs; a recovery scenario is only healthy when this is empty).
+
+    Constrained runs (``Scenario.with_constraints``) additionally fill
+    ``constraint_violations`` — the chronological per-constraint violation
+    timeline — summarized by :attr:`constraint_violation_counts`.
     """
 
     makespan: float = 0.0
@@ -121,6 +151,9 @@ class RunResult:
     repair_latencies: dict[str, float] = field(default_factory=dict)
     sla_violations: list[str] = field(default_factory=list)
     unfinished_vjobs: list[str] = field(default_factory=list)
+    constraint_violations: list[ConstraintViolationRecord] = field(
+        default_factory=list
+    )
 
     @property
     def average_switch_duration(self) -> float:
@@ -154,6 +187,19 @@ class RunResult:
     def lost_vjob_count(self) -> int:
         """Submitted vjobs that never completed — 0 on a healthy recovery."""
         return len(self.unfinished_vjobs)
+
+    @property
+    def constraint_violation_counts(self) -> dict[str, int]:
+        """Violation events per constraint label over the whole run."""
+        counts: dict[str, int] = {}
+        for record in self.constraint_violations:
+            counts[record.constraint] = counts.get(record.constraint, 0) + 1
+        return counts
+
+    @property
+    def honoured_constraints(self) -> bool:
+        """True when no constraint violation was observed during the run."""
+        return not self.constraint_violations
 
     def completed(self, name: str) -> bool:
         return name in self.completion_times

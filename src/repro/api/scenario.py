@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional, Sequence
 
 from .. import config
+from ..constraints.base import PlacementConstraint
 from ..model.node import Node
 from ..sim.faults import FaultInjector, FaultSchedule
 from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
@@ -41,6 +42,13 @@ class Scenario:
     builds stay independent.  ``sla_factor`` turns on SLA accounting: a vjob
     violates its SLA when its turnaround (completion minus submission time)
     exceeds ``sla_factor`` times its ideal execution time.
+
+    ``constraints`` attaches placement relations from the
+    :mod:`repro.constraints` catalog (``Spread``, ``Fence``, ``MaxOnline``,
+    ...): the optimizer compiles them into its CP model, heuristic policies
+    filter their candidate nodes with them, every plan and the live cluster
+    are checked continuously, and the violation timeline lands on
+    :attr:`RunResult.constraint_violations`.
     """
 
     nodes: Sequence[Node] = ()
@@ -56,11 +64,13 @@ class Scenario:
     max_consecutive_planning_failures: int = 25
     faults: Optional[FaultSchedule] = None
     sla_factor: Optional[float] = None
+    constraints: Sequence[PlacementConstraint] = ()
     observers: list[LoopObserver] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.nodes = list(self.nodes)
         self.workloads = list(self.workloads)
+        self.constraints = list(self.constraints)
         if not self.nodes:
             raise ValueError("a scenario needs at least one node")
 
@@ -93,6 +103,21 @@ class Scenario:
         if workloads is not None:
             copied.workloads = list(workloads)
         return copied
+
+    def with_constraints(
+        self, *constraints: PlacementConstraint
+    ) -> "Scenario":
+        """A copy of this scenario with ``constraints`` *added* to the
+        catalog already attached (pass none to copy unchanged)::
+
+            scenario.with_constraints(Spread(["db.0", "db.1"]),
+                                      Fence(["licensed"], ["node-1"]))
+        """
+        return replace(
+            self,
+            constraints=[*self.constraints, *constraints],
+            observers=list(self.observers),
+        )
 
     def observe(self, observer: LoopObserver) -> "Scenario":
         """Attach an observer (returns ``self`` for chaining)."""
@@ -133,6 +158,7 @@ class Scenario:
                 FaultInjector(self.faults) if self.faults is not None else None
             ),
             sla_factor=self.sla_factor,
+            constraints=self.constraints,
         )
 
     def run(self) -> RunResult:
@@ -275,6 +301,14 @@ class ExperimentBuilder:
 
     def sla_factor(self, factor: float) -> "ExperimentBuilder":
         self._overrides["sla_factor"] = factor
+        return self
+
+    def constraints(
+        self, *constraints: PlacementConstraint
+    ) -> "ExperimentBuilder":
+        """Attach placement constraints (cumulative across calls)."""
+        existing = list(self._overrides.get("constraints", ()))
+        self._overrides["constraints"] = [*existing, *constraints]
         return self
 
     def observe(self, observer: LoopObserver) -> "ExperimentBuilder":

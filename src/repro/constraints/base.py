@@ -1,0 +1,187 @@
+"""Base machinery of the declarative placement-constraint catalog.
+
+Every catalog constraint (:mod:`repro.constraints.catalog`) has **three
+faces**, mirroring how Entropy's successor line (BtrPlace) structures its
+constraint system:
+
+1. a **compiler** — the constraint contributes to the CP model built by
+   :mod:`repro.core.optimizer`: unary relations shrink the domains of the
+   assignment variables (:meth:`PlacementConstraint.allowed_nodes`), n-ary
+   relations inject dedicated propagators
+   (:meth:`PlacementConstraint.cp_constraints`);
+2. a **checker** — the constraint validates a concrete
+   :class:`~repro.model.configuration.Configuration`
+   (:meth:`PlacementConstraint.is_satisfied_by`, with a human-readable
+   :meth:`PlacementConstraint.explain`) and, for stateful relations such as
+   ``Root``, a transition between two configurations
+   (:meth:`PlacementConstraint.is_transition_satisfied`);
+3. a **repair hook** — when a node dies mid-run the control loop offers every
+   constraint the chance to adapt (:meth:`PlacementConstraint.on_node_failure`)
+   before fault-driven replanning re-applies the catalog to the survivors.
+
+Heuristic packers (FFD / FCFS) cannot run a CP search, so constraints also
+expose a greedy **candidate filter** (:meth:`PlacementConstraint.allows`)
+answering "may VM *v* go on node *n* given the placement built so far?" —
+see :mod:`repro.constraints.filtering`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cp.constraints import Constraint as CPConstraint
+    from ..cp.variables import IntVar
+    from ..model.configuration import Configuration
+
+
+class PlacementConstraint:
+    """Base class of every catalog constraint.
+
+    Subclasses override the faces they participate in; every default is the
+    *neutral* behaviour (no domain restriction, no propagator, always
+    satisfied, keep the constraint unchanged on node failure).
+    """
+
+    #: VMs the relation is scoped to; empty for node-scoped constraints
+    #: (``MaxOnline`` / ``RunningCapacity`` watch every running VM).
+    vms: Tuple[str, ...] = ()
+
+    # -- compiler face ---------------------------------------------------------
+
+    def allowed_nodes(
+        self,
+        vm_name: str,
+        node_names: Sequence[str],
+        configuration: Optional["Configuration"] = None,
+    ) -> Optional[Set[str]]:
+        """Nodes on which ``vm_name`` may run, or ``None`` when the constraint
+        does not restrict that VM individually.
+
+        ``configuration`` is the observed configuration the optimizer plans
+        from; stateful relations (``Root``) need it to resolve "the current
+        host".  Returning an empty set marks the VM as unplaceable.
+        """
+        return None
+
+    def cp_constraints(
+        self,
+        variables: Mapping[str, "IntVar"],
+        node_index: Mapping[str, int],
+    ) -> List["CPConstraint"]:
+        """Solver constraints over the assignment variables of the running
+        VMs (empty when the relation is purely unary).
+
+        ``variables`` maps every running VM to its assignment variable;
+        ``node_index`` maps node names to the variable values standing for
+        them.
+        """
+        return []
+
+    # -- checker face ----------------------------------------------------------
+
+    def is_satisfied_by(self, configuration: "Configuration") -> bool:
+        """Check the relation on a concrete configuration."""
+        raise NotImplementedError
+
+    def explain(self, configuration: "Configuration") -> Optional[str]:
+        """Human-readable account of the violation, ``None`` when satisfied."""
+        if self.is_satisfied_by(configuration):
+            return None
+        return f"{self.label} is violated"
+
+    def is_transition_satisfied(
+        self, reference: "Configuration", state: "Configuration"
+    ) -> bool:
+        """Check the relation *between* two configurations.
+
+        ``reference`` is the configuration the plan started from and
+        ``state`` an intermediate or final state.  Only stateful relations
+        (``Root``) override this; static relations are transition-neutral.
+        """
+        return True
+
+    def explain_transition(
+        self, reference: "Configuration", state: "Configuration"
+    ) -> Optional[str]:
+        if self.is_transition_satisfied(reference, state):
+            return None
+        return f"{self.label} is violated by the transition"
+
+    # -- greedy candidate filter ----------------------------------------------
+
+    def allows(
+        self,
+        vm_name: str,
+        node_name: str,
+        trial: "Configuration",
+        reference: Optional["Configuration"] = None,
+    ) -> bool:
+        """May ``vm_name`` be placed on ``node_name`` given the partial
+        placement already committed to ``trial``?
+
+        Used by the heuristic packers (FFD / FCFS) to stay constraint-aware
+        without a CP search; ``reference`` is the observed configuration (for
+        ``Root``).  The default accepts every candidate.
+        """
+        return True
+
+    # -- repair hook -----------------------------------------------------------
+
+    def on_node_failure(self, node_name: str) -> Optional["PlacementConstraint"]:
+        """The constraint to enforce after ``node_name`` died.
+
+        Return ``self`` (the default) to keep enforcing the relation
+        unchanged, an adjusted instance to adapt it to the surviving fleet
+        (e.g. an elastic ``Fence`` dropping the dead node), or ``None`` to
+        retire the relation entirely.
+        """
+        return self
+
+    # -- shared helpers --------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Stable display identifier used in violation records and metrics."""
+        return repr(self)
+
+    def _running_locations(self, configuration: "Configuration") -> List[str]:
+        """Hosts of the group's running VMs (VMs absent from the
+        configuration or not running are skipped)."""
+        locations = []
+        for vm_name in self.vms:
+            if not configuration.has_vm(vm_name):
+                continue
+            node = configuration.location_of(vm_name)
+            if node is not None:
+                locations.append(node)
+        return locations
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(self.vms)})"
+
+
+class VMGroupConstraint(PlacementConstraint):
+    """A constraint scoped to an explicit, non-empty group of VMs."""
+
+    def __init__(self, vms: Iterable[str]):
+        self.vms = tuple(vms)
+        if not self.vms:
+            raise ValueError("a placement constraint needs at least one VM")
+
+
+class NodeSetConstraint(PlacementConstraint):
+    """A constraint scoped to an explicit, non-empty set of nodes."""
+
+    def __init__(self, nodes: Iterable[str]):
+        self.nodes: frozenset[str] = frozenset(nodes)
+        if not self.nodes:
+            raise ValueError(
+                f"{type(self).__name__} requires at least one node"
+            )
+
+    def _sorted_nodes(self) -> List[str]:
+        return sorted(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(self._sorted_nodes())})"

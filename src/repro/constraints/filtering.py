@@ -1,0 +1,58 @@
+"""Greedy candidate filtering — constraint awareness for heuristic packers.
+
+The CP optimizer enforces the catalog through compiled propagators, but the
+FFD and FCFS decision modules place VMs greedily, one node probe at a time.
+:class:`CandidateFilter` adapts a constraint set to that probe loop: it
+answers "may this VM go on this node, given the placement committed so far?"
+by delegating to each constraint's :meth:`~repro.constraints.base
+.PlacementConstraint.allows` face.
+
+The filter is *incomplete* by construction (a greedy packer cannot backtrack
+out of a dead end the way the solver does), but it is *sound*: every
+placement it accepts satisfies the constraints it was built from, which is
+what keeps the FFD fallback targets and the FCFS admission trials honest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from .base import PlacementConstraint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model.configuration import Configuration
+
+
+class CandidateFilter:
+    """Constraint-aware node filtering for greedy placement loops."""
+
+    def __init__(
+        self,
+        constraints: Sequence[PlacementConstraint],
+        reference: Optional["Configuration"] = None,
+    ):
+        self._constraints: Tuple[PlacementConstraint, ...] = tuple(constraints)
+        #: Observed configuration, needed by stateful relations (``Root``).
+        self._reference = reference
+
+    @property
+    def constraints(self) -> Tuple[PlacementConstraint, ...]:
+        return self._constraints
+
+    def with_reference(
+        self, reference: Optional["Configuration"]
+    ) -> "CandidateFilter":
+        """The same filter bound to another observed configuration."""
+        return CandidateFilter(self._constraints, reference)
+
+    def __bool__(self) -> bool:
+        return bool(self._constraints)
+
+    def __call__(
+        self, vm_name: str, node_name: str, trial: "Configuration"
+    ) -> bool:
+        """May ``vm_name`` be placed on ``node_name`` in ``trial``?"""
+        return all(
+            constraint.allows(vm_name, node_name, trial, self._reference)
+            for constraint in self._constraints
+        )

@@ -21,10 +21,15 @@ from .cost import ActionCost, PlanCost, minimum_possible_cost, plan_cost, total_
 from .graph import Edge, ReconfigurationGraph
 from .optimizer import ContextSwitchOptimizer, OptimizationResult
 from .placement import (
+    Among,
     Ban,
     Fence,
     Gather,
+    Lonely,
+    MaxOnline,
     PlacementConstraint,
+    Root,
+    RunningCapacity,
     Spread,
     check_constraints,
 )
@@ -51,10 +56,15 @@ __all__ = [
     "ReconfigurationGraph",
     "ContextSwitchOptimizer",
     "OptimizationResult",
+    "Among",
     "Ban",
     "Fence",
     "Gather",
+    "Lonely",
+    "MaxOnline",
     "PlacementConstraint",
+    "Root",
+    "RunningCapacity",
     "Spread",
     "check_constraints",
     "Pool",

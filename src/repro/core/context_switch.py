@@ -98,16 +98,22 @@ class ClusterContextSwitch:
             raise ValueError(
                 "use_optimizer=False requires an explicit fallback_target"
             )
-        return self.plan_to(current, fallback_target, vjob_of_vm)
+        return self.plan_to(current, fallback_target, vjob_of_vm, constraints)
 
     def plan_to(
         self,
         current: Configuration,
         target: Configuration,
         vjob_of_vm: Optional[Mapping[str, str]] = None,
+        constraints: Sequence[PlacementConstraint] = (),
     ) -> ContextSwitchReport:
-        """Plan the switch towards an explicit target configuration."""
-        plan = self.planner.build(current, target, vjob_of_vm)
+        """Plan the switch towards an explicit target configuration.
+
+        ``constraints`` only turn on continuous-satisfaction bookkeeping here
+        (the target is the caller's responsibility); violations of
+        intermediate states land on ``plan.constraint_violations``.
+        """
+        plan = self.planner.build(current, target, vjob_of_vm, constraints=constraints)
         return ContextSwitchReport(
             current=current,
             target=target,

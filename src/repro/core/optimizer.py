@@ -148,7 +148,9 @@ class ContextSwitchOptimizer:
                     f"({', '.join(map(repr, violated))}) and the fallback "
                     "configuration violates them too"
                 )
-            plan = self.planner.build(current, fallback_target, vjob_of_vm)
+            plan = self.planner.build(
+                current, fallback_target, vjob_of_vm, constraints=constraints
+            )
             cost = plan_cost(plan).total
             return OptimizationResult(
                 target=fallback_target,
@@ -161,7 +163,7 @@ class ContextSwitchOptimizer:
             )
 
         target = self._build_target(current, states, solution_assignment)
-        plan = self.planner.build(current, target, vjob_of_vm)
+        plan = self.planner.build(current, target, vjob_of_vm, constraints=constraints)
         cost = plan_cost(plan).total
         movement = sum(
             self._movement_cost_table(current, vm)[solution_assignment[vm]]
@@ -317,7 +319,7 @@ class ContextSwitchOptimizer:
             # assignment variable before the search even starts.
             allowed = set(node_names)
             for constraint in constraints:
-                restriction = constraint.allowed_nodes(vm_name, node_names)
+                restriction = constraint.allowed_nodes(vm_name, node_names, current)
                 if restriction is not None:
                     allowed &= restriction
             if not allowed:

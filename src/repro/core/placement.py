@@ -1,151 +1,55 @@
-"""Placement constraints between VMs and nodes.
+"""Compatibility shim for the historical placement-constraint module.
 
-The paper's conclusion announces "additional low level relations between the
-VMs in the decision module", such as "hosting some VMs on different nodes for
-high availability considerations", already available in the original Entropy.
-This module provides those relations and the optimizer honours them when it
-searches for the target configuration:
+The constraint system grew into the full :mod:`repro.constraints` subsystem
+(nine-relation catalog, independent configuration/plan checkers, repair
+hooks, greedy candidate filtering).  This module keeps the original import
+surface alive — ``from repro.core.placement import Spread, check_constraints``
+keeps working — while the implementation lives in one place.
 
-* :class:`Spread` — the running VMs of a group must be hosted on pairwise
-  distinct nodes (high availability);
-* :class:`Gather` — the running VMs of a group must share one node (latency /
-  page-sharing friendly co-location);
-* :class:`Ban` — a group of VMs may never run on a given set of nodes
-  (maintenance, licensing);
-* :class:`Fence` — a group of VMs may only run inside a given set of nodes
-  (hardware affinity, security zones).
+``check_constraints`` is the historical name of
+:func:`repro.constraints.checker.violated_constraints`.
 
-A constraint restricts where VMs may *run*; it says nothing about sleeping,
-waiting or terminated VMs.
+Two deliberate changes rode along for custom subclasses:
+
+* the optimizer now passes the observed configuration to
+  ``allowed_nodes(vm_name, node_names, configuration=None)`` (stateful
+  relations like ``Root`` need it) — old two-parameter overrides must add
+  the third parameter;
+* the validating ``__init__(vms)`` moved from the base class to
+  :class:`repro.constraints.VMGroupConstraint` (the base also covers
+  node-scoped relations now) — subclasses calling ``super().__init__(vms)``
+  should derive from ``VMGroupConstraint`` instead.
+
+The concrete relations, ``cp_constraints``, ``is_satisfied_by`` and
+``check_constraints`` behave as before.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from ..constraints import (
+    Among,
+    Ban,
+    Fence,
+    Gather,
+    Lonely,
+    MaxOnline,
+    PlacementConstraint,
+    Root,
+    RunningCapacity,
+    Spread,
+    violated_constraints as check_constraints,
+)
 
-from ..cp import AllDifferent, Constraint as CPConstraint
-from ..cp.constraints import AllEqual
-from ..cp.variables import IntVar
-from ..model.configuration import Configuration
-
-
-class PlacementConstraint:
-    """Base class of the VM placement relations."""
-
-    def __init__(self, vms: Iterable[str]):
-        self.vms: tuple[str, ...] = tuple(vms)
-        if not self.vms:
-            raise ValueError("a placement constraint needs at least one VM")
-
-    # -- unary part ------------------------------------------------------------
-
-    def allowed_nodes(self, vm_name: str, node_names: Sequence[str]) -> Optional[set[str]]:
-        """Nodes on which ``vm_name`` may run, or ``None`` when the constraint
-        does not restrict that VM individually."""
-        return None
-
-    # -- n-ary part -------------------------------------------------------------
-
-    def cp_constraints(
-        self,
-        variables: Mapping[str, IntVar],
-        node_index: Mapping[str, int],
-    ) -> list[CPConstraint]:
-        """Solver constraints over the assignment variables of the running VMs
-        involved in this relation (empty when the relation is purely unary)."""
-        return []
-
-    # -- validation --------------------------------------------------------------
-
-    def is_satisfied_by(self, configuration: Configuration) -> bool:
-        """Check the relation on a concrete configuration."""
-        raise NotImplementedError
-
-    def _running_locations(self, configuration: Configuration) -> list[str]:
-        locations = []
-        for vm_name in self.vms:
-            if not configuration.has_vm(vm_name):
-                continue
-            node = configuration.location_of(vm_name)
-            if node is not None:
-                locations.append(node)
-        return locations
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"{type(self).__name__}({', '.join(self.vms)})"
-
-
-class Spread(PlacementConstraint):
-    """The running VMs of the group are hosted on pairwise distinct nodes."""
-
-    def cp_constraints(self, variables, node_index):
-        involved = [variables[vm] for vm in self.vms if vm in variables]
-        if len(involved) < 2:
-            return []
-        return [AllDifferent(involved)]
-
-    def is_satisfied_by(self, configuration: Configuration) -> bool:
-        locations = self._running_locations(configuration)
-        return len(locations) == len(set(locations))
-
-
-class Gather(PlacementConstraint):
-    """The running VMs of the group share a single hosting node."""
-
-    def cp_constraints(self, variables, node_index):
-        involved = [variables[vm] for vm in self.vms if vm in variables]
-        if len(involved) < 2:
-            return []
-        return [AllEqual(involved)]
-
-    def is_satisfied_by(self, configuration: Configuration) -> bool:
-        locations = self._running_locations(configuration)
-        return len(set(locations)) <= 1
-
-
-class Ban(PlacementConstraint):
-    """The VMs of the group may never run on the banned nodes."""
-
-    def __init__(self, vms: Iterable[str], nodes: Iterable[str]):
-        super().__init__(vms)
-        self.nodes: frozenset[str] = frozenset(nodes)
-        if not self.nodes:
-            raise ValueError("Ban requires at least one node")
-
-    def allowed_nodes(self, vm_name, node_names):
-        if vm_name not in self.vms:
-            return None
-        return {n for n in node_names if n not in self.nodes}
-
-    def is_satisfied_by(self, configuration: Configuration) -> bool:
-        return not any(
-            node in self.nodes for node in self._running_locations(configuration)
-        )
-
-
-class Fence(PlacementConstraint):
-    """The VMs of the group may only run inside the given node set."""
-
-    def __init__(self, vms: Iterable[str], nodes: Iterable[str]):
-        super().__init__(vms)
-        self.nodes: frozenset[str] = frozenset(nodes)
-        if not self.nodes:
-            raise ValueError("Fence requires at least one node")
-
-    def allowed_nodes(self, vm_name, node_names):
-        if vm_name not in self.vms:
-            return None
-        return {n for n in node_names if n in self.nodes}
-
-    def is_satisfied_by(self, configuration: Configuration) -> bool:
-        return all(
-            node in self.nodes for node in self._running_locations(configuration)
-        )
-
-
-def check_constraints(
-    configuration: Configuration,
-    constraints: Sequence[PlacementConstraint],
-) -> list[PlacementConstraint]:
-    """Return the constraints violated by ``configuration``."""
-    return [c for c in constraints if not c.is_satisfied_by(configuration)]
+__all__ = [
+    "PlacementConstraint",
+    "Spread",
+    "Gather",
+    "Ban",
+    "Fence",
+    "Among",
+    "Root",
+    "MaxOnline",
+    "RunningCapacity",
+    "Lonely",
+    "check_constraints",
+]

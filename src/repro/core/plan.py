@@ -18,6 +18,20 @@ from ..model.resources import ResourceVector
 from .actions import Action, ActionKind
 
 
+def apply_pool_effects(configuration: Configuration, pool: Iterable[Action]) -> None:
+    """Apply a pool's actions to ``configuration`` in place: liberating
+    actions first, consumers second.  The end state is order-independent
+    (one action touches at most one VM); this is the single definition of
+    the pool end-state convention shared by plan application, the planner's
+    working states and the constraint checker's stage walk."""
+    for action in pool:
+        if not action.consumes_resources():
+            action.apply(configuration)
+    for action in pool:
+        if action.consumes_resources():
+            action.apply(configuration)
+
+
 @dataclass
 class Pool:
     """A set of actions feasible in parallel."""
@@ -55,10 +69,23 @@ class Pool:
 @dataclass
 class ReconfigurationPlan:
     """An ordered sequence of pools transforming ``source`` into a target
-    assignment."""
+    assignment.
+
+    ``constraint_violations`` is filled by the planner when placement
+    constraints are supplied: each entry is a
+    :class:`repro.constraints.checker.Violation` flagging an intermediate
+    state (pool boundary) that breaks a constraint — continuous satisfaction
+    bookkeeping, empty on unconstrained plans.
+    """
 
     source: Configuration
     pools: list[Pool] = field(default_factory=list)
+    constraint_violations: list = field(default_factory=list)
+
+    @property
+    def honours_constraints(self) -> bool:
+        """True when no intermediate state broke a supplied constraint."""
+        return not self.constraint_violations
 
     # -- construction ---------------------------------------------------------
 
@@ -127,15 +154,8 @@ class ReconfigurationPlan:
                         f"pool {index}: the actions targeting node {node} do "
                         "not fit in parallel"
                     )
-            # Apply the pool's effects (liberating actions first; the end state
-            # does not depend on the order since one action touches one VM).
             next_configuration = current.copy()
-            for action in pool:
-                if not action.consumes_resources():
-                    action.apply(next_configuration)
-            for action in pool:
-                if action.consumes_resources():
-                    action.apply(next_configuration)
+            apply_pool_effects(next_configuration, pool)
             current = next_configuration
         return current
 

@@ -23,12 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from ..constraints.base import PlacementConstraint
+from ..constraints.checker import check_plan
 from ..model.configuration import Configuration
 from ..model.errors import NoPivotAvailableError, PlanningError
 from ..model.resources import ResourceVector
 from .actions import Action, ActionKind, Migrate, Resume
 from .graph import ReconfigurationGraph
-from .plan import Pool, ReconfigurationPlan
+from .plan import Pool, ReconfigurationPlan, apply_pool_effects
 
 
 @dataclass
@@ -43,6 +45,12 @@ class PlannerOptions:
     #: target configuration (a correct construction needs at most one pool per
     #: action plus one bypass per cycle).
     max_pools: Optional[int] = None
+    #: When placement constraints are supplied to :meth:`~ReconfigurationPlanner
+    #: .build`, raise :class:`~repro.model.errors.PlanningError` on a
+    #: transiently-violating plan instead of recording the violations on
+    #: ``plan.constraint_violations`` (the default keeps the control loop
+    #: running and lets the run report the violation timeline).
+    strict_constraints: bool = False
 
 
 class ReconfigurationPlanner:
@@ -60,11 +68,20 @@ class ReconfigurationPlanner:
         current: Configuration,
         target: Configuration,
         vjob_of_vm: Optional[Mapping[str, str]] = None,
+        constraints: Sequence[PlacementConstraint] = (),
     ) -> ReconfigurationPlan:
         """Build a feasible plan from ``current`` to ``target``.
 
         ``vjob_of_vm`` maps VM names to vjob names and is only used by the
         consistency pass; omit it to plan VMs independently.
+
+        ``constraints`` turns on continuous-satisfaction bookkeeping: every
+        intermediate state of the finished plan (pool boundaries, plus
+        stateful transition relations like ``Root``) is validated with the
+        independent checker, and any violation lands on
+        ``plan.constraint_violations`` — or raises
+        :class:`~repro.model.errors.PlanningError` under
+        ``PlannerOptions.strict_constraints``.
         """
         plan = ReconfigurationPlan(source=current.copy())
         working = current.copy()
@@ -92,6 +109,14 @@ class ReconfigurationPlanner:
 
         if self.options.enforce_vjob_consistency and vjob_of_vm:
             self._regroup_vjob_resumes(plan, vjob_of_vm)
+        if constraints:
+            plan.constraint_violations = check_plan(plan, constraints)
+            if plan.constraint_violations and self.options.strict_constraints:
+                details = "; ".join(str(v) for v in plan.constraint_violations)
+                raise PlanningError(
+                    f"the plan transiently violates placement constraints: "
+                    f"{details}"
+                )
         return plan
 
     # ------------------------------------------------------------------ #
@@ -140,15 +165,7 @@ class ReconfigurationPlanner:
     def _apply_pool(working: Configuration, pool: Pool) -> Configuration:
         """Temporary configuration once every action of the pool completed."""
         result = working.copy()
-        # Apply consumers first against the pool-start configuration, then the
-        # liberating actions; the end state is order-independent because one
-        # action at most touches each VM.
-        for action in pool:
-            if action.consumes_resources():
-                action.apply(result)
-        for action in pool:
-            if not action.consumes_resources():
-                action.apply(result)
+        apply_pool_effects(result, pool)
         return result
 
     # ------------------------------------------------------------------ #
@@ -308,6 +325,9 @@ def build_plan(
     target: Configuration,
     vjob_of_vm: Optional[Mapping[str, str]] = None,
     options: Optional[PlannerOptions] = None,
+    constraints: Sequence[PlacementConstraint] = (),
 ) -> ReconfigurationPlan:
     """Module-level convenience wrapper around :class:`ReconfigurationPlanner`."""
-    return ReconfigurationPlanner(options).build(current, target, vjob_of_vm)
+    return ReconfigurationPlanner(options).build(
+        current, target, vjob_of_vm, constraints=constraints
+    )

@@ -9,10 +9,16 @@ optimization of the cluster-wide context switch relies on (Section 4.3).
 
 from .constraints import (
     AllDifferent,
+    AllDifferentExcept,
     AllEqual,
+    Among,
     Constraint,
+    CountInValuesAtMost,
+    DisjointValues,
     ElementSum,
     LinearLessEqual,
+    NotEqual,
+    UsedValuesAtMost,
     VectorPacking,
 )
 from .domain import Domain, IntervalDomain
@@ -33,10 +39,16 @@ from .variables import IntVar, make_int_var, make_interval_var, value_of
 
 __all__ = [
     "AllDifferent",
+    "AllDifferentExcept",
     "AllEqual",
+    "Among",
     "Constraint",
+    "CountInValuesAtMost",
+    "DisjointValues",
     "ElementSum",
     "LinearLessEqual",
+    "NotEqual",
+    "UsedValuesAtMost",
     "VectorPacking",
     "Domain",
     "IntervalDomain",

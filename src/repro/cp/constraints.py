@@ -12,6 +12,22 @@ generic ones that keep the solver usable on its own:
 * :class:`AllDifferent` — a value-based all-different, handy for tests and
   for pivot selection experiments.
 
+The placement-constraint catalog (:mod:`repro.constraints`) compiles its
+declarative relations into a second family of propagators:
+
+* :class:`NotEqual` — a cheap pairwise disequality (two-VM ``Spread``);
+* :class:`AllDifferentExcept` — all-different where a set of excepted values
+  may repeat (``Spread`` with collocation-tolerant nodes);
+* :class:`AllEqual` — every variable takes one common value (``Gather``);
+* :class:`Among` — all variables land inside a single one of several value
+  groups (``Among`` over node groups / fault domains);
+* :class:`UsedValuesAtMost` — at most ``k`` distinct values of a watched set
+  may be used (``MaxOnline``);
+* :class:`CountInValuesAtMost` — at most ``k`` variables may take a value
+  from a watched set (``RunningCapacity``);
+* :class:`DisjointValues` — two variable groups never share a value
+  (``Lonely``).
+
 Propagation is *event-driven*: each constraint declares a scheduling
 ``priority`` (cheap propagators drain first) and whether it is ``idempotent``
 (its own prunings cannot enable further prunings by itself, so the store need
@@ -201,6 +217,10 @@ class ElementSum(Constraint):
         self._vars = list(variables)
         self._tables = [dict(t) for t in tables]
         self._total = total
+        #: Constraint compilation may emit degenerate models (e.g. no VM to
+        #: place): with no variables the sum is 0, so the only propagation is
+        #: pinning the total to 0.
+        self._empty = not self._vars
         self._index_of: dict[int, int] = {}
         self._lo: list[int] = []
         self._hi: list[int] = []
@@ -223,6 +243,14 @@ class ElementSum(Constraint):
         return min(costs), max(costs)
 
     def propagate(self, store) -> None:
+        if self._empty:
+            if 0 not in self._total:
+                raise InconsistencyError(
+                    "ElementSum: empty variable list forces total = 0"
+                )
+            store.remove_below(self._total, 0)
+            store.remove_above(self._total, 0)
+            return
         bounds = [self._cost_bounds(i) for i in range(len(self._vars))]
         lower = sum(b[0] for b in bounds)
         upper = sum(b[1] for b in bounds)
@@ -266,6 +294,9 @@ class ElementSum(Constraint):
         return undo
 
     def propagate_events(self, store, dirty: Collection[int]) -> None:
+        if self._empty:
+            self.propagate(store)
+            return
         for model_index in dirty:
             i = self._index_of.get(model_index)
             if i is None:
@@ -355,6 +386,10 @@ class VectorPacking(Constraint):
         return self._vars
 
     def propagate(self, store) -> None:
+        if not self._vars:
+            # Degenerate compilation output (no item to pack): trivially
+            # satisfied, nothing to filter.
+            return
         node_count = len(self._capacities)
         committed_cpu = [0] * node_count
         committed_mem = [0] * node_count
@@ -433,6 +468,9 @@ class VectorPacking(Constraint):
         changed_nodes.add(node)
 
     def propagate_events(self, store, dirty: Collection[int]) -> None:
+        if not self._vars:
+            self._primed = True
+            return
         worklist = [
             i
             for model_index in dirty
@@ -500,6 +538,303 @@ class AllEqual(Constraint):
 
     def is_satisfied(self) -> bool:
         return len({v.value for v in self._vars}) <= 1
+
+
+class NotEqual(Constraint):
+    """``a != b`` — the cheapest disequality, used for two-VM ``Spread``.
+
+    Propagation runs to its own local fixpoint (pruning ``b`` may instantiate
+    it, which in turn prunes ``a``), so the constraint is genuinely idempotent
+    and never needs requeueing for self-inflicted events.
+    """
+
+    priority = 0
+    idempotent = True
+
+    def __init__(self, a: IntVar, b: IntVar):
+        self._a = a
+        self._b = b
+
+    def variables(self) -> Sequence[IntVar]:
+        return [self._a, self._b]
+
+    def propagate(self, store) -> None:
+        a, b = self._a, self._b
+        while True:
+            if a.is_instantiated and b.is_instantiated:
+                if a.value == b.value:
+                    raise InconsistencyError(
+                        f"NotEqual: {a.name} and {b.name} both take {a.value}"
+                    )
+                return
+            if a.is_instantiated and a.value in b:
+                store.remove(b, a.value)
+            elif b.is_instantiated and b.value in a:
+                store.remove(a, b.value)
+            else:
+                return
+
+    def is_satisfied(self) -> bool:
+        return self._a.value != self._b.value
+
+
+class AllDifferentExcept(Constraint):
+    """Pairwise-different values, except that values in ``exceptions`` may be
+    shared freely (``Spread`` tolerating collocation on designated nodes)."""
+
+    def __init__(self, variables: Sequence[IntVar], exceptions: Collection[int]):
+        self._vars = list(variables)
+        self._exceptions = frozenset(exceptions)
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        assigned: dict[int, IntVar] = {}
+        for var in self._vars:
+            if var.is_instantiated:
+                value = var.value
+                if value in self._exceptions:
+                    continue
+                if value in assigned:
+                    raise InconsistencyError(
+                        f"AllDifferentExcept: {var.name} and "
+                        f"{assigned[value].name} both take {value}"
+                    )
+                assigned[value] = var
+        for var in self._vars:
+            if var.is_instantiated:
+                continue
+            clash = [v for v in assigned if v in var]
+            if clash:
+                store.remove_many(var, clash)
+
+    def is_satisfied(self) -> bool:
+        seen: set[int] = set()
+        for var in self._vars:
+            value = var.value
+            if value in self._exceptions:
+                continue
+            if value in seen:
+                return False
+            seen.add(value)
+        return True
+
+
+class Among(Constraint):
+    """Every variable takes its value inside a *single* one of the given
+    value groups (the VMs of a group stay within one node group).
+
+    Propagation keeps only the groups in which every variable still has at
+    least one candidate value, and restricts each variable's domain to the
+    union of the surviving groups.
+    """
+
+    def __init__(self, variables: Sequence[IntVar], groups: Sequence[Collection[int]]):
+        normalized = [frozenset(group) for group in groups]
+        if not normalized:
+            raise ValueError("Among requires at least one value group")
+        if any(not group for group in normalized):
+            raise ValueError("Among groups must be non-empty")
+        self._vars = list(variables)
+        self._groups = normalized
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        if not self._vars:
+            return
+        feasible = [
+            group
+            for group in self._groups
+            if all(self._overlaps(var, group) for var in self._vars)
+        ]
+        if not feasible:
+            raise InconsistencyError("Among: no group can host every variable")
+        union = frozenset().union(*feasible)
+        for var in self._vars:
+            extra = [value for value in var.raw_values() if value not in union]
+            if extra:
+                store.remove_many(var, extra)
+
+    @staticmethod
+    def _overlaps(var: IntVar, group: frozenset) -> bool:
+        """Does the variable's domain intersect the group?  Iterates the
+        smaller side (groups are usually tiny next to fleet-wide domains)."""
+        if len(group) < var.size:
+            return any(value in var for value in group)
+        return any(value in group for value in var.raw_values())
+
+    def is_satisfied(self) -> bool:
+        values = {var.value for var in self._vars}
+        return any(values <= group for group in self._groups)
+
+
+class _EntailmentTrail:
+    """Shared trailed-entailment machinery of the counting propagators.
+
+    Once a counting constraint has saturated its cap and pruned every value
+    that could still grow the count, it can never fail again in the current
+    subtree: ``_mark_entailed`` records that fact with an undo entry so
+    backtracking past the saturation point re-arms the propagator.
+    """
+
+    _entailed = False
+
+    def register(self, store) -> None:
+        self._entailed = False
+
+    def _mark_entailed(self, store) -> None:
+        self._entailed = True
+
+        def undo() -> None:
+            self._entailed = False
+
+        store.record_undo(undo)
+
+
+class UsedValuesAtMost(_EntailmentTrail, Constraint):
+    """At most ``maximum`` *distinct* values of ``watched`` may be used across
+    the variables (the ``MaxOnline`` compiler: cap the nodes of a set that may
+    host anything at all)."""
+
+    def __init__(
+        self, variables: Sequence[IntVar], watched: Collection[int], maximum: int
+    ):
+        if maximum < 0:
+            raise ValueError("UsedValuesAtMost needs a non-negative maximum")
+        self._vars = list(variables)
+        self._watched = frozenset(watched)
+        self._max = maximum
+        self._entailed = False
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        if self._entailed:
+            return
+        used = {
+            var.value
+            for var in self._vars
+            if var.is_instantiated and var.value in self._watched
+        }
+        if len(used) > self._max:
+            raise InconsistencyError(
+                f"UsedValuesAtMost: {len(used)} watched values used, "
+                f"maximum is {self._max}"
+            )
+        if len(used) == self._max:
+            forbidden = self._watched - used
+            for var in self._vars:
+                if var.is_instantiated:
+                    continue
+                clash = [v for v in var.raw_values() if v in forbidden]
+                if clash:
+                    store.remove_many(var, clash)
+            # Every remaining variable now only holds already-used (or
+            # unwatched) values: the distinct count cannot grow.
+            self._mark_entailed(store)
+
+    def is_satisfied(self) -> bool:
+        used = {var.value for var in self._vars if var.value in self._watched}
+        return len(used) <= self._max
+
+
+class CountInValuesAtMost(_EntailmentTrail, Constraint):
+    """At most ``maximum`` variables may take a value inside ``watched`` (the
+    ``RunningCapacity`` compiler: cap how many VMs run on a node set).
+
+    A variable counts as *committed* once its whole domain lies inside the
+    watched set; when the committed count reaches the cap, the watched values
+    are pruned from every other variable (each of which still has at least one
+    outside value, so the pruning can never empty a domain).
+    """
+
+    def __init__(
+        self, variables: Sequence[IntVar], watched: Collection[int], maximum: int
+    ):
+        if maximum < 0:
+            raise ValueError("CountInValuesAtMost needs a non-negative maximum")
+        self._vars = list(variables)
+        self._watched = frozenset(watched)
+        self._max = maximum
+        self._entailed = False
+
+    def variables(self) -> Sequence[IntVar]:
+        return self._vars
+
+    def propagate(self, store) -> None:
+        if self._entailed:
+            return
+        watched = self._watched
+        watched_size = len(watched)
+        # Pigeonhole fast path: a domain larger than the watched set always
+        # holds an outside value, so only small domains need the full scan —
+        # without this the O(vars x domain) sweep dominates large models.
+        committed = [
+            var
+            for var in self._vars
+            if var.size <= watched_size
+            and all(value in watched for value in var.raw_values())
+        ]
+        if len(committed) > self._max:
+            raise InconsistencyError(
+                f"CountInValuesAtMost: {len(committed)} variables committed "
+                f"to the watched set, maximum is {self._max}"
+            )
+        if len(committed) == self._max:
+            committed_ids = {id(var) for var in committed}
+            for var in self._vars:
+                if id(var) in committed_ids:
+                    continue
+                clash = [v for v in var.raw_values() if v in watched]
+                if clash:
+                    store.remove_many(var, clash)
+            # The other variables lost every watched value: the committed
+            # count cannot grow in this subtree.
+            self._mark_entailed(store)
+
+    def is_satisfied(self) -> bool:
+        return (
+            sum(1 for var in self._vars if var.value in self._watched) <= self._max
+        )
+
+
+class DisjointValues(Constraint):
+    """No value may be taken both by a ``left`` and a ``right`` variable (the
+    ``Lonely`` compiler: the group's nodes host nothing else)."""
+
+    def __init__(self, left: Sequence[IntVar], right: Sequence[IntVar]):
+        self._left = list(left)
+        self._right = list(right)
+
+    def variables(self) -> Sequence[IntVar]:
+        return [*self._left, *self._right]
+
+    def propagate(self, store) -> None:
+        left_used = {var.value for var in self._left if var.is_instantiated}
+        right_used = {var.value for var in self._right if var.is_instantiated}
+        clash = left_used & right_used
+        if clash:
+            raise InconsistencyError(
+                f"DisjointValues: values {sorted(clash)} used on both sides"
+            )
+        for used, others in ((left_used, self._right), (right_used, self._left)):
+            if not used:
+                continue
+            for var in others:
+                if var.is_instantiated:
+                    continue
+                removable = [v for v in var.raw_values() if v in used]
+                if removable:
+                    store.remove_many(var, removable)
+
+    def is_satisfied(self) -> bool:
+        left = {var.value for var in self._left}
+        right = {var.value for var in self._right}
+        return not (left & right)
 
 
 class AllDifferent(Constraint):

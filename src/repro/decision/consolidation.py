@@ -20,9 +20,10 @@ Registered as ``"consolidation"`` in :mod:`repro.api.registry`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..api.decision import Decision, stop_terminated_vms
+from ..constraints import PlacementConstraint
 from ..model.configuration import Configuration
 from ..model.queue import VJobQueue
 from ..model.vjob import index_vms_by_vjob
@@ -33,13 +34,32 @@ __all__ = ["ConsolidationDecisionModule", "Decision"]
 
 
 class ConsolidationDecisionModule:
-    """FCFS-driven dynamic consolidation (the paper's sample policy)."""
+    """FCFS-driven dynamic consolidation (the paper's sample policy).
+
+    The CP optimizer enforces placement constraints itself; this module
+    needs them too (via ``constraints`` or the loop's ``use_constraints``
+    hook) so the RJSP *selection* only accepts vjob sets that have a
+    constrained placement, and so its FFD *fallback* target stays honest
+    when the search runs out of time.
+    """
 
     name = "consolidation"
 
-    def __init__(self, period: float = 30.0) -> None:
+    def __init__(
+        self,
+        period: float = 30.0,
+        constraints: Sequence[PlacementConstraint] = (),
+    ) -> None:
         #: Decision period in seconds (Section 3.2 uses 30 s).
         self.period = period
+        self.constraints: tuple[PlacementConstraint, ...] = tuple(constraints)
+
+    def use_constraints(
+        self, constraints: Sequence[PlacementConstraint]
+    ) -> None:
+        """Control-loop hook: the FFD fallback target filters its candidate
+        nodes with these placement constraints."""
+        self.constraints = tuple(constraints)
 
     def decide(
         self,
@@ -48,13 +68,17 @@ class ConsolidationDecisionModule:
         demands: Optional[dict[str, int]] = None,
     ) -> Decision:
         """Compute the target state of every VM for the next iteration."""
-        rjsp = select_running_vjobs(configuration, queue, demands)
+        rjsp = select_running_vjobs(
+            configuration, queue, demands, constraints=self.constraints
+        )
         vm_states = dict(rjsp.vm_states)
 
         # Terminated vjobs: make sure their VMs are stopped.
         stop_terminated_vms(configuration, queue, vm_states)
 
-        fallback = ffd_target_configuration(configuration, vm_states)
+        fallback = ffd_target_configuration(
+            configuration, vm_states, constraints=self.constraints
+        )
         return Decision(
             vm_states=vm_states,
             vjob_states=dict(rjsp.vjob_states),

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Literal, Optional, Sequence
 
 from ..api.decision import Decision, empty_configuration, stop_terminated_vms
+from ..constraints import CandidateFilter, PlacementConstraint
 from ..model.configuration import Configuration
 from ..model.queue import VJobQueue
 from ..model.vjob import VJobState
@@ -295,10 +296,22 @@ class FCFSDecisionModule:
 
     name = "fcfs"
 
-    def __init__(self, backfilling: BackfillPolicy = "none") -> None:
+    def __init__(
+        self,
+        backfilling: BackfillPolicy = "none",
+        constraints: Sequence[PlacementConstraint] = (),
+    ) -> None:
         if backfilling not in ("none", "easy"):
             raise ValueError(f"unknown backfilling policy {backfilling!r}")
         self.backfilling = backfilling
+        self.constraints: tuple[PlacementConstraint, ...] = tuple(constraints)
+
+    def use_constraints(
+        self, constraints: Sequence[PlacementConstraint]
+    ) -> None:
+        """Control-loop hook: admission trials filter their candidate nodes
+        with these placement constraints."""
+        self.constraints = tuple(constraints)
 
     @staticmethod
     def _booked_vm(configuration: Configuration, vm):
@@ -323,6 +336,11 @@ class FCFSDecisionModule:
         from .ffd import ffd_commit
 
         trial = empty_configuration(configuration)
+        node_filter = (
+            CandidateFilter(self.constraints, reference=configuration)
+            if self.constraints
+            else None
+        )
 
         vm_states: dict[str, VMState] = {}
         vjob_states: dict[str, VJobState] = {}
@@ -346,7 +364,9 @@ class FCFSDecisionModule:
                         vm_states[vm.name] = VMState.RUNNING
                     else:
                         placeless.append(booked)
-                if placeless and ffd_commit(trial, placeless) is not None:
+                if placeless and ffd_commit(
+                    trial, placeless, node_filter=node_filter
+                ) is not None:
                     for vm in placeless:
                         vm_states[vm.name] = VMState.RUNNING
                 else:
@@ -369,7 +389,7 @@ class FCFSDecisionModule:
             vms = [self._booked_vm(configuration, vm) for vm in vjob.vms]
             if (
                 not blocked or self.backfilling == "easy"
-            ) and ffd_commit(trial, vms) is not None:
+            ) and ffd_commit(trial, vms, node_filter=node_filter) is not None:
                 vjob_states[vjob.name] = VJobState.RUNNING
                 for vm in vjob.vms:
                     vm_states[vm.name] = VMState.RUNNING

@@ -12,12 +12,17 @@ FFD is used twice in the paper:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from ..api.decision import Decision, stop_terminated_vms
+from ..constraints import CandidateFilter, PlacementConstraint
 from ..model.configuration import Configuration
 from ..model.queue import VJobQueue
 from ..model.vm import VirtualMachine, VMState
+
+#: Constraint-awareness hook of the greedy packers: may VM (by name) go on
+#: this node given the trial configuration built so far?
+NodeFilter = Callable[[str, str, Configuration], bool]
 
 
 def ffd_order(vms: Iterable[VirtualMachine]) -> list[VirtualMachine]:
@@ -29,12 +34,15 @@ def ffd_place(
     configuration: Configuration,
     vms: Sequence[VirtualMachine],
     nodes: Optional[Sequence[str]] = None,
+    node_filter: Optional[NodeFilter] = None,
 ) -> Optional[dict[str, str]]:
     """Place ``vms`` on the nodes of ``configuration`` with First-Fit
     Decreasing.
 
     The placement accounts for the VMs already running in ``configuration``
-    and for the VMs placed earlier in this very call.  Returns a mapping
+    and for the VMs placed earlier in this very call.  ``node_filter``
+    (typically a :class:`~repro.constraints.CandidateFilter`) vetoes
+    candidate nodes a placement constraint forbids.  Returns a mapping
     VM name -> node name, or ``None`` when at least one VM cannot be placed.
     The input configuration is left untouched.
     """
@@ -44,9 +52,12 @@ def ffd_place(
     for vm in ffd_order(vms):
         chosen = None
         for node in node_names:
-            if trial.can_host(node, vm):
-                chosen = node
-                break
+            if not trial.can_host(node, vm):
+                continue
+            if node_filter is not None and not node_filter(vm.name, node, trial):
+                continue
+            chosen = node
+            break
         if chosen is None:
             return None
         if trial.has_vm(vm.name):
@@ -62,7 +73,9 @@ def ffd_place(
 
 
 def ffd_commit(
-    trial: Configuration, vms: Sequence[VirtualMachine]
+    trial: Configuration,
+    vms: Sequence[VirtualMachine],
+    node_filter: Optional[NodeFilter] = None,
 ) -> Optional[dict[str, str]]:
     """Place ``vms`` on ``trial`` with FFD and commit them as running.
 
@@ -70,7 +83,7 @@ def ffd_commit(
     test, FCFS admission).  Returns the placement, or ``None`` — with
     ``trial`` untouched — when at least one VM cannot be placed.
     """
-    placement = ffd_place(trial, vms)
+    placement = ffd_place(trial, vms, node_filter=node_filter)
     if placement is None:
         return None
     for vm in vms:
@@ -83,14 +96,18 @@ def ffd_commit(
 def ffd_target_configuration(
     current: Configuration,
     target_states: Mapping[str, VMState],
+    constraints: Sequence[PlacementConstraint] = (),
 ) -> Optional[Configuration]:
     """Baseline target configuration computed with FFD from scratch.
 
     Every VM that must run is packed with FFD on an initially empty cluster,
     ignoring its current location — this is the "first completed viable
     configuration" behaviour of the baseline in Section 5.1 and it typically
-    moves most of the running VMs.  Returns ``None`` when FFD fails to place
-    every running VM (the baseline then has no solution).
+    moves most of the running VMs.  ``constraints`` makes the packing
+    constraint-aware through greedy candidate filtering (sound but greedy:
+    FFD never backtracks out of a constraint dead end).  Returns ``None``
+    when FFD fails to place every running VM (the baseline then has no
+    solution).
     """
     states = {
         name: target_states.get(name, current.state_of(name))
@@ -102,8 +119,11 @@ def ffd_target_configuration(
         if current.state_of(name) is VMState.RUNNING:
             target.set_waiting(name)
 
+    node_filter = (
+        CandidateFilter(constraints, reference=current) if constraints else None
+    )
     must_run = [current.vm(name) for name, s in states.items() if s is VMState.RUNNING]
-    placement = ffd_place(target, must_run)
+    placement = ffd_place(target, must_run, node_filter=node_filter)
     if placement is None:
         return None
 
@@ -134,9 +154,27 @@ class FFDDecisionModule:
     plans are on average ~95 % more expensive than the CP optimizer's.  The
     explicit :attr:`~repro.api.decision.Decision.target` short-circuits the
     optimizer in the control loop.  Registered as ``"ffd"``.
+
+    ``constraints`` (or the control loop's ``use_constraints`` hook) makes
+    the packing constraint-aware: banned/fenced/spread-violating candidate
+    nodes are filtered while the target is built.  When no constrained
+    packing exists the module returns no target and the loop's optimizer —
+    or the next round — takes over.
     """
 
     name = "ffd"
+
+    def __init__(
+        self, constraints: Sequence[PlacementConstraint] = ()
+    ) -> None:
+        self.constraints: tuple[PlacementConstraint, ...] = tuple(constraints)
+
+    def use_constraints(
+        self, constraints: Sequence[PlacementConstraint]
+    ) -> None:
+        """Control-loop hook: adopt (or replace, after a repair) the
+        placement constraints to honour."""
+        self.constraints = tuple(constraints)
 
     def decide(
         self,
@@ -147,10 +185,14 @@ class FFDDecisionModule:
         # Imported here: rjsp imports helpers from this module.
         from .rjsp import select_running_vjobs
 
-        rjsp = select_running_vjobs(configuration, queue, demands)
+        rjsp = select_running_vjobs(
+            configuration, queue, demands, constraints=self.constraints
+        )
         vm_states = dict(rjsp.vm_states)
         stop_terminated_vms(configuration, queue, vm_states)
-        target = ffd_target_configuration(configuration, vm_states)
+        target = ffd_target_configuration(
+            configuration, vm_states, constraints=self.constraints
+        )
         return Decision(
             vm_states=vm_states,
             vjob_states=dict(rjsp.vjob_states),

@@ -19,9 +19,10 @@ for capacity instead of planning an impossible switch).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..api.decision import Decision, empty_configuration, stop_terminated_vms
+from ..constraints import CandidateFilter, PlacementConstraint
 from ..model.configuration import Configuration
 from ..model.queue import VJobQueue
 from ..model.vjob import VJob, VJobState
@@ -55,6 +56,7 @@ def select_running_vjobs(
     configuration: Configuration,
     queue: VJobQueue,
     demands: Optional[dict[str, int]] = None,
+    constraints: Sequence[PlacementConstraint] = (),
 ) -> RJSPResult:
     """Solve the RJSP with the FFD heuristic.
 
@@ -68,9 +70,21 @@ def select_running_vjobs(
         Optional override of the CPU demand of individual VMs (VM name ->
         processing units), typically the fresh values reported by the
         monitoring service.
+    constraints:
+        Placement constraints the trial packing must honour.  Without them
+        the selection can accept a vjob set that fits capacity-wise but has
+        no *constrained* assignment, sending the optimizer into a planning
+        dead end; the greedy filter keeps the selection conservative (a
+        constraint-heavy instance may reject a vjob the CP search could in
+        fact place — it is then simply retried next round).
     """
     result = RJSPResult()
     trial = empty_configuration(configuration)
+    node_filter = (
+        CandidateFilter(constraints, reference=configuration)
+        if constraints
+        else None
+    )
 
     for vjob in queue.pending():
         vms = []
@@ -82,7 +96,7 @@ def select_running_vjobs(
                 observed = observed.with_cpu_demand(demands[vm.name])
             vms.append(observed)
 
-        placement = ffd_commit(trial, vms)
+        placement = ffd_commit(trial, vms, node_filter=node_filter)
         if placement is not None:
             result.accepted.append(vjob.name)
             result.vjob_states[vjob.name] = VJobState.RUNNING
@@ -123,13 +137,27 @@ class RJSPDecisionModule:
 
     name = "rjsp"
 
+    def __init__(
+        self, constraints: Sequence[PlacementConstraint] = ()
+    ) -> None:
+        self.constraints: tuple[PlacementConstraint, ...] = tuple(constraints)
+
+    def use_constraints(
+        self, constraints: Sequence[PlacementConstraint]
+    ) -> None:
+        """Control-loop hook: the selection's trial packing filters its
+        candidate nodes with these placement constraints."""
+        self.constraints = tuple(constraints)
+
     def decide(
         self,
         configuration: Configuration,
         queue: VJobQueue,
         demands: Optional[dict[str, int]] = None,
     ) -> Decision:
-        rjsp = select_running_vjobs(configuration, queue, demands)
+        rjsp = select_running_vjobs(
+            configuration, queue, demands, constraints=self.constraints
+        )
         vm_states = dict(rjsp.vm_states)
         stop_terminated_vms(configuration, queue, vm_states)
         return Decision(

@@ -208,6 +208,11 @@ class Configuration:
         """Read-only view of the running VM -> node mapping."""
         return dict(self._placement)
 
+    def iter_placement(self) -> Iterator[tuple[str, str]]:
+        """Iterate (running VM, hosting node) pairs without copying — for
+        hot read-only checks (e.g. greedy constraint filtering)."""
+        return iter(self._placement.items())
+
     # ------------------------------------------------------------------ #
     # state changes                                                       #
     # ------------------------------------------------------------------ #

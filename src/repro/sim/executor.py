@@ -19,9 +19,11 @@ and re-plan on the next round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from .. import config
+from ..constraints.base import PlacementConstraint
+from ..constraints.checker import check_configuration
 from ..core.actions import Action, ActionKind
 from ..core.plan import ReconfigurationPlan
 from ..model.errors import ExecutionError
@@ -66,6 +68,22 @@ class FailedAction:
         return self.start + self.duration
 
 
+@dataclass(frozen=True)
+class ConstraintViolationEvent:
+    """A placement constraint broken by the *live* cluster state while a
+    switch executed (observed at a pool boundary).
+
+    Continuous satisfaction is checked against what actually happened —
+    including the effects of fault injection — not against the plan's
+    intended intermediate states.
+    """
+
+    time: float
+    pool_index: int
+    constraint: str
+    message: str
+
+
 @dataclass
 class ExecutionReport:
     """Timing of a whole cluster-wide context switch.
@@ -73,12 +91,17 @@ class ExecutionReport:
     ``actions`` only contains the actions that took effect; attempts broken
     by fault injection land in ``failures`` (their wall-clock time still
     counts towards the switch duration — a wasted migration is not free).
+    ``constraint_violations`` is populated when the executor is given
+    placement constraints to watch (empty otherwise).
     """
 
     start: float
     actions: list[ActionExecution] = field(default_factory=list)
     pool_windows: list[tuple[float, float]] = field(default_factory=list)
     failures: list[FailedAction] = field(default_factory=list)
+    constraint_violations: list[ConstraintViolationEvent] = field(
+        default_factory=list
+    )
 
     @property
     def end(self) -> float:
@@ -141,15 +164,21 @@ class PlanExecutor:
         plan: ReconfigurationPlan,
         cluster: SimulatedCluster,
         start_time: float = 0.0,
+        constraints: Sequence[PlacementConstraint] = (),
     ) -> ExecutionReport:
         """Execute every pool of ``plan`` against ``cluster``.
 
         The cluster configuration is mutated as the actions complete; the
         returned report records when each action started and how long it took.
+        With ``constraints``, the live configuration is validated at every
+        pool boundary (continuous satisfaction against what *actually*
+        happened, fault-injected deviations included) and each breach is
+        recorded as a :class:`ConstraintViolationEvent`.
         """
         report = ExecutionReport(start=start_time)
         injector = self.fault_injector
         clock = start_time
+        reference = cluster.configuration.copy() if constraints else None
 
         for pool_index, pool in enumerate(plan.pools):
             if injector is None:
@@ -237,7 +266,54 @@ class PlanExecutor:
             report.pool_windows.append((clock, pool_end))
             clock = pool_end
 
+            if reference is not None:
+                self._watch_constraints(
+                    report, cluster, reference, constraints, pool_index, clock
+                )
+
         return report
+
+    @staticmethod
+    def _watch_constraints(
+        report: ExecutionReport,
+        cluster: SimulatedCluster,
+        reference,
+        constraints: Sequence[PlacementConstraint],
+        pool_index: int,
+        time: float,
+    ) -> None:
+        """Record every constraint the live configuration breaks right now
+        (static checks via the shared checker, plus the stateful transition
+        relations against the execution-start reference)."""
+        state = cluster.configuration
+        flagged: set[str] = set()
+        for violation in check_configuration(state, constraints):
+            flagged.add(violation.constraint)
+            report.constraint_violations.append(
+                ConstraintViolationEvent(
+                    time=time,
+                    pool_index=pool_index,
+                    constraint=violation.constraint,
+                    message=violation.message,
+                )
+            )
+        for constraint in constraints:
+            if constraint.label in flagged:
+                continue
+            if constraint.is_transition_satisfied(reference, state):
+                continue
+            message = (
+                constraint.explain_transition(reference, state)
+                or f"{constraint.label} is violated by the transition"
+            )
+            report.constraint_violations.append(
+                ConstraintViolationEvent(
+                    time=time,
+                    pool_index=pool_index,
+                    constraint=constraint.label,
+                    message=message,
+                )
+            )
 
 
 def estimate_duration(

@@ -75,10 +75,15 @@ class TestConstraintSemantics:
         assert Spread(["a", "b"]).allowed_nodes("a", nodes) is None
 
     def test_spread_and_gather_produce_cp_constraints(self, configuration):
+        from repro.cp import NotEqual
         from repro.cp.variables import IntVar
 
-        variables = {name: IntVar(name, [0, 1, 2]) for name in ("a", "b")}
-        spread = Spread(["a", "b"]).cp_constraints(variables, {})
+        # a two-VM spread compiles to the cheap pairwise disequality, larger
+        # groups to the n-ary all-different
+        variables = {name: IntVar(name, [0, 1, 2]) for name in ("a", "b", "c")}
+        pair = Spread(["a", "b"]).cp_constraints(variables, {})
+        assert len(pair) == 1 and isinstance(pair[0], NotEqual)
+        spread = Spread(["a", "b", "c"]).cp_constraints(variables, {})
         assert len(spread) == 1 and isinstance(spread[0], AllDifferent)
         gather = Gather(["a", "b"]).cp_constraints(variables, {})
         assert len(gather) == 1

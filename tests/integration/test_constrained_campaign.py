@@ -1,0 +1,130 @@
+"""Golden regression for the constrained end-to-end campaign.
+
+The canonical constrained scenario — the ``examples/ha_maintenance.py``
+story: a spread + elastically-fenced database vjob, a node drained by Ban,
+churn arrivals, and a fence-node crash at t = 150 s — runs through the
+``Scenario`` facade, and every observable output (completions, switches,
+fault timeline, repair latencies, the constraint-violation timeline and the
+post-repair catalog) is compared byte-for-byte against
+``tests/integration/golden/constrained_campaign.json``.  Regenerate after an
+intentional behaviour change with::
+
+    REPRO_UPDATE_GOLDENS=1 python -m pytest tests/integration/test_constrained_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import FaultSchedule, Scenario
+from repro.constraints import Ban, Fence, Spread
+from repro.model import make_working_nodes
+from repro.testing import make_workload
+from repro.workloads import ChurnGenerator, ProblemClass
+
+from test_golden_plans import OPTIMIZER_TIMEOUT_S, check_golden
+
+
+def constrained_scenario() -> Scenario:
+    """The canonical constrained campaign (also the HA-maintenance example):
+    5 nodes, a replicated db vjob + 3 churn vjobs, node-0 drained, the db
+    spread and elastically fenced, fence node-2 crashing at t = 150 s."""
+    database = make_workload("db", vm_count=2, duration=300.0)
+    churn = ChurnGenerator(
+        seed=11,
+        mean_interarrival_s=60.0,
+        vm_count_choices=(2, 3),
+        problem_classes=(ProblemClass.W,),
+    ).workloads(3)
+    workloads = [database, *churn]
+    every_vm = [vm for workload in workloads for vm in workload.vjob.vm_names]
+    return Scenario(
+        nodes=make_working_nodes(5, cpu_capacity=2, memory_capacity=3584),
+        workloads=workloads,
+        policy="consolidation",
+        optimizer_timeout=OPTIMIZER_TIMEOUT_S,
+        max_time=4 * 3600.0,
+        faults=FaultSchedule().node_crash("node-2", at=150.0),
+        sla_factor=6.0,
+    ).with_constraints(
+        Spread(["db.vm0", "db.vm1"]),
+        Fence(["db.vm0", "db.vm1"], ["node-1", "node-2", "node-3"], elastic=True),
+        Ban(every_vm, ["node-0"]),
+    )
+
+
+def result_to_dict(result) -> dict:
+    return {
+        "policy": result.policy,
+        "makespan": round(result.makespan, 6),
+        "completion_times": {
+            name: round(time, 6)
+            for name, time in sorted(result.completion_times.items())
+        },
+        "switches": [
+            {
+                "time": round(s.time, 6),
+                "cost": s.cost,
+                "duration": round(s.duration, 6),
+                "migrations": s.migrations,
+                "runs": s.runs,
+                "stops": s.stops,
+                "suspends": s.suspends,
+                "resumes": s.resumes,
+                "used_fallback": s.used_fallback,
+            }
+            for s in result.switches
+        ],
+        "faults": [
+            {
+                "time": round(f.time, 6),
+                "kind": f.kind,
+                "target": f.target,
+                "affected_vjobs": list(f.affected_vjobs),
+            }
+            for f in result.faults
+        ],
+        "repair_latencies": {
+            name: round(latency, 6)
+            for name, latency in sorted(result.repair_latencies.items())
+        },
+        "constraint_violations": [
+            {
+                "time": round(v.time, 6),
+                "constraint": v.constraint,
+                "phase": v.phase,
+                "stage": v.stage,
+                "message": v.message,
+            }
+            for v in result.constraint_violations
+        ],
+        "constraint_violation_counts": dict(
+            sorted(result.constraint_violation_counts.items())
+        ),
+        "declared_catalog": list(result.metadata.get("constraints", [])),
+        "final_catalog": list(result.metadata.get("active_constraints", [])),
+        "sla_violations": list(result.sla_violations),
+        "unfinished_vjobs": list(result.unfinished_vjobs),
+    }
+
+
+class TestConstrainedCampaignGolden:
+    def test_constrained_campaign_matches_golden(self):
+        result = constrained_scenario().run()
+
+        # the headline invariants of the acceptance scenario, asserted
+        # directly so a golden regeneration cannot silently weaken them
+        assert result.unfinished_vjobs == [], "a vjob was lost"
+        assert result.repair_latencies.get("db") is not None
+        assert result.honoured_constraints, (
+            "the catalog must hold through the crash and every switch"
+        )
+        # the elastic fence repaired itself onto the surviving zone
+        assert "Fence(db.vm0, db.vm1 | node-1, node-3)" in result.metadata[
+            "active_constraints"
+        ]
+
+        check_golden("constrained_campaign", result_to_dict(result))
+
+    def test_constrained_campaign_is_deterministic(self):
+        first = result_to_dict(constrained_scenario().run())
+        second = result_to_dict(constrained_scenario().run())
+        assert first == second

@@ -1,0 +1,185 @@
+"""Property-based solver/checker agreement for the constraint subsystem.
+
+The CP compilation (``repro.constraints`` -> ``repro.cp`` propagators) and
+the independent checker are two implementations of the same semantics; these
+properties hold them against each other on random instances with random
+constraint sets:
+
+* every placement the optimizer produces passes the independent checkers
+  (target configuration, final plan state, and — for the stateful ``Root`` —
+  the whole plan);
+* the checkers reject plans that were mutated behind the solver's back;
+* ``explain`` agrees with ``is_satisfied_by`` on every constraint.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import (
+    Among,
+    Ban,
+    Fence,
+    Gather,
+    Lonely,
+    MaxOnline,
+    Root,
+    RunningCapacity,
+    Spread,
+    check_configuration,
+    check_plan,
+)
+from repro.core.actions import Migrate
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.core.plan import Pool
+from repro.model.configuration import Configuration
+from repro.model.errors import PlanningError
+from repro.model.node import make_working_nodes
+from repro.model.vm import VirtualMachine, VMState
+
+
+@st.composite
+def instances(draw):
+    node_count = draw(st.integers(min_value=3, max_value=4))
+    vm_count = draw(st.integers(min_value=2, max_value=6))
+    nodes = make_working_nodes(node_count, cpu_capacity=2, memory_capacity=4096)
+    configuration = Configuration(nodes=nodes)
+    names = []
+    for index in range(vm_count):
+        vm = VirtualMachine(
+            name=f"vm{index}",
+            memory=draw(st.sampled_from((256, 512))),
+            cpu_demand=draw(st.integers(min_value=0, max_value=1)),
+        )
+        configuration.add_vm(vm)
+        names.append(vm.name)
+        if draw(st.booleans()):
+            host = next(
+                (
+                    n
+                    for n in configuration.node_names
+                    if configuration.can_host(n, vm)
+                ),
+                None,
+            )
+            if host is not None:
+                configuration.set_running(vm.name, host)
+    return configuration, names
+
+
+@st.composite
+def constraint_sets(draw, names, node_names):
+    vm_group = st.lists(
+        st.sampled_from(names), min_size=2, max_size=min(3, len(names)), unique=True
+    )
+    node_group = st.lists(
+        st.sampled_from(node_names), min_size=1, max_size=2, unique=True
+    )
+    makers = [
+        lambda: Spread(draw(vm_group)),
+        lambda: Gather(draw(vm_group)[:2]),
+        lambda: Ban(draw(vm_group), draw(node_group)),
+        lambda: Fence(draw(vm_group), draw(node_group) + [node_names[-1]]),
+        lambda: Among(
+            draw(vm_group),
+            [list(node_names[:2]), list(node_names[2:])],
+        ),
+        lambda: Root(draw(vm_group)),
+        lambda: MaxOnline(
+            draw(node_group), draw(st.integers(min_value=1, max_value=2))
+        ),
+        lambda: RunningCapacity(
+            draw(node_group),
+            draw(st.integers(min_value=1, max_value=len(names))),
+        ),
+        lambda: Lonely(draw(vm_group)),
+    ]
+    count = draw(st.integers(min_value=1, max_value=3))
+    picks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(makers) - 1),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return [makers[i]() for i in picks]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_solver_placements_pass_the_independent_checkers(data):
+    configuration, names = data.draw(instances())
+    constraints = data.draw(
+        constraint_sets(names, list(configuration.node_names))
+    )
+    target_states = {name: VMState.RUNNING for name in names}
+    optimizer = ContextSwitchOptimizer(timeout=2.0)
+    try:
+        result = optimizer.optimize(
+            configuration, target_states, constraints=constraints
+        )
+    except PlanningError:
+        # No constrained assignment exists (and no fallback was supplied):
+        # a legitimate outcome, nothing to cross-check.
+        return
+    # solver/checker agreement on the target...
+    assert check_configuration(result.target, constraints) == []
+    # ...and on the plan's final state
+    final = result.plan.apply()
+    assert final.same_assignment(result.target)
+    assert check_configuration(final, constraints) == []
+    # the stateful pin holds continuously over the whole plan
+    roots = [c for c in constraints if isinstance(c, Root)]
+    if roots:
+        assert check_plan(result.plan, roots) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_checkers_reject_mutated_plans(data):
+    configuration, names = data.draw(instances())
+    banned_node = data.draw(st.sampled_from(list(configuration.node_names)))
+    victim = data.draw(st.sampled_from(names))
+    ban = Ban([victim], [banned_node])
+    target_states = {name: VMState.RUNNING for name in names}
+    optimizer = ContextSwitchOptimizer(timeout=2.0)
+    try:
+        result = optimizer.optimize(
+            configuration, target_states, constraints=[ban]
+        )
+    except PlanningError:
+        return
+    assert check_plan(result.plan, [ban]) == []
+    # mutate the plan behind the solver's back: smuggle the banned VM onto
+    # the banned node in a trailing pool
+    final = result.plan.apply()
+    source_node = final.location_of(victim)
+    if source_node is None or source_node == banned_node:
+        return
+    result.plan.pools.append(
+        Pool(
+            [
+                Migrate(
+                    vm=victim,
+                    source_node=source_node,
+                    destination_node=banned_node,
+                )
+            ]
+        )
+    )
+    violations = check_plan(result.plan, [ban])
+    assert violations
+    assert violations[-1].constraint == ban.label
+    assert violations[-1].stage == len(result.plan.pools)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_explain_agrees_with_is_satisfied(data):
+    configuration, names = data.draw(instances())
+    constraints = data.draw(
+        constraint_sets(names, list(configuration.node_names))
+    )
+    for constraint in constraints:
+        satisfied = constraint.is_satisfied_by(configuration)
+        assert (constraint.explain(configuration) is None) == satisfied
