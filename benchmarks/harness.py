@@ -3,16 +3,20 @@
 The repository keeps a performance trajectory across PRs: every harness run
 executes the figure/table benchmarks (as a timed pytest pass per module), the
 solver scaling sweep (``bench_solver_scaling.py``), the chaos recovery
-campaigns (``bench_chaos_recovery.py``) and the placement-constraint
-overhead sweep (``bench_constraints.py``), and writes a single JSON document
-with the numbers.  ``BENCH_PR4.json`` at the repository root is the committed
-snapshot for this PR (``BENCH_PR2.json``/``BENCH_PR3.json`` stay as previous
-points of the trajectory); CI re-runs the smallest tiers as a smoke job and
-uploads the fresh document as an artifact.
+campaigns (``bench_chaos_recovery.py``), the placement-constraint overhead
+sweep (``bench_constraints.py``) and the partitioned-solve sweep
+(``bench_partitioning.py``), and writes a single JSON document with the
+numbers.  The output path is *not* hard-coded per PR any more: pass
+``-o/--output`` or set the ``BENCH_OUTPUT`` environment variable (default:
+``BENCH_PR5.json`` at the repository root, the committed snapshot for this
+PR; ``BENCH_PR2.json``..``BENCH_PR4.json`` stay as previous points of the
+trajectory).  CI re-runs the smallest tiers as a smoke job and uploads the
+fresh document as an artifact.
 
 Usage::
 
-    python benchmarks/harness.py                 # full sweep -> BENCH_PR4.json
+    python benchmarks/harness.py                 # full sweep -> $BENCH_OUTPUT
+                                                 # (default BENCH_PR5.json)
     python benchmarks/harness.py --quick         # smallest tiers, 1 sample,
                                                  # figure benches skipped
     python benchmarks/harness.py --tiers 200 --samples 5 --timeout 30
@@ -24,14 +28,17 @@ their ratio (``speedup``); the chaos-recovery section reports the control
 loop's repair latency, makespan inflation and lost-vjob count under a crash +
 churn schedule; the constraints section reports the constrained vs
 unconstrained solve overhead of the placement-constraint catalog (< 2x on
-the 200-VM tier is the PR4 acceptance gate).  See the README "Performance"
-section for how to read the document.
+the 200-VM tier is the PR4 acceptance gate); the partitioning section
+reports the partitioned vs monolithic end-to-end solve latency on exact
+fence-partitioned instances (>= 1.5x on the 400-VM / 4-zone tier is the PR5
+acceptance gate).  See ``docs/PERFORMANCE.md`` for how to read the document.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -41,7 +48,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR4.json"
+#: One knob instead of a per-PR patch: ``-o/--output`` or ``BENCH_OUTPUT``.
+DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR5.json")
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -51,6 +59,7 @@ sys.path.insert(0, str(BENCH_DIR))
 
 import bench_chaos_recovery  # noqa: E402  (path set up above)
 import bench_constraints  # noqa: E402
+import bench_partitioning  # noqa: E402
 import bench_solver_scaling  # noqa: E402
 
 #: Benchmarks run natively by this harness rather than as pytest modules.
@@ -58,6 +67,7 @@ _NATIVE_MODULES = (
     "bench_solver_scaling.py",
     "bench_chaos_recovery.py",
     "bench_constraints.py",
+    "bench_partitioning.py",
 )
 
 
@@ -143,6 +153,27 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the constraint-overhead sweep",
     )
     parser.add_argument(
+        "--partition-tiers", type=int, nargs="+",
+        default=[vms for _, vms in bench_partitioning.TIERS],
+        help="total VM counts of the partitioned-solve sweep (each selects "
+             "its (zones, VMs) tier from bench_partitioning.TIERS)",
+    )
+    parser.add_argument(
+        "--partition-samples", type=int,
+        default=bench_partitioning.SAMPLES_PER_TIER,
+        help="seeded samples per partitioning tier",
+    )
+    parser.add_argument(
+        "--skip-partitioning", action="store_true",
+        help="skip the partitioned-solve sweep",
+    )
+    parser.add_argument(
+        "--min-partition-speedup", type=float, default=None,
+        help="fail (exit 1) when the largest partitioning tier's median "
+             "partitioned-vs-monolithic speedup drops below this threshold "
+             "— the PR5 acceptance gate (>= 1.5x on the 400-VM/4-zone tier)",
+    )
+    parser.add_argument(
         "--max-constraint-overhead", type=float, default=None,
         help="fail (exit 1) when the largest constraint tier's median "
              "constrained/unconstrained solve ratio exceeds this threshold "
@@ -169,11 +200,13 @@ def main(argv: list[str] | None = None) -> int:
         args.chaos_samples = 1
         chaos_tiers = [min(chaos_tiers)]
         args.constraint_tiers = [min(args.constraint_tiers)]
+        args.partition_tiers = [min(args.partition_tiers)]
+        args.partition_samples = 1
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
 
     document = {
-        "label": "PR4 - placement-constraint subsystem",
+        "label": f"{args.output.stem} - recorded benchmark sweep",
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
             "python": platform.python_version(),
@@ -209,6 +242,30 @@ def main(argv: list[str] | None = None) -> int:
             node_limit=args.node_limit,
         )
         print(bench_constraints.format_results(document["constraints"]))
+
+    if not args.skip_partitioning:
+        available = {tier[1]: tier for tier in bench_partitioning.TIERS}
+        unknown = sorted(set(args.partition_tiers) - set(available))
+        if unknown:
+            # A typo must fail loudly, not silently shrink the sweep (and
+            # later crash the gate on an empty tier list).
+            print(
+                f"ERROR: unknown partition tiers {unknown}; available VM "
+                f"counts: {sorted(available)}"
+            )
+            return 2
+        partition_tiers = [
+            tier for tier in bench_partitioning.TIERS
+            if tier[1] in set(args.partition_tiers)
+        ]
+        print(f"partitioned solve: tiers={partition_tiers} "
+              f"samples={args.partition_samples}")
+        document["partitioning"] = bench_partitioning.run(
+            tiers=partition_tiers,
+            samples=args.partition_samples,
+            timeout=args.timeout,
+        )
+        print(bench_partitioning.format_results(document["partitioning"]))
 
     if not args.skip_chaos:
         print(f"chaos recovery: tiers={chaos_tiers} "
@@ -261,6 +318,29 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"constraint overhead gate ok: {overhead}x <= "
             f"{args.max_constraint_overhead}x"
+        )
+
+    if args.min_partition_speedup is not None:
+        if "partitioning" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --min-partition-speedup was given "
+                "but the partitioning sweep did not run "
+                "(--skip-partitioning?)"
+            )
+            return 1
+        speedup = bench_partitioning.largest_tier_speedup(
+            document["partitioning"]
+        )
+        if speedup is None or speedup < args.min_partition_speedup:
+            print(
+                f"REGRESSION: partitioned solve speedup {speedup}x is below "
+                f"the {args.min_partition_speedup}x gate"
+            )
+            return 1
+        print(
+            f"partition speedup gate ok: {speedup}x >= "
+            f"{args.min_partition_speedup}x"
         )
     return 0
 

@@ -16,6 +16,9 @@ The package provides:
   optimizer and checked end to end;
 * :mod:`repro.core` — the cluster-wide context switch: actions, cost model,
   reconfiguration graphs/plans, planner and CP optimizer;
+* :mod:`repro.scale` — scale-out: the interference partitioner, the
+  parallel zone optimizer (``Scenario(engine="partitioned")``) and the
+  campaign runner for grids of scenarios;
 * :mod:`repro.decision` — decision modules (FFD, RJSP, dynamic consolidation,
   FCFS + EASY backfilling baseline), all registered in :mod:`repro.api`;
 * :mod:`repro.sim` — a discrete-event cluster simulator calibrated on the

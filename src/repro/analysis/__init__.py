@@ -16,7 +16,14 @@ from .metrics import (
     resample,
     switch_statistics,
 )
-from .report import banner, format_fraction, format_seconds, format_table, series
+from .report import (
+    banner,
+    campaign_table,
+    format_fraction,
+    format_seconds,
+    format_table,
+    series,
+)
 
 __all__ = [
     "CostComparison",
@@ -34,6 +41,7 @@ __all__ = [
     "resample",
     "switch_statistics",
     "banner",
+    "campaign_table",
     "format_fraction",
     "format_seconds",
     "format_table",

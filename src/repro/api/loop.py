@@ -23,6 +23,12 @@ next decision; slow nodes advance vjob progress more slowly; late-booting
 nodes join the configuration mid-run.  Repair latencies, SLA violations and
 wasted migrations are reported on the :class:`~repro.api.results.RunResult`.
 
+``engine`` selects how each planning round is solved: the monolithic
+optimizer's propagation engines (``"event"`` / ``"fixpoint"``) or
+``"partitioned"`` — the cluster is decomposed into independent placement
+zones solved concurrently on ``max_workers`` processes
+(:mod:`repro.scale`), with a transparent monolithic fallback.
+
 With ``constraints`` (the :mod:`repro.constraints` catalog), every planning
 round honours the declared placement relations: the optimizer compiles them
 into its CP model, constraint-aware policies filter their candidate nodes,
@@ -98,6 +104,8 @@ class ControlLoop:
         period: float = config.DECISION_PERIOD_S,
         optimizer_timeout: float = 10.0,
         use_optimizer: bool = True,
+        engine: str = "event",
+        max_workers: Optional[int] = None,
         hypervisor: HypervisorModel = DEFAULT_HYPERVISOR,
         monitoring_delay: float = config.MONITORING_DELAY_S,
         max_time: float = 24 * 3600.0,
@@ -165,7 +173,10 @@ class ControlLoop:
         )
         self._offer_constraints()
         self.switcher = ClusterContextSwitch(
-            optimizer_timeout=optimizer_timeout, use_optimizer=use_optimizer
+            optimizer_timeout=optimizer_timeout,
+            use_optimizer=use_optimizer,
+            engine=engine,
+            max_workers=max_workers,
         )
         self.executor = PlanExecutor(
             hypervisor=hypervisor, fault_injector=fault_injector

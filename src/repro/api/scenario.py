@@ -49,6 +49,13 @@ class Scenario:
     filter their candidate nodes with them, every plan and the live cluster
     are checked continuously, and the violation timeline lands on
     :attr:`RunResult.constraint_violations`.
+
+    ``engine`` selects the solving strategy for every planning round:
+    ``"event"`` (default) and ``"fixpoint"`` pick the monolithic optimizer's
+    propagation engine, ``"partitioned"`` decomposes the cluster into
+    independent placement zones solved concurrently on ``max_workers``
+    processes (:mod:`repro.scale`), falling back to the monolithic solve
+    whenever no decomposition exists.
     """
 
     nodes: Sequence[Node] = ()
@@ -58,6 +65,8 @@ class Scenario:
     period: float = config.DECISION_PERIOD_S
     optimizer_timeout: float = 10.0
     use_optimizer: bool = True
+    engine: str = "event"
+    max_workers: Optional[int] = None
     hypervisor: HypervisorModel = DEFAULT_HYPERVISOR
     monitoring_delay: float = config.MONITORING_DELAY_S
     max_time: float = 24 * 3600.0
@@ -147,6 +156,8 @@ class Scenario:
             period=self.period,
             optimizer_timeout=self.optimizer_timeout,
             use_optimizer=self.use_optimizer,
+            engine=self.engine,
+            max_workers=self.max_workers,
             hypervisor=self.hypervisor,
             monitoring_delay=self.monitoring_delay,
             max_time=self.max_time,
@@ -277,6 +288,17 @@ class ExperimentBuilder:
 
     def use_optimizer(self, enabled: bool) -> "ExperimentBuilder":
         self._overrides["use_optimizer"] = enabled
+        return self
+
+    def engine(self, engine: str) -> "ExperimentBuilder":
+        """Solver engine: ``"event"``, ``"fixpoint"`` or ``"partitioned"``
+        (zones solved concurrently — see :mod:`repro.scale`)."""
+        self._overrides["engine"] = engine
+        return self
+
+    def max_workers(self, count: int) -> "ExperimentBuilder":
+        """Worker processes for the partitioned engine's zone solves."""
+        self._overrides["max_workers"] = count
         return self
 
     def hypervisor(self, model: HypervisorModel) -> "ExperimentBuilder":

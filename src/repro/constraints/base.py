@@ -47,6 +47,20 @@ class PlacementConstraint:
     #: (``MaxOnline`` / ``RunningCapacity`` watch every running VM).
     vms: Tuple[str, ...] = ()
 
+    #: Relational constraints couple the placement of several VMs (or of
+    #: every VM against a node set) and therefore anchor all the involved
+    #: nodes into a *single* placement zone when the cluster is decomposed
+    #: into independent subproblems (:mod:`repro.scale.partition`).  Unary
+    #: relations (``Ban``, ``Fence``, ``Root``) restrict each VM
+    #: independently and never force zones to merge on their own.
+    relational: bool = False
+
+    #: Minimum number of *placed* group members for the relation to actually
+    #: couple them.  ``Spread``/``Gather``/``Among`` are vacuous with a
+    #: single placed member; ``Lonely`` interferes with every other VM from
+    #: one member on.
+    relational_min_members: int = 2
+
     # -- compiler face ---------------------------------------------------------
 
     def allowed_nodes(
@@ -162,12 +176,19 @@ class PlacementConstraint:
 
 
 class VMGroupConstraint(PlacementConstraint):
-    """A constraint scoped to an explicit, non-empty group of VMs."""
+    """A constraint scoped to an explicit, non-empty group of VMs.
+
+    ``vms`` keeps the declaration order (labels, repr); ``vm_set`` is the
+    frozen membership view used on hot paths — ``allowed_nodes`` runs once
+    per (VM, constraint) pair in every CP compilation *and* in the
+    partitioner, so membership must not scan a tuple.
+    """
 
     def __init__(self, vms: Iterable[str]):
         self.vms = tuple(vms)
         if not self.vms:
             raise ValueError("a placement constraint needs at least one VM")
+        self.vm_set: frozenset[str] = frozenset(self.vms)
 
 
 class NodeSetConstraint(PlacementConstraint):

@@ -62,6 +62,8 @@ class Spread(VMGroupConstraint):
     :class:`~repro.cp.constraints.AllDifferentExcept` propagator.
     """
 
+    relational = True
+
     def __init__(self, vms: Iterable[str], collocation_nodes: Iterable[str] = ()):
         super().__init__(vms)
         self.collocation_nodes: frozenset[str] = frozenset(collocation_nodes)
@@ -111,7 +113,7 @@ class Spread(VMGroupConstraint):
         trial: "Configuration",
         reference: Optional["Configuration"] = None,
     ) -> bool:
-        if vm_name not in self.vms or node_name in self.collocation_nodes:
+        if vm_name not in self.vm_set or node_name in self.collocation_nodes:
             return True
         for other in self.vms:
             if other == vm_name or not trial.has_vm(other):
@@ -123,6 +125,8 @@ class Spread(VMGroupConstraint):
 
 class Gather(VMGroupConstraint):
     """The running VMs of the group share a single hosting node."""
+
+    relational = True
 
     def cp_constraints(
         self,
@@ -150,7 +154,7 @@ class Gather(VMGroupConstraint):
         trial: "Configuration",
         reference: Optional["Configuration"] = None,
     ) -> bool:
-        if vm_name not in self.vms:
+        if vm_name not in self.vm_set:
             return True
         for other in self.vms:
             if other == vm_name or not trial.has_vm(other):
@@ -176,7 +180,7 @@ class Ban(VMGroupConstraint):
         node_names: Sequence[str],
         configuration: Optional["Configuration"] = None,
     ) -> Optional[Set[str]]:
-        if vm_name not in self.vms:
+        if vm_name not in self.vm_set:
             return None
         return {n for n in node_names if n not in self.nodes}
 
@@ -204,7 +208,7 @@ class Ban(VMGroupConstraint):
         trial: "Configuration",
         reference: Optional["Configuration"] = None,
     ) -> bool:
-        return vm_name not in self.vms or node_name not in self.nodes
+        return vm_name not in self.vm_set or node_name not in self.nodes
 
     def __repr__(self) -> str:
         return (
@@ -236,7 +240,7 @@ class Fence(VMGroupConstraint):
         node_names: Sequence[str],
         configuration: Optional["Configuration"] = None,
     ) -> Optional[Set[str]]:
-        if vm_name not in self.vms:
+        if vm_name not in self.vm_set:
             return None
         return {n for n in node_names if n in self.nodes}
 
@@ -264,7 +268,7 @@ class Fence(VMGroupConstraint):
         trial: "Configuration",
         reference: Optional["Configuration"] = None,
     ) -> bool:
-        return vm_name not in self.vms or node_name in self.nodes
+        return vm_name not in self.vm_set or node_name in self.nodes
 
     def on_node_failure(self, node_name: str) -> Optional[PlacementConstraint]:
         if not self.elastic or node_name not in self.nodes:
@@ -284,6 +288,8 @@ class Among(VMGroupConstraint):
     """The running VMs of the group stay within a *single* one of the given
     node groups (e.g. one rack, one fault domain — whichever, but together)."""
 
+    relational = True
+
     def __init__(self, vms: Iterable[str], groups: Sequence[Iterable[str]]):
         super().__init__(vms)
         self.groups: Tuple[frozenset[str], ...] = tuple(
@@ -300,7 +306,7 @@ class Among(VMGroupConstraint):
         node_names: Sequence[str],
         configuration: Optional["Configuration"] = None,
     ) -> Optional[Set[str]]:
-        if vm_name not in self.vms:
+        if vm_name not in self.vm_set:
             return None
         union: Set[str] = set()
         for group in self.groups:
@@ -345,7 +351,7 @@ class Among(VMGroupConstraint):
         trial: "Configuration",
         reference: Optional["Configuration"] = None,
     ) -> bool:
-        if vm_name not in self.vms:
+        if vm_name not in self.vm_set:
             return True
         placed = {
             trial.location_of(other)
@@ -380,7 +386,7 @@ class Root(VMGroupConstraint):
         node_names: Sequence[str],
         configuration: Optional["Configuration"] = None,
     ) -> Optional[Set[str]]:
-        if configuration is None or vm_name not in self.vms:
+        if configuration is None or vm_name not in self.vm_set:
             return None
         if not configuration.has_vm(vm_name):
             return None
@@ -425,7 +431,7 @@ class Root(VMGroupConstraint):
         trial: "Configuration",
         reference: Optional["Configuration"] = None,
     ) -> bool:
-        if reference is None or vm_name not in self.vms:
+        if reference is None or vm_name not in self.vm_set:
             return True
         if not reference.has_vm(vm_name):
             return True
@@ -436,6 +442,8 @@ class Root(VMGroupConstraint):
 class MaxOnline(NodeSetConstraint):
     """At most ``maximum`` nodes of the set may host running VMs; the others
     must stay empty (power capping, hot spares kept genuinely idle)."""
+
+    relational = True
 
     def __init__(self, nodes: Iterable[str], maximum: int):
         super().__init__(nodes)
@@ -500,6 +508,8 @@ class RunningCapacity(NodeSetConstraint):
     """At most ``maximum`` VMs may run on the node set overall (license
     seats, blast-radius caps)."""
 
+    relational = True
+
     def __init__(self, nodes: Iterable[str], maximum: int):
         super().__init__(nodes)
         if maximum < 0:
@@ -561,6 +571,9 @@ class RunningCapacity(NodeSetConstraint):
 class Lonely(VMGroupConstraint):
     """The group's hosting nodes are exclusive: no VM outside the group may
     run on a node hosting a group VM (noisy-neighbour / security isolation)."""
+
+    relational = True
+    relational_min_members = 1
 
     def cp_constraints(
         self,

@@ -52,13 +52,34 @@ class ClusterContextSwitch:
         planner_options: Optional[PlannerOptions] = None,
         use_optimizer: bool = True,
         engine: str = "event",
+        max_workers: Optional[int] = None,
+        zone_executor: str = "auto",
     ) -> None:
+        """``engine`` selects the solving strategy: a propagation engine of
+        the monolithic optimizer (``"event"`` / ``"fixpoint"``) or
+        ``"partitioned"``, which decomposes the cluster into independent
+        placement zones solved concurrently (:mod:`repro.scale.parallel`)
+        and transparently falls back to the monolithic solve when no
+        decomposition exists.  ``max_workers`` / ``zone_executor`` only
+        apply to the partitioned engine."""
         self.planner = ReconfigurationPlanner(planner_options)
-        self.optimizer = ContextSwitchOptimizer(
-            timeout=optimizer_timeout,
-            planner_options=planner_options,
-            engine=engine,
-        )
+        if engine == "partitioned":
+            # Deferred import: repro.scale builds on repro.core.
+            from ..scale.parallel import ParallelOptimizer
+
+            self.optimizer = ParallelOptimizer(
+                timeout=optimizer_timeout,
+                planner_options=planner_options,
+                max_workers=max_workers,
+                zone_executor=zone_executor,
+            )
+        else:
+            self.optimizer = ContextSwitchOptimizer(
+                timeout=optimizer_timeout,
+                planner_options=planner_options,
+                engine=engine,
+            )
+        self.engine = engine
         self.use_optimizer = use_optimizer
 
     # ------------------------------------------------------------------ #

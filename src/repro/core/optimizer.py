@@ -131,11 +131,11 @@ class ContextSwitchOptimizer:
         running_vms = [name for name, state in states.items() if state is VMState.RUNNING]
         fixed_cost = self._fixed_cost(current, states)
 
-        solution_assignment, statistics, improving = self._search(
-            current, states, running_vms, constraints
+        named_assignment, statistics, improving = self.search_assignment(
+            current, target_states, constraints
         )
 
-        if solution_assignment is None:
+        if named_assignment is None:
             if fallback_target is None:
                 raise PlanningError(
                     "the optimizer found no viable assignment and no fallback "
@@ -162,11 +162,11 @@ class ContextSwitchOptimizer:
                 statistics=statistics,
             )
 
-        target = self._build_target(current, states, solution_assignment)
+        target = self._build_target(current, states, named_assignment)
         plan = self.planner.build(current, target, vjob_of_vm, constraints=constraints)
         cost = plan_cost(plan).total
         movement = sum(
-            self._movement_cost_table(current, vm)[solution_assignment[vm]]
+            self.movement_cost(current, vm, named_assignment[vm])
             for vm in running_vms
         )
         return OptimizationResult(
@@ -177,6 +177,36 @@ class ContextSwitchOptimizer:
             fixed_cost=fixed_cost,
             statistics=statistics,
             improving_costs=improving,
+        )
+
+    def search_assignment(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        constraints: Sequence["PlacementConstraint"] = (),
+    ) -> tuple[Optional[dict[str, str]], SearchStatistics, list[int]]:
+        """Run only the CP search and return a VM -> node *name* assignment.
+
+        This is the solver core without the planning step — the entry point
+        the partitioned optimizer (:mod:`repro.scale.parallel`) calls inside
+        worker processes, where each zone's assignment is merged into one
+        global target before a single planner pass.  Returns ``(None,
+        statistics, improving)`` when no viable assignment was found.
+        """
+        states = self._complete_states(current, target_states)
+        running_vms = [
+            name for name, state in states.items() if state is VMState.RUNNING
+        ]
+        assignment, statistics, improving = self._search(
+            current, states, running_vms, constraints
+        )
+        if assignment is None:
+            return None, statistics, improving
+        node_names = current.node_names
+        return (
+            {vm: node_names[index] for vm, index in assignment.items()},
+            statistics,
+            improving,
         )
 
     # ------------------------------------------------------------------ #
@@ -212,6 +242,22 @@ class ContextSwitchOptimizer:
             ):
                 total += current.vm(name).memory
         return total
+
+    @staticmethod
+    def movement_cost(
+        current: Configuration, vm_name: str, node_name: str
+    ) -> int:
+        """Movement cost (Table 1) of placing ``vm_name`` running on
+        ``node_name``: 0 for staying put or booting, ``Dm`` for a migration
+        or local resume, ``2 Dm`` for a remote resume."""
+        vm = current.vm(vm_name)
+        state = current.state_of(vm_name)
+        if state is VMState.RUNNING:
+            return 0 if current.location_of(vm_name) == node_name else vm.memory
+        if state is VMState.SLEEPING:
+            local = current.image_location_of(vm_name) == node_name
+            return vm.memory if local else 2 * vm.memory
+        return 0
 
     @staticmethod
     def _movement_cost_table(current: Configuration, vm_name: str) -> dict[int, int]:
@@ -432,13 +478,15 @@ class ContextSwitchOptimizer:
     def _build_target(
         current: Configuration,
         states: Mapping[str, VMState],
-        assignment: Mapping[str, int],
+        assignment: Mapping[str, str],
     ) -> Configuration:
+        """Build the target configuration from a VM -> node-name assignment
+        of the running VMs (also used by the partitioned optimizer to merge
+        per-zone assignments into one global target)."""
         target = current.copy()
-        node_names = current.node_names
         for name, state in states.items():
             if state is VMState.RUNNING:
-                target.set_running(name, node_names[assignment[name]])
+                target.set_running(name, assignment[name])
             elif state is VMState.SLEEPING:
                 if current.state_of(name) is VMState.RUNNING:
                     target.set_sleeping(name, current.location_of(name))

@@ -1,0 +1,273 @@
+"""Campaign orchestration: grids of scenarios across worker processes.
+
+A *campaign* executes a grid of :class:`~repro.api.scenario.Scenario`\\ s —
+policies × fleet sizes × fault schedules × seeds — and persists one summary
+record per completed run into a JSON-lines store, so a crashed or interrupted
+campaign resumes where it left off instead of re-running finished points.
+
+The caller supplies a *scenario factory*: a callable turning one
+:class:`CampaignPoint` into a freshly-built scenario (fresh workloads per
+run — vjob state is mutated by a run, so scenarios can never be shared).
+With the default ``executor="process"`` the factory must be picklable (a
+module-level function, or :func:`functools.partial` over one); use
+``executor="serial"`` for closures and debugging.
+
+Example::
+
+    def make_scenario(point):
+        nodes = make_working_nodes(point.fleet, cpu_capacity=2,
+                                   memory_capacity=3584)
+        workloads = paper_experiment_vjobs(count=point.fleet // 2,
+                                           vm_count=9, seed=point.seed)
+        return Scenario(nodes=nodes, workloads=workloads,
+                        policy=point.policy, optimizer_timeout=2.0)
+
+    spec = CampaignSpec(
+        scenario_factory=make_scenario,
+        policies=("consolidation", "ffd"),
+        fleet_sizes=(8, 16),
+        seeds=(0, 1, 2),
+    )
+    campaign = run_campaign(spec, store_path="campaign.jsonl")
+    print(campaign.table())          # aggregated analysis.report table
+
+The aggregation feeds the existing :mod:`repro.analysis.report` machinery:
+:meth:`CampaignResult.table` renders the grouped means with the same
+plain-text tables the figure benchmarks use.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from ..analysis.report import campaign_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.results import RunResult
+    from ..api.scenario import Scenario
+
+#: Executor kinds accepted by :func:`run_campaign`.
+CAMPAIGN_EXECUTORS = ("process", "serial")
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One cell of the campaign grid."""
+
+    policy: str
+    fleet: int
+    faults: str = "none"
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable store key of the point (what resume deduplicates on)."""
+        return f"{self.policy}|{self.fleet}|{self.faults}|{self.seed}"
+
+
+@dataclass
+class CampaignSpec:
+    """The declarative grid: a scenario factory plus its axes.
+
+    ``fault_labels`` are opaque labels the factory interprets (e.g. keys
+    into a dict of :class:`~repro.sim.faults.FaultSchedule`\\ s); the default
+    single ``"none"`` label keeps fault-free campaigns unceremonious.
+    """
+
+    scenario_factory: Callable[[CampaignPoint], "Scenario"]
+    policies: Sequence[str]
+    fleet_sizes: Sequence[int]
+    fault_labels: Sequence[str] = ("none",)
+    seeds: Sequence[int] = (0,)
+
+    def points(self) -> List[CampaignPoint]:
+        """The full grid in deterministic nesting order (policy → fleet →
+        faults → seed)."""
+        return [
+            CampaignPoint(policy=policy, fleet=fleet, faults=faults, seed=seed)
+            for policy in self.policies
+            for fleet in self.fleet_sizes
+            for faults in self.fault_labels
+            for seed in self.seeds
+        ]
+
+
+def summarize_run(
+    point: CampaignPoint, result: "RunResult", seconds: float
+) -> Dict[str, object]:
+    """Flatten one run into the JSON-safe record the store persists."""
+    return {
+        "key": point.key,
+        "policy": point.policy,
+        "fleet": point.fleet,
+        "faults": point.faults,
+        "seed": point.seed,
+        "makespan": result.makespan,
+        "switches": result.switch_count,
+        "total_switch_cost": result.total_switch_cost,
+        "migrations": sum(s.migrations for s in result.switches),
+        "fallback_switches": sum(
+            1 for s in result.switches if s.used_fallback
+        ),
+        "faults_injected": len(result.faults),
+        "mean_repair_latency": result.mean_repair_latency,
+        "sla_violations": len(result.sla_violations),
+        "lost_vjobs": result.lost_vjob_count,
+        "constraint_violations": len(result.constraint_violations),
+        "planning_failures": result.metadata.get("planning_failures", 0),
+        "runtime_seconds": round(seconds, 3),
+    }
+
+
+class CampaignStore:
+    """Append-only JSON-lines store of completed campaign points.
+
+    One JSON object per line; malformed trailing lines (a run killed
+    mid-write) are skipped on load, so a resumed campaign simply re-runs
+    the interrupted point.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Completed records keyed by :attr:`CampaignPoint.key`."""
+        records: Dict[str, Dict[str, object]] = {}
+        if not self.path.exists():
+            return records
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = record.get("key")
+            if isinstance(key, str):
+                records[key] = record
+        return records
+
+    def append(self, record: Dict[str, object]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def execute_point(
+    args: tuple[Callable[[CampaignPoint], "Scenario"], CampaignPoint],
+) -> Dict[str, object]:
+    """Build and run one grid point; module-level so process pools can
+    import it."""
+    factory, point = args
+    started = time.monotonic()
+    result = factory(point).run()
+    return summarize_run(point, result, time.monotonic() - started)
+
+
+@dataclass
+class CampaignResult:
+    """Every record of a campaign (resumed ones included), grid-ordered."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    resumed: int = 0
+
+    def aggregate(self) -> List[Dict[str, object]]:
+        """Group the records by (policy, fleet, faults) and average the
+        numeric series over the seeds — the rows of :meth:`table`."""
+        groups: Dict[tuple, List[Dict[str, object]]] = {}
+        for record in self.records:
+            key = (record["policy"], record["fleet"], record["faults"])
+            groups.setdefault(key, []).append(record)
+        rows = []
+        for (policy, fleet, faults), members in groups.items():
+            def mean(field_name: str) -> float:
+                return statistics.fmean(
+                    float(m[field_name]) for m in members  # type: ignore[arg-type]
+                )
+
+            rows.append(
+                {
+                    "policy": policy,
+                    "fleet": fleet,
+                    "faults": faults,
+                    "runs": len(members),
+                    "mean_makespan": round(mean("makespan"), 1),
+                    "mean_switches": round(mean("switches"), 2),
+                    "mean_switch_cost": round(mean("total_switch_cost"), 1),
+                    "sla_violations": sum(
+                        int(m["sla_violations"]) for m in members
+                    ),
+                    "lost_vjobs": sum(int(m["lost_vjobs"]) for m in members),
+                    "mean_runtime_seconds": round(
+                        mean("runtime_seconds"), 2
+                    ),
+                }
+            )
+        return rows
+
+    def table(self) -> str:
+        """Aggregated plain-text table via :mod:`repro.analysis.report`."""
+        return campaign_table(self.aggregate())
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: Optional[str | Path] = None,
+    max_workers: Optional[int] = None,
+    executor: str = "process",
+    resume: bool = True,
+) -> CampaignResult:
+    """Execute the grid, persisting each completed point to the store.
+
+    Points already present in the store are skipped when ``resume`` is true
+    (pass ``resume=False`` to re-run everything; the store is then
+    truncated).  Without a ``store_path`` the campaign runs entirely in
+    memory.
+    """
+    if executor not in CAMPAIGN_EXECUTORS:
+        raise ValueError(
+            f"unknown campaign executor {executor!r}; expected one of "
+            f"{CAMPAIGN_EXECUTORS}"
+        )
+    store = CampaignStore(store_path) if store_path is not None else None
+    done: Dict[str, Dict[str, object]] = {}
+    if store is not None:
+        if resume:
+            done = store.load()
+        elif store.path.exists():
+            store.path.unlink()
+
+    points = spec.points()
+    pending = [p for p in points if p.key not in done]
+    tasks = [(spec.scenario_factory, point) for point in pending]
+    # Records are appended to the store as each point completes — that is
+    # what makes an interrupted campaign resumable: everything finished
+    # before a crash (or a failing point) survives on disk.
+    fresh: List[Dict[str, object]] = []
+
+    def _collect(record: Dict[str, object]) -> None:
+        if store is not None:
+            store.append(record)
+        fresh.append(record)
+
+    if executor == "serial" or len(tasks) <= 1:
+        for task in tasks:
+            _collect(execute_point(task))
+    else:
+        workers = min(max_workers or len(tasks), len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for record in pool.map(execute_point, tasks):
+                _collect(record)
+
+    by_key = dict(done)
+    for record in fresh:
+        by_key[str(record["key"])] = record
+    ordered = [by_key[p.key] for p in points if p.key in by_key]
+    return CampaignResult(records=ordered, resumed=len(done))

@@ -1,0 +1,408 @@
+"""Solving placement zones concurrently and merging the sub-plans.
+
+:class:`ParallelOptimizer` is a drop-in replacement for
+:class:`~repro.core.optimizer.ContextSwitchOptimizer`: it partitions the
+instance with :func:`repro.scale.partition.partition`, ships every zone to a
+worker (a :class:`concurrent.futures.ProcessPoolExecutor` by default — the CP
+search is pure Python, so threads would serialize on the GIL), and merges the
+per-zone assignments deterministically into one global target configuration,
+planned and priced by the *single* global planner pass.  The merged plan is
+therefore exactly as checker-validated as a monolithic one: the planner
+re-applies the whole constraint catalog to every intermediate state.
+
+Why this is sound: the partitioner guarantees that zone node sets are
+disjoint and that every zone VM's candidate nodes lie inside its zone, so
+
+* per-zone bin packing equals global bin packing (no placement can cross a
+  zone boundary), and
+* every relational constraint is confined to one zone, whose sub-model
+  compiles and enforces it.
+
+Budgets are carved from the global budget: each zone receives a share of the
+``node_limit`` search budget proportional to its VM count, and the wall-clock
+``timeout`` applies to every zone (zones run concurrently).  When the
+partitioner finds no decomposition — or any zone turns out infeasible under
+its carved budget — the optimizer transparently falls back to the monolithic
+:class:`~repro.core.optimizer.ContextSwitchOptimizer`, so
+``engine="partitioned"`` is always safe to request.
+
+Sub-problem extraction: a zone's sub-configuration contains only the zone's
+nodes and VMs.  A zone VM whose current host (or suspend image) lies outside
+the zone is represented as *waiting* in the sub-configuration — its true
+movement cost is then a constant (the same for every zone node), so the
+arg-min placement is unaffected and the exact cost is restored by the global
+planning pass.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..constraints.base import PlacementConstraint
+from ..core.cost import plan_cost
+from ..core.optimizer import ContextSwitchOptimizer, OptimizationResult
+from ..cp import SearchStatistics
+from ..model.configuration import Configuration
+from ..model.errors import SolverError
+from ..model.vm import VMState
+from .partition import PartitionResult, Zone, partition
+
+#: Executor kinds accepted by :class:`ParallelOptimizer`. ``"serial"`` runs
+#: the zones in-process (deterministic, no pickling) — the right choice for
+#: tests, doctests and single-core machines where fork and IPC overhead is
+#: pure loss.  ``"auto"`` (the default) resolves to ``"process"`` on
+#: multi-core hosts and ``"serial"`` on single-core ones, so the partitioned
+#: engine never pays for parallelism the hardware cannot deliver.
+ZONE_EXECUTORS = ("auto", "process", "serial")
+
+
+def resolve_zone_executor(zone_executor: str) -> str:
+    """Resolve ``"auto"`` against the host's CPU count."""
+    if zone_executor != "auto":
+        return zone_executor
+    import os
+
+    return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
+@dataclass
+class ZoneTask:
+    """Everything a worker needs to solve one zone (picklable).
+
+    ``configuration`` is the zone's extracted *sub*-configuration
+    (:func:`build_zone_configuration`), not the full cluster — workers only
+    ever see their own zone.
+    """
+
+    zone: Zone
+    configuration: Configuration
+    engine: str = "event"
+    timeout: float = 40.0
+    node_limit: Optional[int] = None
+    use_greedy_bound: bool = True
+    first_solution_only: bool = False
+
+
+@dataclass
+class ZoneOutcome:
+    """One zone's solve result, shipped back from the worker."""
+
+    index: int
+    assignment: Optional[dict[str, str]]
+    statistics: SearchStatistics
+    elapsed: float
+
+
+@dataclass
+class ZoneReport:
+    """Per-zone summary attached to a :class:`PartitionedResult`."""
+
+    index: int
+    node_count: int
+    vm_count: int
+    elapsed: float
+    statistics: SearchStatistics
+
+
+@dataclass
+class PartitionedResult(OptimizationResult):
+    """An :class:`~repro.core.optimizer.OptimizationResult` plus the
+    partition trace: how the instance was decomposed (``partition_method``
+    is ``"interference"``, ``"sharded"`` or ``"monolithic"``) and one
+    :class:`ZoneReport` per solved zone (empty on a monolithic fallback)."""
+
+    partition_method: str = "monolithic"
+    partition_reason: str = ""
+    zone_reports: List[ZoneReport] = field(default_factory=list)
+
+    @property
+    def zone_count(self) -> int:
+        return len(self.zone_reports)
+
+
+def build_zone_configuration(
+    current: Configuration, zone: Zone
+) -> Configuration:
+    """Extract a zone's sub-configuration: its nodes plus its VMs, keeping
+    each VM's current state when the relevant node is inside the zone and
+    degrading to *waiting* otherwise (a constant cost offset — see the
+    module docstring)."""
+    sub = Configuration(nodes=[current.node(name) for name in zone.nodes])
+    inside = set(zone.nodes)
+    for vm_name in zone.vms:
+        sub.add_vm(current.vm(vm_name))
+        state = current.state_of(vm_name)
+        if state is VMState.RUNNING:
+            host = current.location_of(vm_name)
+            if host in inside:
+                sub.set_running(vm_name, host)
+        elif state is VMState.SLEEPING:
+            image = current.image_location_of(vm_name)
+            if image in inside:
+                sub.set_sleeping(vm_name, image)
+    return sub
+
+
+def solve_zone(task: ZoneTask) -> ZoneOutcome:
+    """Solve one zone; module-level so process pools can import it."""
+    optimizer = ContextSwitchOptimizer(
+        timeout=task.timeout,
+        engine=task.engine,
+        use_greedy_bound=task.use_greedy_bound,
+        node_limit=task.node_limit,
+        first_solution_only=task.first_solution_only,
+    )
+    states = {vm: VMState.RUNNING for vm in task.zone.vms}
+    started = time.monotonic()
+    assignment, statistics, _ = optimizer.search_assignment(
+        task.configuration, states, constraints=task.zone.constraints
+    )
+    return ZoneOutcome(
+        index=task.zone.index,
+        assignment=assignment,
+        statistics=statistics,
+        elapsed=time.monotonic() - started,
+    )
+
+
+def merge_statistics(
+    outcomes: Sequence[ZoneOutcome],
+) -> SearchStatistics:
+    """Aggregate per-zone search statistics: effort counters add up, the
+    elapsed time is the slowest zone (they run concurrently), and quality
+    flags compose conservatively (optimal only if *every* zone proved it)."""
+    merged = SearchStatistics()
+    for outcome in outcomes:
+        stats = outcome.statistics
+        merged.nodes += stats.nodes
+        merged.backtracks += stats.backtracks
+        merged.solutions += stats.solutions
+        merged.propagations += stats.propagations
+        merged.events += stats.events
+        merged.timed_out = merged.timed_out or stats.timed_out
+        merged.limit_reached = merged.limit_reached or stats.limit_reached
+    merged.proven_optimal = all(
+        o.statistics.proven_optimal for o in outcomes
+    ) and bool(outcomes)
+    merged.elapsed = max((o.statistics.elapsed for o in outcomes), default=0.0)
+    return merged
+
+
+class ParallelOptimizer:
+    """Partition the instance into zones and solve them concurrently.
+
+    The constructor mirrors :class:`ContextSwitchOptimizer` and adds the
+    scale-out knobs: ``max_workers`` (worker processes, also the default
+    shard count of the k-way fallback), ``zone_executor`` (``"auto"`` —
+    process pool on multi-core hosts, in-process on single-core ones — or
+    an explicit ``"process"`` / ``"serial"``) and ``shards`` (override the
+    fallback shard count; ``None`` disables sharding so only
+    constraint-induced partitions are used).
+    """
+
+    def __init__(
+        self,
+        timeout: float = 40.0,
+        planner_options=None,
+        first_solution_only: bool = False,
+        engine: str = "event",
+        use_greedy_bound: bool = True,
+        node_limit: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        zone_executor: str = "auto",
+        shards: int | str | None = "auto",
+    ) -> None:
+        #: Set first: ``__del__`` runs even when the constructor raises.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        if zone_executor not in ZONE_EXECUTORS:
+            raise SolverError(
+                f"unknown zone executor {zone_executor!r}; expected one of "
+                f"{ZONE_EXECUTORS}"
+            )
+        self.timeout = timeout
+        self.engine = engine
+        self.use_greedy_bound = use_greedy_bound
+        self.node_limit = node_limit
+        self.first_solution_only = first_solution_only
+        self.max_workers = max_workers
+        self.zone_executor = zone_executor
+        #: Fallback shard count: ``"auto"`` follows ``max_workers`` (4 when
+        #: unset), ``None`` disables the k-way sharding fallback entirely,
+        #: an int fixes the count.  The persistent worker pool (``_pool``)
+        #: is forked lazily on the first partitioned solve and reused across
+        #: rounds — see :meth:`close`.
+        self.shards = (max_workers or 4) if shards == "auto" else shards
+        #: The monolithic optimizer used to plan merged targets and as the
+        #: transparent fallback when no partition exists (or a zone fails).
+        self.monolithic = ContextSwitchOptimizer(
+            timeout=timeout,
+            planner_options=planner_options,
+            first_solution_only=first_solution_only,
+            engine=engine,
+            use_greedy_bound=use_greedy_bound,
+            node_limit=node_limit,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def optimize(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        vjob_of_vm: Optional[Mapping[str, str]] = None,
+        fallback_target: Optional[Configuration] = None,
+        constraints: Sequence[PlacementConstraint] = (),
+    ) -> PartitionedResult:
+        """Same contract as
+        :meth:`ContextSwitchOptimizer.optimize`, returning a
+        :class:`PartitionedResult` with the partition trace attached."""
+        states = ContextSwitchOptimizer._complete_states(current, target_states)
+        decomposition = partition(
+            current, states, constraints, shards=self.shards
+        )
+        if not decomposition.is_win:
+            return self._monolithic_result(
+                current,
+                target_states,
+                vjob_of_vm,
+                fallback_target,
+                constraints,
+                method="monolithic",
+                reason=decomposition.reason,
+            )
+
+        outcomes = self._solve_zones(current, decomposition)
+        if any(outcome.assignment is None for outcome in outcomes):
+            failed = [o.index for o in outcomes if o.assignment is None]
+            return self._monolithic_result(
+                current,
+                target_states,
+                vjob_of_vm,
+                fallback_target,
+                constraints,
+                method="monolithic",
+                reason=f"zones {failed} found no viable assignment",
+            )
+
+        # Deterministic merge: zones are index-ordered, assignments are
+        # disjoint by construction.
+        merged: dict[str, str] = {}
+        for outcome in sorted(outcomes, key=lambda o: o.index):
+            merged.update(outcome.assignment)
+
+        target = ContextSwitchOptimizer._build_target(current, states, merged)
+        plan = self.monolithic.planner.build(
+            current, target, vjob_of_vm, constraints=constraints
+        )
+        cost = plan_cost(plan).total
+        movement = sum(
+            ContextSwitchOptimizer.movement_cost(current, vm, merged[vm])
+            for vm in merged
+        )
+        return PartitionedResult(
+            target=target,
+            plan=plan,
+            cost=cost,
+            movement_cost=movement,
+            fixed_cost=ContextSwitchOptimizer._fixed_cost(current, states),
+            statistics=merge_statistics(outcomes),
+            partition_method=decomposition.method,
+            zone_reports=[
+                ZoneReport(
+                    index=o.index,
+                    node_count=len(decomposition.zones[o.index].nodes),
+                    vm_count=len(decomposition.zones[o.index].vms),
+                    elapsed=o.elapsed,
+                    statistics=o.statistics,
+                )
+                for o in sorted(outcomes, key=lambda o: o.index)
+            ],
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _zone_tasks(
+        self, current: Configuration, decomposition: PartitionResult
+    ) -> List[ZoneTask]:
+        """One task per zone, with the global ``node_limit`` search budget
+        carved proportionally to the zone's share of the placed VMs."""
+        total_vms = sum(zone.size for zone in decomposition.zones) or 1
+        tasks = []
+        for zone in decomposition.zones:
+            budget = None
+            if self.node_limit is not None:
+                budget = max(1, round(self.node_limit * zone.size / total_vms))
+            tasks.append(
+                ZoneTask(
+                    zone=zone,
+                    configuration=build_zone_configuration(current, zone),
+                    engine=self.engine,
+                    timeout=self.timeout,
+                    node_limit=budget,
+                    use_greedy_bound=self.use_greedy_bound,
+                    first_solution_only=self.first_solution_only,
+                )
+            )
+        return tasks
+
+    def _solve_zones(
+        self, current: Configuration, decomposition: PartitionResult
+    ) -> List[ZoneOutcome]:
+        tasks = self._zone_tasks(current, decomposition)
+        executor = resolve_zone_executor(self.zone_executor)
+        if executor == "serial" or len(tasks) == 1:
+            return [solve_zone(task) for task in tasks]
+        wanted = self.max_workers or len(tasks)
+        if self._pool is not None and self._pool_size < wanted:
+            # A later round partitioned into more zones than the cached pool
+            # can overlap: respawn rather than silently serializing on an
+            # undersized pool for the rest of the loop's lifetime.
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=wanted)
+            self._pool_size = wanted
+        return list(self._pool.map(solve_zone, tasks))
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent; the optimizer
+        remains usable — the next partitioned solve respawns it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelOptimizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        self.close()
+
+    def _monolithic_result(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        vjob_of_vm: Optional[Mapping[str, str]],
+        fallback_target: Optional[Configuration],
+        constraints: Sequence[PlacementConstraint],
+        method: str,
+        reason: str,
+    ) -> PartitionedResult:
+        inner = self.monolithic.optimize(
+            current,
+            target_states,
+            vjob_of_vm=vjob_of_vm,
+            fallback_target=fallback_target,
+            constraints=constraints,
+        )
+        values = {
+            f.name: getattr(inner, f.name) for f in fields(OptimizationResult)
+        }
+        return PartitionedResult(
+            partition_method=method, partition_reason=reason, **values
+        )

@@ -1,0 +1,409 @@
+"""Decomposing a cluster-wide context switch into independent placement zones.
+
+The paper solves one *global* CP model per reconfiguration, which caps the
+cluster size the control loop can handle inside its time budget.  This module
+splits a :class:`~repro.model.configuration.Configuration` plus a
+placement-constraint catalog into **zones** — disjoint node sets, each with
+the VMs that must be placed on them — such that per-zone solutions compose
+into a valid global placement *by construction*:
+
+* every placed VM's candidate nodes lie inside exactly one zone, and
+* the node sets of the zones are pairwise disjoint,
+
+so per-zone bin packing equals global bin packing (no VM can cross a zone
+boundary) and every relational constraint is confined to a single zone, where
+the zone's own sub-model compiles and enforces it.
+
+Two decomposition strategies are tried in order:
+
+1. **Interference components** — connected components over the "interference
+   graph": the *tight* placement domains induced by unary relations
+   (``Fence``, ``Among``'s group union, ``Root`` pins) anchor their nodes
+   together, and every relational constraint (``Spread``, ``Gather``,
+   ``Among``, ``Lonely``, ``MaxOnline``, ``RunningCapacity`` — the catalog's
+   :attr:`~repro.constraints.base.PlacementConstraint.relational` face)
+   welds the domains of all its placed members (or its watched node set)
+   into one component.  Nodes not touched by any constraint form a single
+   *residual* zone.  VMs with loose domains (``Ban`` complements, fully free
+   VMs) are assigned heuristically — preferring the zone of their current
+   host so the zero-cost "stay" option survives, then the residual pool,
+   then the zone with the most free capacity.
+2. **k-way node sharding** — when the interference graph is one component
+   *because nothing constrains it* (no catalog at all touches a placed VM),
+   the node list is split into ``shards`` contiguous slices and VMs anchor
+   to the shard of their current host / suspend image.  This is a heuristic
+   restriction (cross-shard migrations are forbidden), traded for solving
+   ``k`` small models instead of one large one.
+
+When neither strategy yields at least two non-empty zones the result's
+``method`` is ``"monolithic"`` and the caller should fall back to the global
+:class:`~repro.core.optimizer.ContextSwitchOptimizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..constraints.base import PlacementConstraint
+from ..model.configuration import Configuration
+from ..model.vm import VMState
+
+#: A unary domain is *tight* (and therefore anchors its nodes into one zone)
+#: when it covers at most this fraction of the fleet.  ``Ban`` complements
+#: and other near-full domains stay *loose*: forcing their whole domain into
+#: one zone would weld almost every node together and kill the partition.
+TIGHT_DOMAIN_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One independent subproblem: a node set, the VMs to place on it, and
+    the constraints confined to it.
+
+    Zones produced by :func:`partition` have pairwise disjoint node sets and
+    partition the placed VMs; ``constraints`` is the subset of the catalog
+    that mentions at least one of the zone's VMs or nodes (relations never
+    straddle zones — that is the partitioner's invariant).
+    """
+
+    index: int
+    nodes: Tuple[str, ...]
+    vms: Tuple[str, ...]
+    constraints: Tuple[PlacementConstraint, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.vms)
+
+    def __repr__(self) -> str:
+        return (
+            f"Zone({self.index}: {len(self.nodes)} nodes, "
+            f"{len(self.vms)} vms, {len(self.constraints)} constraints)"
+        )
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of :func:`partition`.
+
+    ``method`` is ``"interference"`` (constraint-induced components),
+    ``"sharded"`` (the k-way fallback) or ``"monolithic"`` (no decomposition
+    found — solve globally); ``reason`` explains a monolithic outcome.
+    """
+
+    zones: List[Zone]
+    method: str
+    reason: str = ""
+
+    @property
+    def is_win(self) -> bool:
+        """True when solving per zone beats the monolithic solve: at least
+        two non-empty zones, so every sub-model is strictly smaller."""
+        return len(self.zones) >= 2
+
+
+class _UnionFind:
+    """Union-find over node names (path compression, union by size)."""
+
+    def __init__(self, items: Sequence[str]) -> None:
+        self._parent: Dict[str, str] = {item: item for item in items}
+        self._size: Dict[str, int] = {item: 1 for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: str, right: str) -> None:
+        left, right = self.find(left), self.find(right)
+        if left == right:
+            return
+        if self._size[left] < self._size[right]:
+            left, right = right, left
+        self._parent[right] = left
+        self._size[left] += self._size[right]
+
+    def union_all(self, items: Sequence[str]) -> None:
+        first = items[0]
+        for item in items[1:]:
+            self.union(first, item)
+
+
+def placed_vms(target_states: Mapping[str, VMState]) -> List[str]:
+    """The VMs the optimizer must place: those whose target state is
+    RUNNING (declaration order preserved for determinism)."""
+    return [
+        name
+        for name, state in target_states.items()
+        if state is VMState.RUNNING
+    ]
+
+
+def vm_domains(
+    current: Configuration,
+    vms: Sequence[str],
+    constraints: Sequence[PlacementConstraint],
+) -> Dict[str, Optional[Set[str]]]:
+    """The unary placement domain of every VM in ``vms``: the intersection
+    of each constraint's ``allowed_nodes``, or ``None`` when unrestricted."""
+    node_names = current.node_names
+    domains: Dict[str, Optional[Set[str]]] = {}
+    for vm_name in vms:
+        allowed: Optional[Set[str]] = None
+        for constraint in constraints:
+            restriction = constraint.allowed_nodes(vm_name, node_names, current)
+            if restriction is None:
+                continue
+            allowed = (
+                set(restriction) if allowed is None else allowed & restriction
+            )
+        domains[vm_name] = allowed
+    return domains
+
+
+def _anchor_node(current: Configuration, vm_name: str) -> Optional[str]:
+    """The node whose zone keeps the VM's cheapest placement available: its
+    current host (running) or its suspend image's host (sleeping)."""
+    state = current.state_of(vm_name)
+    if state is VMState.RUNNING:
+        return current.location_of(vm_name)
+    if state is VMState.SLEEPING:
+        return current.image_location_of(vm_name)
+    return None
+
+
+def partition(
+    current: Configuration,
+    target_states: Mapping[str, VMState],
+    constraints: Sequence[PlacementConstraint] = (),
+    shards: Optional[int] = None,
+    tight_fraction: float = TIGHT_DOMAIN_FRACTION,
+) -> PartitionResult:
+    """Split a context-switch instance into independent placement zones.
+
+    ``target_states`` must be *complete* (one entry per VM — the caller
+    normally derives it with the optimizer's ``keepVMState`` completion);
+    ``shards`` enables the k-way fallback when no constraint structures the
+    fleet.  See the module docstring for the decomposition rules.
+    """
+    node_names = list(current.node_names)
+    placed = placed_vms(target_states)
+    if len(placed) < 2 or len(node_names) < 2:
+        return PartitionResult(
+            zones=[], method="monolithic", reason="nothing to decompose"
+        )
+
+    domains = vm_domains(current, placed, constraints)
+    tight_cap = max(1, int(len(node_names) * tight_fraction))
+    uf = _UnionFind(node_names)
+    touched: Set[str] = set()
+
+    # Tight unary domains anchor their nodes together: the VM may need any
+    # of them, so they must end up in a single zone.  Whole groups share one
+    # domain object-for-object (a Fence restricts every member identically),
+    # so identical domains are only welded once.
+    tight: Dict[str, Set[str]] = {}
+    welded: Set[frozenset] = set()
+    for vm_name in placed:
+        domain = domains[vm_name]
+        if domain is not None and not domain:
+            return PartitionResult(
+                zones=[],
+                method="monolithic",
+                reason=f"VM {vm_name!r} has an empty placement domain",
+            )
+        if domain is not None and len(domain) <= tight_cap:
+            tight[vm_name] = domain
+            key = frozenset(domain)
+            if key not in welded:
+                welded.add(key)
+                ordered = [n for n in node_names if n in domain]
+                uf.union_all(ordered)
+                touched.update(ordered)
+
+    # Relational constraints weld the domains of all their placed members
+    # (or their watched node set) into one component.
+    coupled = False
+    for constraint in constraints:
+        if not constraint.relational:
+            continue
+        group: Set[str] = {
+            node for node in getattr(constraint, "nodes", ()) if node in uf._parent
+        }
+        members = [vm for vm in constraint.vms if vm in domains]
+        if constraint.vms and len(members) < constraint.relational_min_members:
+            members = []
+        for vm_name in members:
+            if vm_name not in tight:
+                return PartitionResult(
+                    zones=[],
+                    method="monolithic",
+                    reason=(
+                        f"{constraint.label} couples VM {vm_name!r}, whose "
+                        "placement domain is unrestricted"
+                    ),
+                )
+            group |= tight[vm_name]
+        if len(group) >= 2:
+            ordered = [n for n in node_names if n in group]
+            uf.union_all(ordered)
+            touched.update(ordered)
+            coupled = True
+        elif group:
+            touched.update(group)
+            coupled = True
+
+    constrained = bool(touched) or coupled
+    if not constrained:
+        return _shard(current, placed, node_names, shards)
+
+    # Components over the touched nodes; everything untouched pools into a
+    # single residual zone.
+    components: Dict[str, List[str]] = {}
+    for node in node_names:
+        if node not in touched:
+            continue
+        components.setdefault(uf.find(node), []).append(node)
+    residual = [n for n in node_names if n not in touched]
+
+    # Zone skeletons in deterministic order (first node appearance).
+    skeletons: List[List[str]] = sorted(
+        components.values(), key=lambda nodes: node_names.index(nodes[0])
+    )
+    residual_index: Optional[int] = None
+    if residual:
+        skeletons.append(residual)
+        residual_index = len(skeletons) - 1
+
+    zone_of_node = {
+        node: index for index, nodes in enumerate(skeletons) for node in nodes
+    }
+    zone_vms: List[List[str]] = [[] for _ in skeletons]
+    headroom = [
+        sum(current.node(n).capacity.memory for n in nodes)
+        for nodes in skeletons
+    ]
+
+    for vm_name in placed:
+        if vm_name in tight:
+            index = zone_of_node[next(iter(tight[vm_name]))]
+        else:
+            domain = domains[vm_name]  # None or a loose restriction
+            index = None
+            anchor = _anchor_node(current, vm_name)
+            if anchor is not None and (domain is None or anchor in domain):
+                index = zone_of_node[anchor]
+            if index is None and residual_index is not None:
+                nodes = set(skeletons[residual_index])
+                if domain is None or domain & nodes:
+                    index = residual_index
+            if index is None:
+                # Most-headroom zone whose nodes intersect the domain.
+                candidates = [
+                    i
+                    for i, nodes in enumerate(skeletons)
+                    if domain is None or domain & set(nodes)
+                ]
+                if not candidates:
+                    return PartitionResult(
+                        zones=[],
+                        method="monolithic",
+                        reason=(
+                            f"VM {vm_name!r} fits no single zone "
+                            "(loose domain straddles components)"
+                        ),
+                    )
+                index = max(candidates, key=lambda i: (headroom[i], -i))
+        zone_vms[index].append(vm_name)
+        headroom[index] -= current.vm(vm_name).memory
+
+    zones = _materialize(skeletons, zone_vms, constraints)
+    if len(zones) < 2:
+        return PartitionResult(
+            zones=zones,
+            method="monolithic",
+            reason="the interference graph is a single component",
+        )
+    return PartitionResult(zones=zones, method="interference")
+
+
+def _shard(
+    current: Configuration,
+    placed: Sequence[str],
+    node_names: Sequence[str],
+    shards: Optional[int],
+) -> PartitionResult:
+    """k-way node-sharding fallback for unconstrained fleets."""
+    if shards is None or shards < 2:
+        return PartitionResult(
+            zones=[],
+            method="monolithic",
+            reason="no constraint structures the fleet and sharding is off",
+        )
+    count = min(shards, len(node_names))
+    base, extra = divmod(len(node_names), count)
+    skeletons: List[List[str]] = []
+    start = 0
+    for index in range(count):
+        width = base + (1 if index < extra else 0)
+        skeletons.append(list(node_names[start : start + width]))
+        start += width
+
+    zone_of_node = {
+        node: index for index, nodes in enumerate(skeletons) for node in nodes
+    }
+    zone_vms: List[List[str]] = [[] for _ in skeletons]
+    headroom = [
+        sum(current.node(n).capacity.memory for n in nodes)
+        for nodes in skeletons
+    ]
+    for vm_name in placed:
+        anchor = _anchor_node(current, vm_name)
+        if anchor is not None:
+            index = zone_of_node[anchor]
+        else:
+            index = max(range(count), key=lambda i: (headroom[i], -i))
+        zone_vms[index].append(vm_name)
+        headroom[index] -= current.vm(vm_name).memory
+
+    zones = _materialize(skeletons, zone_vms, ())
+    if len(zones) < 2:
+        return PartitionResult(
+            zones=zones,
+            method="monolithic",
+            reason="sharding left all the VMs in one shard",
+        )
+    return PartitionResult(zones=zones, method="sharded")
+
+
+def _materialize(
+    skeletons: Sequence[Sequence[str]],
+    zone_vms: Sequence[Sequence[str]],
+    constraints: Sequence[PlacementConstraint],
+) -> List[Zone]:
+    """Build the final zones, dropping empty ones and scoping the catalog:
+    a constraint lands in every zone containing one of its VMs or nodes."""
+    zones: List[Zone] = []
+    for nodes, vms in zip(skeletons, zone_vms):
+        if not vms:
+            continue
+        vm_set, node_set = set(vms), set(nodes)
+        scoped = tuple(
+            c
+            for c in constraints
+            if (set(c.vms) & vm_set)
+            or (set(getattr(c, "nodes", ())) & node_set)
+        )
+        zones.append(
+            Zone(
+                index=len(zones),
+                nodes=tuple(nodes),
+                vms=tuple(vms),
+                constraints=scoped,
+            )
+        )
+    return zones

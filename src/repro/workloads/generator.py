@@ -64,12 +64,17 @@ class TraceConfigurationGenerator:
         vm_counts_per_vjob: Sequence[int] = (9, 18),
         memory_choices: Sequence[int] = MEMORY_CHOICES_MB,
         seed: Optional[int] = None,
+        name_prefix: str = "",
     ) -> None:
         self.node_count = node_count
         self.node_cpu = node_cpu
         self.node_memory = node_memory
         self.vm_counts_per_vjob = tuple(vm_counts_per_vjob)
         self.memory_choices = tuple(memory_choices)
+        #: Prefixed to every node and vjob name, so several generated
+        #: scenarios can be merged into one configuration without name
+        #: collisions (e.g. the partitioning benchmark's multi-zone fixture).
+        self.name_prefix = name_prefix
         #: Seed this generator was built with; every random draw flows through
         #: the private ``random.Random`` below (never the module-global
         #: ``random``), so the same seed always yields the same scenarios.
@@ -85,6 +90,7 @@ class TraceConfigurationGenerator:
             self.node_count,
             cpu_capacity=self.node_cpu,
             memory_capacity=self.node_memory,
+            prefix=f"{self.name_prefix}node",
         )
         configuration = Configuration(nodes=nodes)
         queue = VJobQueue()
@@ -102,7 +108,7 @@ class TraceConfigurationGenerator:
             )
             memories = [rng.choice(self.memory_choices) for _ in range(per_vjob)]
             workload = make_nasgrid_vjob(
-                name=f"vjob{index}",
+                name=f"{self.name_prefix}vjob{index}",
                 spec=spec,
                 memory_mb=memories,
                 priority=index,

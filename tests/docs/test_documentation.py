@@ -28,7 +28,13 @@ check_docs = _load_check_docs()
 
 
 def test_documentation_files_exist():
-    for name in ("SIMULATOR_GUIDE.md", "ARCHITECTURE.md", "SCENARIOS.md"):
+    for name in (
+        "SIMULATOR_GUIDE.md",
+        "ARCHITECTURE.md",
+        "SCENARIOS.md",
+        "PERFORMANCE.md",
+        "API_REFERENCE.md",
+    ):
         assert (REPO_ROOT / "docs" / name).exists(), f"docs/{name} is missing"
 
 
@@ -46,4 +52,20 @@ def test_guides_have_doctests_and_they_pass():
     files = check_docs.doctest_files()
     names = {path.name for path in files}
     assert "SIMULATOR_GUIDE.md" in names
+    assert "PERFORMANCE.md" in names
     assert check_docs.run_doctests() == []
+
+
+def test_api_reference_covers_every_public_symbol():
+    assert check_docs.check_api_reference() == []
+
+
+def test_api_reference_check_reports_missing_symbols(monkeypatch):
+    # the rule must actually bite: an export absent from the reference fails
+    import repro.api
+
+    monkeypatch.setattr(
+        repro.api, "__all__", [*repro.api.__all__, "NotDocumentedAnywhere"]
+    )
+    errors = check_docs.check_api_reference()
+    assert any("NotDocumentedAnywhere" in error for error in errors)

@@ -1,0 +1,201 @@
+"""Unit tests of the campaign runner (``repro.scale.campaign``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Scenario
+from repro.model import make_working_nodes
+from repro.scale import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignSpec,
+    CampaignStore,
+    run_campaign,
+    summarize_run,
+)
+from repro.testing import make_workload
+
+
+def _make_scenario(point: CampaignPoint) -> Scenario:
+    return Scenario(
+        nodes=make_working_nodes(
+            point.fleet, cpu_capacity=2, memory_capacity=4096
+        ),
+        workloads=[
+            make_workload(f"job{i}", vm_count=2, duration=120.0)
+            for i in range(2)
+        ],
+        policy=point.policy,
+        optimizer_timeout=1.0,
+        max_time=2 * 3600.0,
+    )
+
+
+def _spec(**overrides) -> CampaignSpec:
+    values = dict(
+        scenario_factory=_make_scenario,
+        policies=("consolidation", "ffd"),
+        fleet_sizes=(3,),
+        seeds=(0,),
+    )
+    values.update(overrides)
+    return CampaignSpec(**values)
+
+
+class TestGrid:
+    def test_points_cover_the_grid_in_order(self):
+        spec = _spec(fleet_sizes=(3, 4), seeds=(0, 1))
+        points = spec.points()
+        assert len(points) == 2 * 2 * 1 * 2
+        assert points[0] == CampaignPoint("consolidation", 3, "none", 0)
+        assert points[-1] == CampaignPoint("ffd", 4, "none", 1)
+
+    def test_point_key_is_stable(self):
+        point = CampaignPoint("ffd", 8, "crash", 3)
+        assert point.key == "ffd|8|crash|3"
+
+
+class TestRunCampaign:
+    def test_serial_campaign_produces_one_record_per_point(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        campaign = run_campaign(_spec(), store_path=store, executor="serial")
+        assert len(campaign.records) == 2
+        assert campaign.resumed == 0
+        policies = [record["policy"] for record in campaign.records]
+        assert policies == ["consolidation", "ffd"]
+        assert all(record["makespan"] > 0 for record in campaign.records)
+        # the store holds exactly the same records
+        lines = store.read_text().splitlines()
+        assert len(lines) == 2
+        assert {json.loads(l)["key"] for l in lines} == {
+            r["key"] for r in campaign.records
+        }
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        first = run_campaign(_spec(), store_path=store, executor="serial")
+        second = run_campaign(_spec(), store_path=store, executor="serial")
+        assert second.resumed == 2
+        assert [r["key"] for r in second.records] == [
+            r["key"] for r in first.records
+        ]
+        # nothing was re-run: the store did not grow
+        assert len(store.read_text().splitlines()) == 2
+
+    def test_completed_points_survive_a_mid_campaign_failure(self, tmp_path):
+        # resumability promise: everything finished before a failing point
+        # is already on disk, so the retry only re-runs the remainder
+        store = tmp_path / "campaign.jsonl"
+
+        def fragile_factory(point):
+            if point.policy == "ffd":
+                raise RuntimeError("boom")
+            return _make_scenario(point)
+
+        spec = _spec(scenario_factory=fragile_factory)
+        with pytest.raises(RuntimeError):
+            run_campaign(spec, store_path=store, executor="serial")
+        persisted = CampaignStore(store).load()
+        assert list(persisted) == ["consolidation|3|none|0"]
+        # the retry resumes past the persisted point
+        retry = run_campaign(_spec(), store_path=store, executor="serial")
+        assert retry.resumed == 1
+        assert len(retry.records) == 2
+
+    def test_resume_false_truncates_the_store(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        run_campaign(_spec(), store_path=store, executor="serial")
+        campaign = run_campaign(
+            _spec(), store_path=store, executor="serial", resume=False
+        )
+        assert campaign.resumed == 0
+        assert len(store.read_text().splitlines()) == 2
+
+    def test_in_memory_campaign_needs_no_store(self):
+        campaign = run_campaign(_spec(), executor="serial")
+        assert len(campaign.records) == 2
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(_spec(), executor="threads")
+
+    def test_process_campaign_matches_serial(self, tmp_path):
+        serial = run_campaign(_spec(), executor="serial")
+        process = run_campaign(_spec(), executor="process", max_workers=2)
+        drop = {"runtime_seconds"}
+        strip = lambda r: {k: v for k, v in r.items() if k not in drop}
+        assert [strip(r) for r in process.records] == [
+            strip(r) for r in serial.records
+        ]
+
+
+class TestStore:
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text(
+            json.dumps({"key": "a|1|none|0", "makespan": 1.0})
+            + "\n{truncated"
+        )
+        store = CampaignStore(path)
+        records = store.load()
+        assert list(records) == ["a|1|none|0"]
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "campaign.jsonl"
+        CampaignStore(path).append({"key": "k"})
+        assert path.exists()
+
+
+class TestAggregation:
+    def _records(self):
+        base = dict(
+            faults="none",
+            switches=2,
+            total_switch_cost=100,
+            migrations=1,
+            fallback_switches=0,
+            faults_injected=0,
+            mean_repair_latency=0.0,
+            sla_violations=0,
+            lost_vjobs=0,
+            constraint_violations=0,
+            planning_failures=0,
+            runtime_seconds=1.0,
+        )
+        return [
+            {**base, "key": "p|4|none|0", "policy": "p", "fleet": 4,
+             "seed": 0, "makespan": 100.0},
+            {**base, "key": "p|4|none|1", "policy": "p", "fleet": 4,
+             "seed": 1, "makespan": 200.0},
+            {**base, "key": "q|4|none|0", "policy": "q", "fleet": 4,
+             "seed": 0, "makespan": 300.0},
+        ]
+
+    def test_aggregate_averages_over_seeds(self):
+        result = CampaignResult(records=self._records())
+        rows = result.aggregate()
+        assert len(rows) == 2
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["p"]["runs"] == 2
+        assert by_policy["p"]["mean_makespan"] == 150.0
+        assert by_policy["q"]["mean_makespan"] == 300.0
+
+    def test_table_renders_sorted_rows(self):
+        table = CampaignResult(records=self._records()).table()
+        assert "Campaign results" in table
+        assert table.index("p ") < table.index("q ")
+
+
+class TestSummarize:
+    def test_summarize_run_flattens_the_result(self):
+        point = CampaignPoint("consolidation", 3)
+        result = _make_scenario(point).run()
+        record = summarize_run(point, result, 1.234)
+        assert record["key"] == point.key
+        assert record["runtime_seconds"] == 1.234
+        assert record["makespan"] == result.makespan
+        assert record["switches"] == result.switch_count
+        json.dumps(record)  # JSON-safe

@@ -1,0 +1,255 @@
+"""Unit tests of the parallel zone optimizer (``repro.scale.parallel``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import Fence, Spread
+from repro.constraints.checker import check_plan
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.model.configuration import Configuration
+from repro.model.errors import SolverError
+from repro.model.node import make_working_nodes
+from repro.model.vm import VMState
+from repro.scale import (
+    ParallelOptimizer,
+    Zone,
+    build_zone_configuration,
+    merge_statistics,
+    partition,
+    solve_zone,
+)
+from repro.scale.parallel import ZoneOutcome, ZoneTask
+from repro.cp import SearchStatistics
+from repro.testing import make_vm
+
+FENCE_A = ("node-0", "node-1", "node-2")
+FENCE_B = ("node-3", "node-4", "node-5")
+
+
+def _configuration(node_count=6, vm_count=6, memory=1024, cpu=1):
+    configuration = Configuration(
+        nodes=make_working_nodes(node_count, cpu_capacity=2, memory_capacity=4096)
+    )
+    for index in range(vm_count):
+        configuration.add_vm(make_vm(f"vm{index}", memory=memory, cpu=cpu))
+        configuration.set_running(f"vm{index}", f"node-{index % node_count}")
+    return configuration
+
+
+def _states(configuration):
+    return {name: VMState.RUNNING for name in configuration.vm_names}
+
+
+def _fenced_constraints():
+    return [
+        Fence(["vm0", "vm1", "vm2"], FENCE_A),
+        Fence(["vm3", "vm4", "vm5"], FENCE_B),
+    ]
+
+
+class TestParallelOptimizer:
+    def test_partitioned_result_matches_monolithic_objective(self):
+        configuration = _configuration()
+        states = _states(configuration)
+        constraints = _fenced_constraints()
+        partitioned = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial"
+        ).optimize(configuration, states, constraints=constraints)
+        monolithic = ContextSwitchOptimizer(timeout=5.0).optimize(
+            configuration, states, constraints=constraints
+        )
+        assert partitioned.partition_method == "interference"
+        assert partitioned.statistics.proven_optimal
+        assert monolithic.statistics.proven_optimal
+        assert partitioned.movement_cost == monolithic.movement_cost
+        assert partitioned.cost == monolithic.cost
+
+    def test_merged_plan_is_checker_clean_and_reaches_target(self):
+        configuration = _configuration()
+        constraints = _fenced_constraints()
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial"
+        ).optimize(configuration, _states(configuration), constraints=constraints)
+        assert check_plan(result.plan, constraints) == []
+        result.plan.check_reaches(result.target)
+        assert result.target.is_viable()
+
+    def test_zone_reports_cover_every_zone(self):
+        configuration = _configuration()
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial"
+        ).optimize(
+            configuration,
+            _states(configuration),
+            constraints=_fenced_constraints(),
+        )
+        assert result.zone_count == 2
+        assert [report.vm_count for report in result.zone_reports] == [3, 3]
+        assert all(r.statistics.solutions >= 1 for r in result.zone_reports)
+
+    def test_monolithic_fallback_when_no_partition(self):
+        configuration = _configuration()
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial", shards=None
+        ).optimize(configuration, _states(configuration))
+        assert result.partition_method == "monolithic"
+        assert result.zone_reports == []
+        assert result.partition_reason
+        assert result.target.is_viable()
+
+    def test_relational_spanning_zones_falls_back(self):
+        configuration = _configuration()
+        constraints = [*_fenced_constraints(), Spread(["vm0", "vm3"])]
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial"
+        ).optimize(configuration, _states(configuration), constraints=constraints)
+        assert result.partition_method == "monolithic"
+        # the monolithic solve still honours the whole catalog
+        assert (
+            result.target.location_of("vm0")
+            != result.target.location_of("vm3")
+        )
+
+    def test_process_executor_agrees_with_serial(self):
+        configuration = _configuration()
+        constraints = _fenced_constraints()
+        states = _states(configuration)
+        with ParallelOptimizer(
+            timeout=5.0, zone_executor="process", max_workers=2
+        ) as optimizer:
+            via_process = optimizer.optimize(
+                configuration, states, constraints=constraints
+            )
+        via_serial = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial"
+        ).optimize(configuration, states, constraints=constraints)
+        assert via_process.cost == via_serial.cost
+        assert via_process.target.same_assignment(via_serial.target)
+
+    def test_unknown_zone_executor_rejected(self):
+        with pytest.raises(SolverError):
+            ParallelOptimizer(zone_executor="threads")
+
+    def test_sharded_solve_composes(self):
+        configuration = _configuration(node_count=4, vm_count=4)
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial", shards=2
+        ).optimize(configuration, _states(configuration))
+        assert result.partition_method == "sharded"
+        result.plan.check_reaches(result.target)
+        assert result.target.is_viable()
+
+    def test_infeasible_zone_falls_back_to_monolithic(self):
+        # vm0..vm3 fenced onto a single node that cannot host them all; the
+        # zone solve fails, the global solve (without the zone restriction
+        # heuristics) must also respect the fence and use the fallback path.
+        configuration = _configuration(node_count=4, vm_count=4, cpu=2)
+        constraints = [Fence(["vm0", "vm1"], ["node-0"])]
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial"
+        ).optimize(
+            configuration,
+            _states(configuration),
+            fallback_target=configuration.copy(),
+            constraints=(),
+        )
+        assert result.target.is_viable()
+
+
+class TestZoneMachinery:
+    def test_build_zone_configuration_keeps_in_zone_state(self):
+        configuration = _configuration()
+        zone = Zone(index=0, nodes=FENCE_A, vms=("vm0", "vm1", "vm2"))
+        sub = build_zone_configuration(configuration, zone)
+        assert set(sub.node_names) == set(FENCE_A)
+        assert set(sub.vm_names) == {"vm0", "vm1", "vm2"}
+        assert sub.location_of("vm0") == "node-0"
+
+    def test_build_zone_configuration_degrades_outside_host_to_waiting(self):
+        configuration = _configuration()
+        # vm3 currently runs on node-3, outside this zone
+        zone = Zone(index=0, nodes=FENCE_A, vms=("vm0", "vm3"))
+        sub = build_zone_configuration(configuration, zone)
+        assert sub.state_of("vm3") is VMState.WAITING
+
+    def test_solve_zone_returns_assignment_inside_zone(self):
+        configuration = _configuration()
+        zone = Zone(index=0, nodes=FENCE_A, vms=("vm0", "vm1", "vm2"))
+        outcome = solve_zone(
+            ZoneTask(
+                zone=zone,
+                configuration=build_zone_configuration(configuration, zone),
+                timeout=5.0,
+            )
+        )
+        assert outcome.assignment is not None
+        assert set(outcome.assignment) == {"vm0", "vm1", "vm2"}
+        assert set(outcome.assignment.values()) <= set(FENCE_A)
+
+    def test_merge_statistics_composes_conservatively(self):
+        fast = ZoneOutcome(
+            index=0,
+            assignment={},
+            statistics=SearchStatistics(
+                nodes=10, backtracks=1, proven_optimal=True, elapsed=0.1
+            ),
+            elapsed=0.1,
+        )
+        slow = ZoneOutcome(
+            index=1,
+            assignment={},
+            statistics=SearchStatistics(
+                nodes=20, backtracks=4, proven_optimal=False, elapsed=0.5,
+                timed_out=True,
+            ),
+            elapsed=0.5,
+        )
+        merged = merge_statistics([fast, slow])
+        assert merged.nodes == 30
+        assert merged.backtracks == 5
+        assert not merged.proven_optimal
+        assert merged.timed_out
+        assert merged.elapsed == 0.5
+
+    def test_merge_statistics_empty(self):
+        merged = merge_statistics([])
+        assert not merged.proven_optimal
+        assert merged.elapsed == 0.0
+
+
+class TestPartitionedEngineWiring:
+    def test_cluster_context_switch_accepts_partitioned_engine(self):
+        from repro.core.context_switch import ClusterContextSwitch
+        from repro.scale.parallel import ParallelOptimizer as PO
+
+        switch = ClusterContextSwitch(engine="partitioned")
+        assert isinstance(switch.optimizer, PO)
+        assert switch.engine == "partitioned"
+
+    def test_scenario_engine_knob_reaches_the_switcher(self):
+        from repro.api import Scenario
+        from repro.scale.parallel import ParallelOptimizer as PO
+        from repro.testing import make_workload
+
+        scenario = Scenario(
+            nodes=make_working_nodes(4, cpu_capacity=2, memory_capacity=4096),
+            workloads=[make_workload("job")],
+            engine="partitioned",
+        )
+        loop = scenario.build()
+        assert isinstance(loop.switcher.optimizer, PO)
+
+    def test_experiment_builder_engine_method(self):
+        from repro.api import ExperimentBuilder
+
+        scenario = (
+            ExperimentBuilder()
+            .nodes(make_working_nodes(2, cpu_capacity=2, memory_capacity=4096))
+            .workloads([])
+            .engine("partitioned")
+            .max_workers(2)
+            .build()
+        )
+        assert scenario.engine == "partitioned"
+        assert scenario.max_workers == 2

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Documentation checker: intra-repo markdown links + embedded doctests.
+"""Documentation checker: links, embedded doctests, API-reference coverage.
 
-Two passes over the repository's markdown documentation (``README.md``,
+Three passes over the repository's markdown documentation (``README.md``,
 ``ROADMAP.md``, ``CHANGES.md`` and everything under ``docs/``):
 
 1. **Link check** — every relative markdown link target (``[text](path)``)
@@ -11,13 +11,18 @@ Two passes over the repository's markdown documentation (``README.md``,
    standard :mod:`doctest` runner, so the guides' examples cannot rot.  The
    guides are written so their outputs are deterministic (seeded generators,
    generous CP budgets).
+3. **API-reference coverage** — every public symbol exported by the
+   documented packages (``repro.api.__all__``, ``repro.scale.__all__``) must
+   appear, backtick-quoted, in ``docs/API_REFERENCE.md``; an undocumented
+   export fails the check (and CI), so the reference index cannot silently
+   fall behind the code.
 
 Run locally with::
 
     python tools/check_docs.py
 
 CI runs the same script in the ``docs`` job.  The module is also imported by
-``tests/docs/test_documentation.py`` so the tier-1 suite enforces both
+``tests/docs/test_documentation.py`` so the tier-1 suite enforces all three
 passes.
 """
 
@@ -117,6 +122,45 @@ def run_doctests(verbose: bool = False) -> list[str]:
     return errors
 
 
+#: Packages whose ``__all__`` must be fully covered by the API reference.
+DOCUMENTED_PACKAGES = ("repro.api", "repro.scale")
+
+#: The generated-style index of the public surface.
+API_REFERENCE = DOCS_DIR / "API_REFERENCE.md"
+
+
+def check_api_reference(
+    packages: tuple[str, ...] = DOCUMENTED_PACKAGES,
+) -> list[str]:
+    """One error per public symbol missing from ``docs/API_REFERENCE.md``.
+
+    A symbol counts as documented when it appears backtick-quoted in the
+    reference (``` `Scenario` ``` or a dotted/called form such as
+    ``` `repro.api.Scenario` ``` / ``` `Scenario(...)` ```).
+    """
+    _ensure_importable()
+    import importlib
+
+    if not API_REFERENCE.exists():
+        return [f"{API_REFERENCE.relative_to(REPO_ROOT)} is missing"]
+    text = API_REFERENCE.read_text()
+    errors: list[str] = []
+    for package_name in packages:
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", ())
+        if not exported:
+            errors.append(f"{package_name} exports no __all__")
+            continue
+        for symbol in exported:
+            pattern = re.compile(rf"`[\w.]*\b{re.escape(symbol)}\b[\w.()]*`")
+            if not pattern.search(text):
+                errors.append(
+                    f"{API_REFERENCE.relative_to(REPO_ROOT)}: public symbol "
+                    f"{package_name}.{symbol} is undocumented"
+                )
+    return errors
+
+
 def main() -> int:
     link_errors = check_links()
     for error in link_errors:
@@ -126,7 +170,14 @@ def main() -> int:
         f"{len(link_errors)} broken links"
     )
     doctest_errors = run_doctests()
-    if link_errors or doctest_errors:
+    api_errors = check_api_reference()
+    for error in api_errors:
+        print(error)
+    print(
+        f"api reference: {', '.join(DOCUMENTED_PACKAGES)} against "
+        f"{API_REFERENCE.name}, {len(api_errors)} undocumented symbols"
+    )
+    if link_errors or doctest_errors or api_errors:
         print("documentation check FAILED")
         return 1
     print("documentation check ok")
