@@ -250,7 +250,20 @@ class ControlLoop:
     # main loop                                                           #
     # ------------------------------------------------------------------ #
 
+    def close(self) -> None:
+        """Release the planning engine's resources (the partitioned engine
+        keeps a worker-process pool across rounds).  Idempotent — called
+        automatically when :meth:`run` finishes, so campaigns that build
+        many loops never accumulate worker processes."""
+        self.switcher.close()
+
     def run(self) -> RunResult:
+        try:
+            return self._run_loop()
+        finally:
+            self.close()
+
+    def _run_loop(self) -> RunResult:
         result = RunResult(makespan=0.0, policy=self.policy_name)
         now = 0.0
         vjob_of_vm = self._vjob_of_vm()

@@ -84,6 +84,23 @@ class ClusterContextSwitch:
 
     # ------------------------------------------------------------------ #
 
+    def close(self) -> None:
+        """Release solver resources — the partitioned engine keeps a
+        persistent worker-process pool across rounds.  Idempotent, and the
+        switch remains usable afterwards (the next partitioned solve
+        respawns the pool); a no-op for the monolithic engines."""
+        closer = getattr(self.optimizer, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "ClusterContextSwitch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
     def compute(
         self,
         current: Configuration,

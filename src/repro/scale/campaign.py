@@ -41,7 +41,7 @@ from __future__ import annotations
 import json
 import statistics
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
@@ -263,8 +263,23 @@ def run_campaign(
     else:
         workers = min(max_workers or len(tasks), len(tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for record in pool.map(execute_point, tasks):
+            futures = [pool.submit(execute_point, task) for task in tasks]
+            failure: Optional[BaseException] = None
+            for future in as_completed(futures):
+                try:
+                    record = future.result()
+                except Exception as error:
+                    # Keep draining: points finished by other workers must
+                    # reach the store before the failure propagates, or a
+                    # resume would re-run them.  Only the first failure is
+                    # re-raised (later ones are usually its echoes, e.g. a
+                    # broken pool failing every remaining future).
+                    if failure is None:
+                        failure = error
+                    continue
                 _collect(record)
+            if failure is not None:
+                raise failure
 
     by_key = dict(done)
     for record in fresh:

@@ -19,12 +19,19 @@ disjoint and that every zone VM's candidate nodes lie inside its zone, so
   compiles and enforces it.
 
 Budgets are carved from the global budget: each zone receives a share of the
-``node_limit`` search budget proportional to its VM count, and the wall-clock
-``timeout`` applies to every zone (zones run concurrently).  When the
+``node_limit`` search budget proportional to its VM count, and the
+wall-clock ``timeout`` bounds the whole solve — zones that genuinely overlap
+each get the full timeout, while zones the executor runs sequentially (the
+serial executor, or more zones than workers queuing in waves on the pool)
+share it, so a partitioned round stays within the per-round time budget the
+monolithic engine honours.  When the
 partitioner finds no decomposition — or any zone turns out infeasible under
 its carved budget — the optimizer transparently falls back to the monolithic
 :class:`~repro.core.optimizer.ContextSwitchOptimizer`, so
-``engine="partitioned"`` is always safe to request.
+``engine="partitioned"`` is always safe to request; a post-zone fallback
+only gets the wall-clock the zones left over (floored at a small fraction of
+the global timeout), so even the worst case stays near the budget instead of
+doubling it.
 
 Sub-problem extraction: a zone's sub-configuration contains only the zone's
 nodes and VMs.  A zone VM whose current host (or suspend image) lies outside
@@ -57,6 +64,17 @@ from .partition import PartitionResult, Zone, partition
 #: multi-core hosts and ``"serial"`` on single-core ones, so the partitioned
 #: engine never pays for parallelism the hardware cannot deliver.
 ZONE_EXECUTORS = ("auto", "process", "serial")
+
+#: Smallest wall-clock budget a sequentially-executed zone can be carved
+#: down to, seconds: enough to attempt a first solution, small enough that
+#: an exhausted budget fails fast into the monolithic fallback.
+_MIN_ZONE_TIMEOUT_S = 0.05
+
+#: Floor of the monolithic fallback's carved budget, as a fraction of the
+#: global timeout: when failing zones already burned the whole round, the
+#: fallback still needs room to find *a* solution, so the worst-case round
+#: is bounded at (1 + this) times the budget rather than doubling it.
+_FALLBACK_TIMEOUT_FRACTION = 0.1
 
 
 def resolve_zone_executor(zone_executor: str) -> str:
@@ -170,10 +188,20 @@ def solve_zone(task: ZoneTask) -> ZoneOutcome:
 
 def merge_statistics(
     outcomes: Sequence[ZoneOutcome],
+    exact: bool = False,
 ) -> SearchStatistics:
     """Aggregate per-zone search statistics: effort counters add up, the
     elapsed time is the slowest zone (they run concurrently), and quality
-    flags compose conservatively (optimal only if *every* zone proved it)."""
+    flags compose conservatively (optimal only if *every* zone proved it
+    AND the partition restricted nothing).
+
+    ``exact`` says whether the decomposition restricted nothing
+    (:attr:`~repro.scale.partition.PartitionResult.exact`).  Sharded and
+    heuristically-anchored partitions are domain restrictions, so even when
+    every zone proved its *local* optimum the merged solution is not
+    provably the global one — ``proven_optimal`` is cleared.  The default
+    fails safe: a merge never claims optimality unless the caller vouches
+    for the partition's exactness."""
     merged = SearchStatistics()
     for outcome in outcomes:
         stats = outcome.statistics
@@ -184,9 +212,11 @@ def merge_statistics(
         merged.events += stats.events
         merged.timed_out = merged.timed_out or stats.timed_out
         merged.limit_reached = merged.limit_reached or stats.limit_reached
-    merged.proven_optimal = all(
-        o.statistics.proven_optimal for o in outcomes
-    ) and bool(outcomes)
+    merged.proven_optimal = (
+        exact
+        and bool(outcomes)
+        and all(o.statistics.proven_optimal for o in outcomes)
+    )
     merged.elapsed = max((o.statistics.elapsed for o in outcomes), default=0.0)
     return merged
 
@@ -260,6 +290,7 @@ class ParallelOptimizer:
         """Same contract as
         :meth:`ContextSwitchOptimizer.optimize`, returning a
         :class:`PartitionedResult` with the partition trace attached."""
+        started = time.monotonic()
         states = ContextSwitchOptimizer._complete_states(current, target_states)
         decomposition = partition(
             current, states, constraints, shards=self.shards
@@ -278,6 +309,15 @@ class ParallelOptimizer:
         outcomes = self._solve_zones(current, decomposition)
         if any(outcome.assignment is None for outcome in outcomes):
             failed = [o.index for o in outcomes if o.assignment is None]
+            # The zones already consumed part of the round's budget: the
+            # transparent fallback only gets what they left (floored at a
+            # fraction of the global timeout so it can still find *a*
+            # solution), keeping the whole round near the per-round budget
+            # instead of doubling it.
+            remaining = max(
+                self.timeout * _FALLBACK_TIMEOUT_FRACTION,
+                self.timeout - (time.monotonic() - started),
+            )
             return self._monolithic_result(
                 current,
                 target_states,
@@ -286,6 +326,7 @@ class ParallelOptimizer:
                 constraints,
                 method="monolithic",
                 reason=f"zones {failed} found no viable assignment",
+                timeout_override=remaining,
             )
 
         # Deterministic merge: zones are index-ordered, assignments are
@@ -309,7 +350,7 @@ class ParallelOptimizer:
             cost=cost,
             movement_cost=movement,
             fixed_cost=ContextSwitchOptimizer._fixed_cost(current, states),
-            statistics=merge_statistics(outcomes),
+            statistics=merge_statistics(outcomes, exact=decomposition.exact),
             partition_method=decomposition.method,
             zone_reports=[
                 ZoneReport(
@@ -326,10 +367,17 @@ class ParallelOptimizer:
     # ------------------------------------------------------------------ #
 
     def _zone_tasks(
-        self, current: Configuration, decomposition: PartitionResult
+        self,
+        current: Configuration,
+        decomposition: PartitionResult,
+        waves: int = 1,
     ) -> List[ZoneTask]:
-        """One task per zone, with the global ``node_limit`` search budget
-        carved proportionally to the zone's share of the placed VMs."""
+        """One task per zone, with the global budgets carved: each zone gets
+        the ``node_limit`` search budget proportionally to its share of the
+        placed VMs, and — when the executor cannot overlap every zone —
+        ``1/waves`` of the wall-clock ``timeout`` (``waves`` is how many
+        batches the zones queue in), so a partitioned solve never exceeds
+        the control loop's per-round time budget."""
         total_vms = sum(zone.size for zone in decomposition.zones) or 1
         tasks = []
         for zone in decomposition.zones:
@@ -341,7 +389,9 @@ class ParallelOptimizer:
                     zone=zone,
                     configuration=build_zone_configuration(current, zone),
                     engine=self.engine,
-                    timeout=self.timeout,
+                    timeout=max(
+                        _MIN_ZONE_TIMEOUT_S, self.timeout / max(1, waves)
+                    ),
                     node_limit=budget,
                     use_greedy_bound=self.use_greedy_bound,
                     first_solution_only=self.first_solution_only,
@@ -352,11 +402,27 @@ class ParallelOptimizer:
     def _solve_zones(
         self, current: Configuration, decomposition: PartitionResult
     ) -> List[ZoneOutcome]:
-        tasks = self._zone_tasks(current, decomposition)
         executor = resolve_zone_executor(self.zone_executor)
-        if executor == "serial" or len(tasks) == 1:
-            return [solve_zone(task) for task in tasks]
-        wanted = self.max_workers or len(tasks)
+        if executor == "serial" or len(decomposition.zones) == 1:
+            # Zones run one after another, so they share the single global
+            # wall-clock budget: each gets what the earlier ones left over
+            # (a small floor keeps every zone able to at least attempt a
+            # first solution; an out-of-budget zone fails fast and triggers
+            # the monolithic fallback).
+            tasks = self._zone_tasks(current, decomposition)
+            deadline = time.monotonic() + self.timeout
+            outcomes = []
+            for task in tasks:
+                task.timeout = max(
+                    _MIN_ZONE_TIMEOUT_S, deadline - time.monotonic()
+                )
+                outcomes.append(solve_zone(task))
+            return outcomes
+        wanted = self.max_workers or len(decomposition.zones)
+        # More zones than workers queue in ceil(zones/workers) waves on the
+        # pool; carve the budget per wave so wall-clock stays <= timeout.
+        waves = -(-len(decomposition.zones) // wanted)
+        tasks = self._zone_tasks(current, decomposition, waves=waves)
         if self._pool is not None and self._pool_size < wanted:
             # A later round partitioned into more zones than the cached pool
             # can overlap: respawn rather than silently serializing on an
@@ -392,14 +458,21 @@ class ParallelOptimizer:
         constraints: Sequence[PlacementConstraint],
         method: str,
         reason: str,
+        timeout_override: Optional[float] = None,
     ) -> PartitionedResult:
-        inner = self.monolithic.optimize(
-            current,
-            target_states,
-            vjob_of_vm=vjob_of_vm,
-            fallback_target=fallback_target,
-            constraints=constraints,
-        )
+        previous = self.monolithic.timeout
+        if timeout_override is not None:
+            self.monolithic.timeout = timeout_override
+        try:
+            inner = self.monolithic.optimize(
+                current,
+                target_states,
+                vjob_of_vm=vjob_of_vm,
+                fallback_target=fallback_target,
+                constraints=constraints,
+            )
+        finally:
+            self.monolithic.timeout = previous
         values = {
             f.name: getattr(inner, f.name) for f in fields(OptimizationResult)
         }

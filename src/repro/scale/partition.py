@@ -28,12 +28,15 @@ Two decomposition strategies are tried in order:
    VMs) are assigned heuristically — preferring the zone of their current
    host so the zero-cost "stay" option survives, then the residual pool,
    then the zone with the most free capacity.
-2. **k-way node sharding** — when the interference graph is one component
-   *because nothing constrains it* (no catalog at all touches a placed VM),
-   the node list is split into ``shards`` contiguous slices and VMs anchor
-   to the shard of their current host / suspend image.  This is a heuristic
-   restriction (cross-shard migrations are forbidden), traded for solving
-   ``k`` small models instead of one large one.
+2. **k-way node sharding** — when no *tight* domain and no relational
+   coupling structures the fleet, the node list is split into ``shards``
+   contiguous slices and VMs anchor to the shard of their current host /
+   suspend image (skipping shards their placement domain does not
+   intersect).  Loose unary constraints (``Ban`` complements, wide
+   ``Fence``\\ s) still restrict placement, so the catalog is scoped into
+   every shard and each zone's sub-model keeps enforcing it.  Sharding is
+   a heuristic restriction (cross-shard migrations are forbidden), traded
+   for solving ``k`` small models instead of one large one.
 
 When neither strategy yields at least two non-empty zones the result's
 ``method`` is ``"monolithic"`` and the caller should fall back to the global
@@ -90,11 +93,19 @@ class PartitionResult:
     ``method`` is ``"interference"`` (constraint-induced components),
     ``"sharded"`` (the k-way fallback) or ``"monolithic"`` (no decomposition
     found — solve globally); ``reason`` explains a monolithic outcome.
+
+    ``exact`` is True only when the decomposition restricts *nothing*: every
+    placed VM's full placement domain lies inside its zone, so per-zone
+    optima compose into the global optimum.  Sharded partitions (and
+    interference partitions where a loose-domain VM was heuristically
+    anchored to a zone) are domain restrictions — their merged solution is
+    valid but not provably optimal.
     """
 
     zones: List[Zone]
     method: str
     reason: str = ""
+    exact: bool = False
 
     @property
     def is_win(self) -> bool:
@@ -259,7 +270,7 @@ def partition(
 
     constrained = bool(touched) or coupled
     if not constrained:
-        return _shard(current, placed, node_names, shards)
+        return _shard(current, placed, node_names, shards, domains, constraints)
 
     # Components over the touched nodes; everything untouched pools into a
     # single residual zone.
@@ -328,7 +339,12 @@ def partition(
             method="monolithic",
             reason="the interference graph is a single component",
         )
-    return PartitionResult(zones=zones, method="interference")
+    # Exact only when nothing was restricted: every placed VM is tight, so
+    # its whole domain lies inside its zone and per-zone optima compose into
+    # the global optimum.  A heuristically anchored loose VM is a domain
+    # restriction — the merged solution stays valid but loses optimality.
+    exact = all(vm_name in tight for vm_name in placed)
+    return PartitionResult(zones=zones, method="interference", exact=exact)
 
 
 def _shard(
@@ -336,13 +352,25 @@ def _shard(
     placed: Sequence[str],
     node_names: Sequence[str],
     shards: Optional[int],
+    domains: Mapping[str, Optional[Set[str]]],
+    constraints: Sequence[PlacementConstraint],
 ) -> PartitionResult:
-    """k-way node-sharding fallback for unconstrained fleets."""
+    """k-way node-sharding fallback for fleets without tight structure.
+
+    Loose unary constraints (``Ban`` complements, wide ``Fence``\\ s) still
+    restrict placement even though they never weld zones: VMs only anchor to
+    shards their domain intersects, and the catalog is scoped into every
+    shard so each zone's sub-model keeps enforcing it.  Sharding is never
+    *exact* — cross-shard migrations are forbidden by construction.
+    """
     if shards is None or shards < 2:
         return PartitionResult(
             zones=[],
             method="monolithic",
-            reason="no constraint structures the fleet and sharding is off",
+            reason=(
+                "no constraint tightly structures the fleet and sharding "
+                "is off"
+            ),
         )
     count = min(shards, len(node_names))
     base, extra = divmod(len(node_names), count)
@@ -361,16 +389,26 @@ def _shard(
         sum(current.node(n).capacity.memory for n in nodes)
         for nodes in skeletons
     ]
+    shard_sets = [set(nodes) for nodes in skeletons]
     for vm_name in placed:
+        domain = domains.get(vm_name)
         anchor = _anchor_node(current, vm_name)
-        if anchor is not None:
+        if anchor is not None and (domain is None or anchor in domain):
             index = zone_of_node[anchor]
         else:
-            index = max(range(count), key=lambda i: (headroom[i], -i))
+            # Most-headroom shard whose nodes intersect the domain; a
+            # non-empty domain always intersects some shard (the shards
+            # cover the whole fleet).
+            candidates = [
+                i
+                for i in range(count)
+                if domain is None or domain & shard_sets[i]
+            ]
+            index = max(candidates, key=lambda i: (headroom[i], -i))
         zone_vms[index].append(vm_name)
         headroom[index] -= current.vm(vm_name).memory
 
-    zones = _materialize(skeletons, zone_vms, ())
+    zones = _materialize(skeletons, zone_vms, constraints)
     if len(zones) < 2:
         return PartitionResult(
             zones=zones,

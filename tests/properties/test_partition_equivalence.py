@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints import Fence
+from repro.constraints import Ban, Fence
 from repro.constraints.checker import check_configuration, check_plan
 from repro.core.optimizer import ContextSwitchOptimizer
 from repro.model.configuration import Configuration
@@ -171,3 +171,31 @@ def test_sharded_fallback_composes(instance):
     if monolithic.statistics.proven_optimal:
         # a heuristic restriction can never beat the proven optimum
         assert sharded.movement_cost >= monolithic.movement_cost
+
+
+@settings(max_examples=15, deadline=None)
+@given(fenced_instances())
+def test_sharded_fallback_enforces_loose_bans(instance):
+    """A `Ban` of a single node is *loose* (its allowed domain spans almost
+    the whole fleet) and never welds zones — but the sharded fallback must
+    still enforce it: the catalog is scoped into every shard, so the banned
+    VM is moved off its host rather than the violation being recorded."""
+    configuration, _ = instance
+    vm = sorted(configuration.vm_names)[0]
+    ban = Ban([vm], [configuration.location_of(vm)])
+    monolithic = _optimize(
+        ContextSwitchOptimizer(timeout=10.0), configuration, (ban,)
+    )
+    sharded = _optimize(
+        ParallelOptimizer(timeout=10.0, zone_executor="serial", shards=2),
+        configuration,
+        (ban,),
+    )
+    assert (monolithic is None) == (sharded is None)
+    if sharded is None:
+        return
+    sharded.plan.check_reaches(sharded.target)
+    assert check_configuration(sharded.target, [ban]) == []
+    if sharded.partition_method == "sharded":
+        # a domain restriction never claims global optimality
+        assert not sharded.statistics.proven_optimal

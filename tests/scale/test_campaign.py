@@ -34,6 +34,13 @@ def _make_scenario(point: CampaignPoint) -> Scenario:
     )
 
 
+def _fragile_process_factory(point: CampaignPoint) -> Scenario:
+    """Module-level (hence picklable) factory that fails one grid point."""
+    if point.policy == "ffd":
+        raise RuntimeError("boom")
+    return _make_scenario(point)
+
+
 def _spec(**overrides) -> CampaignSpec:
     values = dict(
         scenario_factory=_make_scenario,
@@ -101,6 +108,24 @@ class TestRunCampaign:
         persisted = CampaignStore(store).load()
         assert list(persisted) == ["consolidation|3|none|0"]
         # the retry resumes past the persisted point
+        retry = run_campaign(_spec(), store_path=store, executor="serial")
+        assert retry.resumed == 1
+        assert len(retry.records) == 2
+
+    def test_process_campaign_preserves_finished_points_on_failure(
+        self, tmp_path
+    ):
+        # the process path must drain every in-flight point into the store
+        # before re-raising: otherwise a resume re-runs work that finished
+        # in other workers while one point was failing
+        store = tmp_path / "campaign.jsonl"
+        spec = _spec(scenario_factory=_fragile_process_factory)
+        with pytest.raises(RuntimeError):
+            run_campaign(
+                spec, store_path=store, executor="process", max_workers=2
+            )
+        persisted = CampaignStore(store).load()
+        assert "consolidation|3|none|0" in persisted
         retry = run_campaign(_spec(), store_path=store, executor="serial")
         assert retry.resumed == 1
         assert len(retry.records) == 2

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.constraints import Fence, Spread
+from repro.constraints import Ban, Fence, Spread
 from repro.constraints.checker import check_plan
 from repro.core.optimizer import ContextSwitchOptimizer
 from repro.model.configuration import Configuration
@@ -140,6 +140,29 @@ class TestParallelOptimizer:
         result.plan.check_reaches(result.target)
         assert result.target.is_viable()
 
+    def test_sharded_solve_enforces_loose_ban(self):
+        # vm0 currently runs on a node banned for it: the sharded engine
+        # must move it off — the zone sub-model carries the scoped Ban, it
+        # is not merely recorded as a violation by the planner.
+        configuration = _configuration()
+        ban = Ban(["vm0"], ["node-0"])
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial", shards=2
+        ).optimize(configuration, _states(configuration), constraints=[ban])
+        assert result.target.location_of("vm0") != "node-0"
+        assert check_plan(result.plan, [ban]) == []
+        if result.partition_method == "sharded":
+            # a heuristic restriction must never claim global optimality
+            assert not result.statistics.proven_optimal
+
+    def test_sharded_solve_never_claims_optimality(self):
+        configuration = _configuration(node_count=4, vm_count=4)
+        result = ParallelOptimizer(
+            timeout=5.0, zone_executor="serial", shards=2
+        ).optimize(configuration, _states(configuration))
+        assert result.partition_method == "sharded"
+        assert not result.statistics.proven_optimal
+
     def test_infeasible_zone_falls_back_to_monolithic(self):
         # vm0..vm3 fenced onto a single node that cannot host them all; the
         # zone solve fails, the global solve (without the zone restriction
@@ -217,6 +240,112 @@ class TestZoneMachinery:
         assert not merged.proven_optimal
         assert merged.elapsed == 0.0
 
+    def test_merge_statistics_inexact_partition_clears_optimality(self):
+        proven = ZoneOutcome(
+            index=0,
+            assignment={},
+            statistics=SearchStatistics(proven_optimal=True, elapsed=0.1),
+            elapsed=0.1,
+        )
+        # every zone proved its local optimum, but the decomposition was a
+        # domain restriction (sharded / heuristic anchoring): the merged
+        # result must not claim global optimality
+        merged = merge_statistics([proven, proven], exact=False)
+        assert not merged.proven_optimal
+        # the default fails safe: no exactness vouched, no optimality claim
+        assert not merge_statistics([proven, proven]).proven_optimal
+        # an exact partition with every zone proved may claim the optimum
+        assert merge_statistics([proven, proven], exact=True).proven_optimal
+
+    def test_serial_zones_share_the_wall_clock_budget(self, monkeypatch):
+        import time as time_module
+
+        from repro.scale import parallel as parallel_module
+
+        configuration = _configuration()
+        constraints = _fenced_constraints()
+        states = _states(configuration)
+        decomposition = partition(configuration, states, constraints)
+        assert len(decomposition.zones) == 2
+
+        recorded = []
+
+        def slow_zone(task):
+            recorded.append(task.timeout)
+            time_module.sleep(0.2)
+            return ZoneOutcome(
+                index=task.zone.index,
+                assignment=None,
+                statistics=SearchStatistics(),
+                elapsed=0.2,
+            )
+
+        monkeypatch.setattr(parallel_module, "solve_zone", slow_zone)
+        optimizer = ParallelOptimizer(timeout=0.3, zone_executor="serial")
+        optimizer._solve_zones(configuration, decomposition)
+        assert len(recorded) == 2
+        # the first zone gets (about) the whole budget, the second only
+        # what the first left over — not another full timeout
+        assert recorded[0] <= 0.3 + 1e-6
+        assert recorded[1] < 0.15
+
+    def test_zone_failure_fallback_gets_the_leftover_budget(self, monkeypatch):
+        import time as time_module
+
+        from repro.scale import parallel as parallel_module
+
+        configuration = _configuration()
+        states = _states(configuration)
+
+        def failing_zone(task):
+            time_module.sleep(0.15)
+            return ZoneOutcome(
+                index=task.zone.index,
+                assignment=None,
+                statistics=SearchStatistics(),
+                elapsed=0.15,
+            )
+
+        monkeypatch.setattr(parallel_module, "solve_zone", failing_zone)
+        optimizer = ParallelOptimizer(timeout=0.5, zone_executor="serial")
+        seen = []
+        original = optimizer.monolithic.optimize
+
+        def spy(*args, **kwargs):
+            seen.append(optimizer.monolithic.timeout)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(optimizer.monolithic, "optimize", spy)
+        result = optimizer.optimize(
+            configuration, states, constraints=_fenced_constraints()
+        )
+        assert result.partition_method == "monolithic"
+        # the fallback ran on what the failed zones left over, not on a
+        # second full budget; the optimizer's timeout is restored after
+        assert seen and seen[0] < 0.5
+        assert optimizer.monolithic.timeout == 0.5
+
+    def test_queued_waves_carve_the_timeout(self):
+        configuration = _configuration()
+        decomposition = partition(
+            configuration, _states(configuration), _fenced_constraints()
+        )
+        optimizer = ParallelOptimizer(timeout=8.0, max_workers=1)
+        # two zones on one worker queue in two waves: each gets half the
+        # global wall-clock budget, keeping the round inside the budget
+        tasks = optimizer._zone_tasks(configuration, decomposition, waves=2)
+        assert [task.timeout for task in tasks] == [4.0, 4.0]
+        overlapped = optimizer._zone_tasks(configuration, decomposition)
+        assert [task.timeout for task in overlapped] == [8.0, 8.0]
+
+
+class _FakePool:
+    def __init__(self):
+        self.shut_down = False
+
+    def shutdown(self):
+        self.shut_down = True
+
 
 class TestPartitionedEngineWiring:
     def test_cluster_context_switch_accepts_partitioned_engine(self):
@@ -226,6 +355,50 @@ class TestPartitionedEngineWiring:
         switch = ClusterContextSwitch(engine="partitioned")
         assert isinstance(switch.optimizer, PO)
         assert switch.engine == "partitioned"
+
+    def test_cluster_context_switch_close_shuts_the_pool(self):
+        from repro.core.context_switch import ClusterContextSwitch
+
+        pool = _FakePool()
+        with ClusterContextSwitch(engine="partitioned") as switch:
+            switch.optimizer._pool = pool
+        assert pool.shut_down
+        assert switch.optimizer._pool is None
+        switch.close()  # idempotent
+
+    def test_cluster_context_switch_close_is_a_noop_for_monolithic(self):
+        from repro.core.context_switch import ClusterContextSwitch
+
+        switch = ClusterContextSwitch(engine="event")
+        switch.close()
+
+    def test_control_loop_close_releases_the_partitioned_pool(self):
+        from repro.api import Scenario
+        from repro.testing import make_workload
+
+        loop = Scenario(
+            nodes=make_working_nodes(4, cpu_capacity=2, memory_capacity=4096),
+            workloads=[make_workload("job")],
+            engine="partitioned",
+        ).build()
+        pool = _FakePool()
+        loop.switcher.optimizer._pool = pool
+        loop.close()
+        assert pool.shut_down
+        assert loop.switcher.optimizer._pool is None
+
+    def test_control_loop_run_closes_the_switcher(self, monkeypatch):
+        from repro.api import Scenario
+        from repro.testing import make_workload
+
+        loop = Scenario(
+            nodes=make_working_nodes(4, cpu_capacity=2, memory_capacity=4096),
+            workloads=[make_workload("job")],
+        ).build()
+        closed = []
+        monkeypatch.setattr(loop, "close", lambda: closed.append(True))
+        loop.run()
+        assert closed
 
     def test_scenario_engine_knob_reaches_the_switcher(self):
         from repro.api import Scenario

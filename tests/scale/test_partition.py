@@ -159,6 +159,27 @@ class TestInterferencePartition:
         assert result.method == "interference"
         assert len(result.zones) == 2
 
+    def test_all_tight_partition_is_exact(self):
+        configuration = _configuration()
+        constraints = [
+            Fence(["vm0", "vm1", "vm2"], FENCE_A),
+            Fence(["vm3", "vm4", "vm5"], FENCE_B),
+        ]
+        result = partition(configuration, _states(configuration), constraints)
+        assert result.method == "interference"
+        assert result.exact
+
+    def test_heuristically_anchored_loose_vms_break_exactness(self):
+        # vm3..vm5 are unconstrained: they anchor to the residual zone by
+        # current host, which restricts their (full) domain — the partition
+        # is valid but must not claim exactness.
+        configuration = _configuration()
+        constraints = [Fence(["vm0", "vm1", "vm2"], FENCE_A)]
+        result = partition(configuration, _states(configuration), constraints)
+        assert result.method == "interference"
+        assert len(result.zones) == 2
+        assert not result.exact
+
 
 class TestShardingFallback:
     def test_unconstrained_fleet_shards_by_current_host(self):
@@ -169,6 +190,40 @@ class TestShardingFallback:
         for zone in result.zones:
             for vm in zone.vms:
                 assert configuration.location_of(vm) in zone.nodes
+
+    def test_sharding_scopes_loose_constraints_into_zones(self):
+        # A Ban of one node is loose (its allowed domain spans 5/6 nodes),
+        # so it never welds zones — but it still restricts placement, and
+        # the shards must carry it so the zone sub-models enforce it.
+        configuration = _configuration()
+        ban = Ban(["vm2"], ["node-1"])
+        result = partition(
+            configuration, _states(configuration), [ban], shards=2
+        )
+        assert result.method == "sharded"
+        owner = next(zone for zone in result.zones if "vm2" in zone.vms)
+        assert ban in owner.constraints
+
+    def test_sharding_anchors_outside_a_banned_current_host(self):
+        # vm0 currently runs on node-0 and node-0 is banned for it: the
+        # anchor is outside the domain, so the VM must land in a shard its
+        # domain intersects (every shard here) and carry the Ban along.
+        configuration = _configuration()
+        ban = Ban(["vm0"], ["node-0"])
+        result = partition(
+            configuration, _states(configuration), [ban], shards=2
+        )
+        assert result.method == "sharded"
+        owner = next(zone for zone in result.zones if "vm0" in zone.vms)
+        assert ban in owner.constraints
+        domain = {n for n in configuration.node_names if n != "node-0"}
+        assert domain & set(owner.nodes)
+
+    def test_sharded_partition_is_never_exact(self):
+        configuration = _configuration()
+        result = partition(configuration, _states(configuration), (), shards=2)
+        assert result.method == "sharded"
+        assert not result.exact
 
     def test_sharding_disabled_is_monolithic(self):
         configuration = _configuration()
