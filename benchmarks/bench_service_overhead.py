@@ -1,0 +1,184 @@
+"""Observer/telemetry overhead of the operator service on the control loop.
+
+The :class:`repro.service.ServiceObserver` hooks every control-loop round
+(configuration snapshot, telemetry append, metric updates, audit entries)
+and the :class:`~repro.service.LoopCommandQueue` adds one drain check per
+iteration.  Both must stay invisible next to the planning work itself:
+< 5 % round-latency overhead is the PR6 acceptance gate, enforced by
+``--max-service-overhead`` in CI.
+
+Methodology: the hooks cost tens of microseconds per round while a round
+itself takes about a millisecond, so a bare-vs-instrumented wall-clock A/B
+at CI scale is dominated by host jitter (tens of percent on shared
+runners).  Instead the harness times the instrumentation *from inside* an
+instrumented run — every observer hook is wrapped with a
+``perf_counter`` accumulator, and the per-iteration cost of draining an
+(empty) command queue is microbenchmarked separately — then reports that
+instrumentation time as a fraction of the un-instrumented remainder of the
+run.  Numerator and denominator come from the same run, so scheduler noise
+cancels instead of swamping the signal.
+
+Runnable standalone::
+
+    python benchmarks/bench_service_overhead.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # pragma: no cover - script setup
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.scenario import Scenario  # noqa: E402
+from repro.service.commands import LoopCommandQueue  # noqa: E402
+from repro.service.observer import ServiceObserver  # noqa: E402
+from repro.workloads import ChurnGenerator, ProblemClass, heterogeneous_nodes  # noqa: E402
+
+#: Instrumented runs measured per sweep.
+SAMPLES = 5
+#: Fleet size / vjob count of the measured scenario — big enough that a
+#: round does real planning work, small enough for a CI smoke lane.
+NODE_COUNT = 8
+VJOB_COUNT = 16
+#: Empty-queue drain calls for the command-queue microbenchmark.
+DRAIN_CALLS = 20_000
+
+
+class _TimedObserver(ServiceObserver):
+    """A ServiceObserver that accumulates wall-clock time spent inside its
+    own hooks — the exact synchronous cost the service adds to each round."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hook_seconds = 0.0
+
+    def _timed(self, hook: Any, *args: Any) -> None:
+        started = time.perf_counter()
+        hook(*args)
+        self.hook_seconds += time.perf_counter() - started
+
+    def on_run_start(self, loop: Any) -> None:
+        self._timed(super().on_run_start, loop)
+
+    def on_iteration(self, t: float, configuration: Any) -> None:
+        self._timed(super().on_iteration, t, configuration)
+
+    def on_switch(self, record: Any, report: Any) -> None:
+        self._timed(super().on_switch, record, report)
+
+    def on_sample(self, sample: Any) -> None:
+        self._timed(super().on_sample, sample)
+
+    def on_vjob_completed(self, name: str, t: float) -> None:
+        self._timed(super().on_vjob_completed, name, t)
+
+    def on_fault(self, record: Any) -> None:
+        self._timed(super().on_fault, record)
+
+    def on_repair(self, name: str, latency: float) -> None:
+        self._timed(super().on_repair, name, latency)
+
+    def on_constraint_violation(self, record: Any) -> None:
+        self._timed(super().on_constraint_violation, record)
+
+    def on_run_end(self, result: Any) -> None:
+        self._timed(super().on_run_end, result)
+
+
+def _scenario() -> Scenario:
+    generator = ChurnGenerator(
+        seed=23,
+        mean_interarrival_s=30.0,
+        vm_count_choices=(2, 3),
+        problem_classes=(ProblemClass.W,),
+    )
+    return Scenario(
+        nodes=heterogeneous_nodes(NODE_COUNT, seed=5),
+        workloads=generator.workloads(VJOB_COUNT),
+        policy="consolidation",
+        optimizer_timeout=2.0,
+        use_optimizer=False,
+    )
+
+
+def _drain_microseconds() -> float:
+    """Cost of the per-iteration empty-queue drain check, in µs."""
+    queue = LoopCommandQueue()
+
+    class _Loop:  # minimal drain target; an empty queue never touches it
+        pass
+
+    target = _Loop()
+    started = time.perf_counter()
+    for _ in range(DRAIN_CALLS):
+        queue.drain(target, 0.0)
+    return (time.perf_counter() - started) / DRAIN_CALLS * 1e6
+
+
+def run(samples: int = SAMPLES) -> dict:
+    """Run the seeded scenario ``samples`` times with a hook-timing
+    observer and report instrumentation time over bare loop time."""
+    totals: list[float] = []
+    hooks: list[float] = []
+    overheads: list[float] = []
+    rounds = 0
+    drain_us = _drain_microseconds()
+    for _ in range(samples):
+        observer = _TimedObserver()
+        scenario = _scenario()
+        scenario.observe(observer)
+        started = time.perf_counter()
+        result = scenario.build(command_queue=LoopCommandQueue()).run()
+        total = time.perf_counter() - started
+        rounds = len(result.utilization)
+        service = observer.hook_seconds + rounds * drain_us * 1e-6
+        bare = total - service
+        totals.append(total)
+        hooks.append(observer.hook_seconds)
+        overheads.append(service / bare * 100.0 if bare else 0.0)
+    median_total = statistics.median(totals)
+    median_hooks = statistics.median(hooks)
+    return {
+        "samples": samples,
+        "nodes": NODE_COUNT,
+        "vjobs": VJOB_COUNT,
+        "rounds_per_run": rounds,
+        "total_seconds": [round(s, 6) for s in totals],
+        "hook_seconds": [round(s, 6) for s in hooks],
+        "drain_us_per_round": round(drain_us, 3),
+        "hook_us_per_round": round(median_hooks / rounds * 1e6, 2) if rounds else 0.0,
+        "median_total_seconds": round(median_total, 6),
+        "overhead_percent": round(statistics.median(overheads), 2),
+    }
+
+
+def overhead_percent(results: dict) -> float:
+    return float(results["overhead_percent"])
+
+
+def format_results(results: dict) -> str:
+    return (
+        f"service overhead: {results['hook_us_per_round']:.1f} us/round in hooks "
+        f"+ {results['drain_us_per_round']:.1f} us/round queue drain over "
+        f"{results['rounds_per_run']} rounds "
+        f"({results['median_total_seconds']*1000:.1f} ms run) -> "
+        f"{results['overhead_percent']:+.2f} %"
+    )
+
+
+def bench_service_overhead() -> None:
+    """Pytest entry point: the instrumented loop must stay within the 5 %
+    PR6 gate."""
+    results = run(samples=3)
+    print(format_results(results))
+    assert results["overhead_percent"] < 5.0
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

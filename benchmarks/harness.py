@@ -4,19 +4,20 @@ The repository keeps a performance trajectory across PRs: every harness run
 executes the figure/table benchmarks (as a timed pytest pass per module), the
 solver scaling sweep (``bench_solver_scaling.py``), the chaos recovery
 campaigns (``bench_chaos_recovery.py``), the placement-constraint overhead
-sweep (``bench_constraints.py``) and the partitioned-solve sweep
-(``bench_partitioning.py``), and writes a single JSON document with the
+sweep (``bench_constraints.py``), the partitioned-solve sweep
+(``bench_partitioning.py``) and the operator-service overhead measurement
+(``bench_service_overhead.py``), and writes a single JSON document with the
 numbers.  The output path is *not* hard-coded per PR any more: pass
 ``-o/--output`` or set the ``BENCH_OUTPUT`` environment variable (default:
-``BENCH_PR5.json`` at the repository root, the committed snapshot for this
-PR; ``BENCH_PR2.json``..``BENCH_PR4.json`` stay as previous points of the
+``BENCH_PR6.json`` at the repository root, the committed snapshot for this
+PR; ``BENCH_PR2.json``..``BENCH_PR5.json`` stay as previous points of the
 trajectory).  CI re-runs the smallest tiers as a smoke job and uploads the
 fresh document as an artifact.
 
 Usage::
 
     python benchmarks/harness.py                 # full sweep -> $BENCH_OUTPUT
-                                                 # (default BENCH_PR5.json)
+                                                 # (default BENCH_PR6.json)
     python benchmarks/harness.py --quick         # smallest tiers, 1 sample,
                                                  # figure benches skipped
     python benchmarks/harness.py --tiers 200 --samples 5 --timeout 30
@@ -31,7 +32,10 @@ unconstrained solve overhead of the placement-constraint catalog (< 2x on
 the 200-VM tier is the PR4 acceptance gate); the partitioning section
 reports the partitioned vs monolithic end-to-end solve latency on exact
 fence-partitioned instances (>= 1.5x on the 400-VM / 4-zone tier is the PR5
-acceptance gate).  See ``docs/PERFORMANCE.md`` for how to read the document.
+acceptance gate); the service-overhead section reports the round-latency
+share of the operator service's instrumentation (< 5 % is the PR6
+acceptance gate).  See ``docs/PERFORMANCE.md`` for how to read the
+document.
 """
 
 from __future__ import annotations
@@ -49,7 +53,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
 #: One knob instead of a per-PR patch: ``-o/--output`` or ``BENCH_OUTPUT``.
-DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR5.json")
+DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR6.json")
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -60,6 +64,7 @@ sys.path.insert(0, str(BENCH_DIR))
 import bench_chaos_recovery  # noqa: E402  (path set up above)
 import bench_constraints  # noqa: E402
 import bench_partitioning  # noqa: E402
+import bench_service_overhead  # noqa: E402
 import bench_solver_scaling  # noqa: E402
 
 #: Benchmarks run natively by this harness rather than as pytest modules.
@@ -68,6 +73,7 @@ _NATIVE_MODULES = (
     "bench_chaos_recovery.py",
     "bench_constraints.py",
     "bench_partitioning.py",
+    "bench_service_overhead.py",
 )
 
 
@@ -187,6 +193,20 @@ def main(argv: list[str] | None = None) -> int:
              "— the PR4 acceptance gate (< 2x on the 200-VM tier)",
     )
     parser.add_argument(
+        "--service-samples", type=int, default=bench_service_overhead.SAMPLES,
+        help="instrumented runs measured by the service-overhead sweep",
+    )
+    parser.add_argument(
+        "--skip-service", action="store_true",
+        help="skip the operator-service overhead measurement",
+    )
+    parser.add_argument(
+        "--max-service-overhead", type=float, default=None,
+        help="fail (exit 1) when the operator service's round-latency "
+             "overhead exceeds this percentage — the PR6 acceptance gate "
+             "(< 5 %%)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: smallest tiers, one sample, figures skipped",
     )
@@ -209,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         args.constraint_tiers = [min(args.constraint_tiers)]
         args.partition_tiers = [min(args.partition_tiers)]
         args.partition_samples = 1
+        args.service_samples = min(args.service_samples, 3)
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
 
@@ -274,6 +295,13 @@ def main(argv: list[str] | None = None) -> int:
             zone_executor=args.partition_zone_executor,
         )
         print(bench_partitioning.format_results(document["partitioning"]))
+
+    if not args.skip_service:
+        print(f"service overhead: samples={args.service_samples}")
+        document["service_overhead"] = bench_service_overhead.run(
+            samples=args.service_samples
+        )
+        print(bench_service_overhead.format_results(document["service_overhead"]))
 
     if not args.skip_chaos:
         print(f"chaos recovery: tiers={chaos_tiers} "
@@ -373,6 +401,28 @@ def main(argv: list[str] | None = None) -> int:
                 f"partition speedup gate ok: {speedup}x >= "
                 f"{args.min_partition_speedup}x"
             )
+
+    if args.max_service_overhead is not None:
+        if "service_overhead" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --max-service-overhead was given "
+                "but the service-overhead sweep did not run (--skip-service?)"
+            )
+            return 1
+        overhead = bench_service_overhead.overhead_percent(
+            document["service_overhead"]
+        )
+        if overhead > args.max_service_overhead:
+            print(
+                f"REGRESSION: service round-latency overhead {overhead} % "
+                f"exceeds the {args.max_service_overhead} % gate"
+            )
+            return 1
+        print(
+            f"service overhead gate ok: {overhead} % <= "
+            f"{args.max_service_overhead} %"
+        )
     return 0
 
 

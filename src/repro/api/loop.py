@@ -114,6 +114,7 @@ class ControlLoop:
         fault_injector: Optional[FaultInjector] = None,
         sla_factor: Optional[float] = None,
         constraints: Sequence[PlacementConstraint] = (),
+        command_queue: Optional[Any] = None,
     ) -> None:
         self.workloads = list(workloads)
         self.period = period
@@ -123,6 +124,11 @@ class ControlLoop:
         self.max_consecutive_planning_failures = max_consecutive_planning_failures
         self.faults = fault_injector
         self.sla_factor = sla_factor
+        #: Operator command queue (duck-typed: ``drain(loop, now) -> bool``),
+        #: drained at the top of every iteration so external producers — the
+        #: :mod:`repro.service` daemon's HTTP handlers — submit vjobs and
+        #: inject faults at well-defined points of simulated time.
+        self.commands = command_queue
         #: Placement constraints enforced by every planning round (and
         #: re-applied on fault-driven replans).  The list is live: a node
         #: crash runs each constraint's repair hook and may swap entries.
@@ -272,6 +278,12 @@ class ControlLoop:
         self._notify("on_run_start", self)
 
         while now < self.max_time:
+            # operator commands first: a vjob submitted or a fault injected
+            # through the command queue lands at this iteration boundary, so
+            # runs stay deterministic for a given arrival round
+            if self.commands is not None and self.commands.drain(self, now):
+                vjob_of_vm = self._vjob_of_vm()
+
             self._submit_pending(now)
 
             # exogenous events first: faults scheduled since the previous

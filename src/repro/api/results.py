@@ -13,7 +13,7 @@ metric means and how it is computed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -203,3 +203,158 @@ class RunResult:
 
     def completed(self, name: str) -> bool:
         return name in self.completion_times
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip                                                     #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full-fidelity JSON-safe form of the result (every series
+        included: switches, samples, faults, repair latencies, constraint
+        violations, metadata).  :meth:`from_dict` is the exact inverse —
+        ``RunResult.from_dict(r.to_dict()) == r`` — so results travel over
+        HTTP (the :mod:`repro.service` daemon's ``GET /result``) and into
+        JSON stores without loss."""
+        return {
+            "policy": self.policy,
+            "makespan": self.makespan,
+            "switches": [
+                {
+                    "time": s.time,
+                    "cost": s.cost,
+                    "duration": s.duration,
+                    "migrations": s.migrations,
+                    "runs": s.runs,
+                    "stops": s.stops,
+                    "suspends": s.suspends,
+                    "resumes": s.resumes,
+                    "local_resumes": s.local_resumes,
+                    "used_fallback": s.used_fallback,
+                    "failed_migrations": s.failed_migrations,
+                }
+                for s in self.switches
+            ],
+            "utilization": [
+                {
+                    "time": u.time,
+                    "cpu_demand_units": u.cpu_demand_units,
+                    "cpu_used_units": u.cpu_used_units,
+                    "cpu_capacity_units": u.cpu_capacity_units,
+                    "memory_used_mb": u.memory_used_mb,
+                }
+                for u in self.utilization
+            ],
+            "completion_times": dict(self.completion_times),
+            "metadata": dict(self.metadata),
+            "faults": [
+                {
+                    "time": f.time,
+                    "kind": f.kind,
+                    "target": f.target,
+                    "detected_at": f.detected_at,
+                    "affected_vjobs": list(f.affected_vjobs),
+                    "detail": f.detail,
+                }
+                for f in self.faults
+            ],
+            "repair_latencies": dict(self.repair_latencies),
+            "sla_violations": list(self.sla_violations),
+            "unfinished_vjobs": list(self.unfinished_vjobs),
+            "constraint_violations": [
+                {
+                    "time": v.time,
+                    "constraint": v.constraint,
+                    "phase": v.phase,
+                    "message": v.message,
+                    "stage": v.stage,
+                }
+                for v in self.constraint_violations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (tolerant of absent
+        optional series, so older stored records still load)."""
+        return cls(
+            makespan=float(data.get("makespan", 0.0)),
+            policy=str(data.get("policy", "")),
+            switches=[
+                ContextSwitchRecord(
+                    time=float(s["time"]),
+                    cost=int(s["cost"]),
+                    duration=float(s["duration"]),
+                    migrations=int(s["migrations"]),
+                    runs=int(s["runs"]),
+                    stops=int(s["stops"]),
+                    suspends=int(s["suspends"]),
+                    resumes=int(s["resumes"]),
+                    local_resumes=int(s["local_resumes"]),
+                    used_fallback=bool(s.get("used_fallback", False)),
+                    failed_migrations=int(s.get("failed_migrations", 0)),
+                )
+                for s in data.get("switches", [])
+            ],
+            utilization=[
+                UtilizationSample(
+                    time=float(u["time"]),
+                    cpu_demand_units=int(u["cpu_demand_units"]),
+                    cpu_used_units=int(u["cpu_used_units"]),
+                    cpu_capacity_units=int(u["cpu_capacity_units"]),
+                    memory_used_mb=int(u["memory_used_mb"]),
+                )
+                for u in data.get("utilization", [])
+            ],
+            completion_times={
+                str(name): float(time)
+                for name, time in data.get("completion_times", {}).items()
+            },
+            metadata=dict(data.get("metadata", {})),
+            faults=[
+                FaultRecord(
+                    time=float(f["time"]),
+                    kind=str(f["kind"]),
+                    target=str(f["target"]),
+                    detected_at=float(f.get("detected_at", 0.0)),
+                    affected_vjobs=tuple(f.get("affected_vjobs", ())),
+                    detail=str(f.get("detail", "")),
+                )
+                for f in data.get("faults", [])
+            ],
+            repair_latencies={
+                str(name): float(latency)
+                for name, latency in data.get("repair_latencies", {}).items()
+            },
+            sla_violations=list(data.get("sla_violations", [])),
+            unfinished_vjobs=list(data.get("unfinished_vjobs", [])),
+            constraint_violations=[
+                ConstraintViolationRecord(
+                    time=float(v["time"]),
+                    constraint=str(v["constraint"]),
+                    phase=str(v["phase"]),
+                    message=str(v.get("message", "")),
+                    stage=v.get("stage"),
+                )
+                for v in data.get("constraint_violations", [])
+            ],
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """The flat headline-metric row shared by campaign stores and the
+        service's telemetry: one canonical flattening instead of ad-hoc row
+        building at every call site."""
+        return {
+            "makespan": self.makespan,
+            "switches": self.switch_count,
+            "total_switch_cost": self.total_switch_cost,
+            "migrations": sum(s.migrations for s in self.switches),
+            "fallback_switches": sum(
+                1 for s in self.switches if s.used_fallback
+            ),
+            "faults_injected": len(self.faults),
+            "mean_repair_latency": self.mean_repair_latency,
+            "sla_violations": len(self.sla_violations),
+            "lost_vjobs": self.lost_vjob_count,
+            "constraint_violations": len(self.constraint_violations),
+            "planning_failures": self.metadata.get("planning_failures", 0),
+        }

@@ -137,11 +137,15 @@ class Scenario:
     # execution                                                           #
     # ------------------------------------------------------------------ #
 
-    def build(self) -> ControlLoop:
+    def build(self, command_queue: Optional[Any] = None) -> ControlLoop:
         """Wire the control loop for this scenario without running it.
 
         Use this when the experiment needs access to the live simulation
         state (queue, cluster configuration) after the run.
+
+        ``command_queue`` (duck-typed, ``drain(loop, now) -> bool``) lets an
+        operator — the :mod:`repro.service` daemon, or a test — submit vjobs
+        and inject faults at iteration boundaries while the loop runs.
         """
         # Workloads carry mutable vjob state; fresh vjobs per build would
         # require deep-copying traces, so one scenario instance should be
@@ -170,11 +174,37 @@ class Scenario:
             ),
             sla_factor=self.sla_factor,
             constraints=self.constraints,
+            command_queue=command_queue,
         )
 
     def run(self) -> RunResult:
         """Build the loop and run the scenario to completion."""
         return self.build().run()
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8090,
+        audit_path: Optional[str] = None,
+        autostart: bool = False,
+    ):
+        """Expose this scenario through the :mod:`repro.service` operator
+        daemon: REST/JSON endpoints for configuration, telemetry, Prometheus
+        metrics, the audit log, mid-run vjob submission and fault injection.
+
+        Returns the (not yet started) :class:`~repro.service.OperatorDaemon`;
+        call ``start()`` on it — or pass ``autostart=True`` — and ``close()``
+        when done.  The import is local so ``repro.api`` stays free of any
+        service dependency for library users.
+        """
+        from ..service.daemon import OperatorDaemon
+
+        daemon = OperatorDaemon(
+            self, host=host, port=port, audit_path=audit_path
+        )
+        if autostart:
+            daemon.start()
+        return daemon
 
     def run_static(self, backfilling: Optional[str] = None) -> RunResult:
         """Run the analytic FCFS + static-allocation baseline (Section 5.2)

@@ -208,6 +208,11 @@ class Configuration:
         """Read-only view of the running VM -> node mapping."""
         return dict(self._placement)
 
+    def states(self) -> dict[str, "VMState"]:
+        """Read-only copy of the VM -> life-cycle state mapping (one bulk
+        copy instead of per-VM :meth:`state_of` calls on hot paths)."""
+        return dict(self._states)
+
     def iter_placement(self) -> Iterator[tuple[str, str]]:
         """Iterate (running VM, hosting node) pairs without copying — for
         hot read-only checks (e.g. greedy constraint filtering)."""
@@ -289,13 +294,32 @@ class Configuration:
         return ResourceVector.total(node.capacity for node in self._nodes.values())
 
     def viability_violations(self) -> list[ViabilityViolation]:
-        """Nodes whose capacity is exceeded by their running VMs."""
+        """Nodes whose capacity is exceeded by their running VMs.
+
+        Accumulated in a single pass over the placement (not per-node
+        ``usage_of`` scans, which would be quadratic): viability is checked
+        every round by the constraint watchdog and the service observer, so
+        this path stays O(VMs + nodes).
+        """
+        cpu_usage: dict[str, int] = {}
+        memory_usage: dict[str, int] = {}
+        for vm_name, node_name in self._placement.items():
+            vm = self._vms[vm_name]
+            cpu_usage[node_name] = cpu_usage.get(node_name, 0) + vm.cpu_demand
+            memory_usage[node_name] = (
+                memory_usage.get(node_name, 0) + vm.memory
+            )
         violations = []
         for node in self._nodes.values():
-            usage = self.usage_of(node.name)
-            if not usage.fits_in(node.capacity):
+            cpu = cpu_usage.get(node.name, 0)
+            memory = memory_usage.get(node.name, 0)
+            if cpu > node.cpu_capacity or memory > node.memory_capacity:
                 violations.append(
-                    ViabilityViolation(node=node.name, capacity=node.capacity, usage=usage)
+                    ViabilityViolation(
+                        node=node.name,
+                        capacity=node.capacity,
+                        usage=ResourceVector(cpu, memory),
+                    )
                 )
         return violations
 

@@ -101,28 +101,19 @@ class CampaignSpec:
 def summarize_run(
     point: CampaignPoint, result: "RunResult", seconds: float
 ) -> Dict[str, object]:
-    """Flatten one run into the JSON-safe record the store persists."""
-    return {
+    """Flatten one run into the JSON-safe record the store persists: the
+    grid coordinates, the canonical :meth:`RunResult.summary` headline
+    metrics, and the wall-clock runtime."""
+    record: Dict[str, object] = {
         "key": point.key,
         "policy": point.policy,
         "fleet": point.fleet,
         "faults": point.faults,
         "seed": point.seed,
-        "makespan": result.makespan,
-        "switches": result.switch_count,
-        "total_switch_cost": result.total_switch_cost,
-        "migrations": sum(s.migrations for s in result.switches),
-        "fallback_switches": sum(
-            1 for s in result.switches if s.used_fallback
-        ),
-        "faults_injected": len(result.faults),
-        "mean_repair_latency": result.mean_repair_latency,
-        "sla_violations": len(result.sla_violations),
-        "lost_vjobs": result.lost_vjob_count,
-        "constraint_violations": len(result.constraint_violations),
-        "planning_failures": result.metadata.get("planning_failures", 0),
-        "runtime_seconds": round(seconds, 3),
     }
+    record.update(result.summary())
+    record["runtime_seconds"] = round(seconds, 3)
+    return record
 
 
 class CampaignStore:

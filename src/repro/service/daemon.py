@@ -1,0 +1,513 @@
+"""The long-running operator daemon: REST/JSON over the control loop.
+
+:class:`OperatorDaemon` owns one :class:`~repro.api.scenario.Scenario`, runs
+its control loop on a worker thread and serves live state over HTTP
+(stdlib-only: :class:`http.server.ThreadingHTTPServer`, no new
+dependencies).  Endpoints:
+
+======================  =====================================================
+``GET /healthz``        liveness + run state
+``GET /configuration``  latest observed placement and viability
+``GET /telemetry``      bounded ring buffer of per-round utilization samples
+``GET /metrics``        Prometheus text format (round latency histogram,
+                        migration/violation/fault/SLA counters)
+``GET /plans``          executed plan sequence (audit replay)
+``GET /audit``          append-only audit log entries
+``GET /result``         the finished run's full :class:`RunResult`
+``POST /run``           start the scenario's control loop
+``POST /vjobs``         submit a vjob workload (applied mid-run at the next
+                        iteration boundary)
+``POST /faults``        inject a fault (crash / slowdown / migration failure)
+``POST /campaigns``     launch a resumable :mod:`repro.scale` campaign grid
+``GET /campaigns``      poll campaign progress
+======================  =====================================================
+
+Commands posted while the loop runs are queued on a
+:class:`~repro.service.commands.LoopCommandQueue` and drained by the loop at
+iteration boundaries — so HTTP never races the simulation, and a scenario
+driven entirely over HTTP (vjobs and faults posted before ``POST /run``)
+reproduces the exact deterministic :class:`RunResult` of the equivalent
+in-process run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..api.results import RunResult
+from ..api.scenario import Scenario
+from ..scale.campaign import (
+    CampaignPoint,
+    CampaignSpec,
+    CampaignStore,
+    run_campaign,
+)
+from ..sim.faults import FaultSchedule
+from .audit import replay_plans
+from .commands import LoopCommandQueue
+from .observer import ServiceObserver
+from .serialize import fault_event_from_dict, workload_from_dict
+
+__all__ = [
+    "OperatorDaemon",
+    "register_campaign_factory",
+    "campaign_factory_names",
+    "default_campaign_factory",
+]
+
+
+# --------------------------------------------------------------------- #
+# campaign factories                                                     #
+# --------------------------------------------------------------------- #
+#
+# HTTP cannot ship callables, so campaigns launched over the wire name a
+# registered factory.  Factories must be module-level (picklable) when the
+# campaign uses the process executor.
+
+
+def default_campaign_factory(point: CampaignPoint) -> Scenario:
+    """The built-in demo grid: a seeded fleet of ``point.fleet`` paper-class
+    nodes running three two-VM vjobs, optionally under a node crash
+    (``faults="crash"``)."""
+    from ..model.node import make_working_nodes
+    from ..testing import make_workload
+
+    nodes = make_working_nodes(point.fleet)
+    workloads = [
+        make_workload(f"job-{index}", vm_count=2, duration=240.0 + 60.0 * index)
+        for index in range(3)
+    ]
+    faults: Optional[FaultSchedule] = None
+    if point.faults == "crash":
+        faults = FaultSchedule().node_crash(nodes[-1].name, at=120.0)
+    return Scenario(
+        nodes=nodes,
+        workloads=workloads,
+        policy=point.policy,
+        optimizer_timeout=2.0,
+        use_optimizer=False,
+        faults=faults,
+    )
+
+
+_CAMPAIGN_FACTORIES: Dict[str, Callable[[CampaignPoint], Scenario]] = {
+    "default": default_campaign_factory,
+}
+
+
+def register_campaign_factory(
+    name: str, factory: Callable[[CampaignPoint], Scenario]
+) -> None:
+    """Expose ``factory`` to ``POST /campaigns`` under ``name``.  The
+    factory must be module-level (picklable) to run under the campaign's
+    process executor; the serial executor takes any callable."""
+    _CAMPAIGN_FACTORIES[name] = factory
+
+
+def campaign_factory_names() -> list[str]:
+    return sorted(_CAMPAIGN_FACTORIES)
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class OperatorDaemon:
+    """One scenario, one control loop, one HTTP server.
+
+    The daemon is inert until :meth:`start` binds the server (``port=0``
+    picks an ephemeral port — read :attr:`port` afterwards).  The control
+    loop itself starts on ``POST /run`` (or :meth:`start_run`) and runs
+    exactly once per daemon: states ``idle`` → ``running`` →
+    ``completed``/``failed``.  Use as a context manager to guarantee
+    shutdown.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        host: str = "127.0.0.1",
+        port: int = 8090,
+        audit_path: Optional[str] = None,
+        telemetry_capacity: int = 512,
+    ) -> None:
+        self.scenario = scenario
+        self.host = host
+        self.port = port
+        self.observer = ServiceObserver(
+            audit_path=audit_path, telemetry_capacity=telemetry_capacity
+        )
+        self.commands = LoopCommandQueue()
+        # A fault injector is always attached so POST /faults works even on
+        # scenarios that declared no schedule of their own.
+        if self.scenario.faults is None:
+            self.scenario.faults = FaultSchedule()
+        self.scenario.observe(self.observer)
+
+        self._lock = threading.Lock()
+        self._state = "idle"
+        self._error: Optional[str] = None
+        self._run_thread: Optional[threading.Thread] = None
+        self._campaigns: Dict[str, Dict[str, Any]] = {}
+        self._campaign_counter = 0
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "OperatorDaemon":
+        """Bind the HTTP server and serve requests on a daemon thread."""
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer((self.host, self.port), _Handler)
+        server.daemon_threads = True
+        server.operator = self  # type: ignore[attr-defined]
+        self.port = server.server_address[1]
+        self._server = server
+        self._server_thread = threading.Thread(
+            target=server.serve_forever, name="repro-operator-http", daemon=True
+        )
+        self._server_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving; a running control loop finishes in the background."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+            self._server_thread = None
+
+    def __enter__(self) -> "OperatorDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # run state machine                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def result(self) -> Optional[RunResult]:
+        return self.observer.result
+
+    def start_run(self) -> None:
+        """Launch the scenario's control loop on a worker thread.
+
+        One run per daemon: the loop mutates vjob state, so a second run
+        would observe terminated vjobs — restart the daemon with a fresh
+        scenario instead.
+        """
+        with self._lock:
+            if self._state == "running":
+                raise _HTTPError(409, "a run is already in progress")
+            if self._state in ("completed", "failed"):
+                raise _HTTPError(
+                    409,
+                    "this daemon's run already finished; a run mutates vjob "
+                    "state, so restart the daemon with a fresh scenario",
+                )
+            self._state = "running"
+
+        def _run() -> None:
+            try:
+                self.scenario.build(command_queue=self.commands).run()
+            except Exception as error:
+                with self._lock:
+                    self._state = "failed"
+                    self._error = repr(error)
+            else:
+                with self._lock:
+                    self._state = "completed"
+
+        self._run_thread = threading.Thread(
+            target=_run, name="repro-operator-loop", daemon=True
+        )
+        self._run_thread.start()
+
+    def wait(self, timeout: Optional[float] = None) -> str:
+        """Block until the run finishes; returns the final state."""
+        thread = self._run_thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        return self.state
+
+    # ------------------------------------------------------------------ #
+    # campaigns                                                           #
+    # ------------------------------------------------------------------ #
+
+    def start_campaign(self, spec: Dict[str, Any]) -> str:
+        factory_name = str(spec.get("factory", "default"))
+        factory = _CAMPAIGN_FACTORIES.get(factory_name)
+        if factory is None:
+            raise _HTTPError(
+                400,
+                f"unknown campaign factory {factory_name!r}; registered: "
+                f"{campaign_factory_names()}",
+            )
+        policies = spec.get("policies")
+        fleet_sizes = spec.get("fleet_sizes")
+        if not policies or not fleet_sizes:
+            raise _HTTPError(
+                400, "a campaign needs non-empty 'policies' and 'fleet_sizes'"
+            )
+        campaign_spec = CampaignSpec(
+            scenario_factory=factory,
+            policies=[str(p) for p in policies],
+            fleet_sizes=[int(f) for f in fleet_sizes],
+            fault_labels=[str(f) for f in spec.get("fault_labels", ("none",))],
+            seeds=[int(s) for s in spec.get("seeds", (0,))],
+        )
+        executor = str(spec.get("executor", "serial"))
+        store_path = spec.get("store_path")
+        resume = bool(spec.get("resume", True))
+        max_workers = spec.get("max_workers")
+        with self._lock:
+            self._campaign_counter += 1
+            campaign_id = f"campaign-{self._campaign_counter}"
+            status: Dict[str, Any] = {
+                "id": campaign_id,
+                "factory": factory_name,
+                "status": "running",
+                "total": len(campaign_spec.points()),
+                "completed": 0,
+                "resumed": 0,
+                "store_path": store_path,
+                "error": None,
+            }
+            self._campaigns[campaign_id] = status
+
+        def _run() -> None:
+            try:
+                result = run_campaign(
+                    campaign_spec,
+                    store_path=store_path,
+                    executor=executor,
+                    resume=resume,
+                    max_workers=(
+                        int(max_workers) if max_workers is not None else None
+                    ),
+                )
+            except Exception as error:
+                with self._lock:
+                    status["status"] = "failed"
+                    status["error"] = repr(error)
+            else:
+                with self._lock:
+                    status["status"] = "completed"
+                    status["completed"] = len(result.records)
+                    status["resumed"] = result.resumed
+                    status["aggregate"] = result.aggregate()
+
+        threading.Thread(
+            target=_run, name=f"repro-{campaign_id}", daemon=True
+        ).start()
+        return campaign_id
+
+    def campaign_status(self, campaign_id: str) -> Dict[str, Any]:
+        with self._lock:
+            status = self._campaigns.get(campaign_id)
+            if status is None:
+                raise _HTTPError(404, f"no campaign {campaign_id!r}")
+            status = dict(status)
+        # Live progress for resumable campaigns: count what reached the store.
+        if status["status"] == "running" and status.get("store_path"):
+            status["completed"] = len(
+                CampaignStore(str(status["store_path"])).load()
+            )
+        return status
+
+    def campaigns(self) -> list[Dict[str, Any]]:
+        with self._lock:
+            ids = list(self._campaigns)
+        return [self.campaign_status(campaign_id) for campaign_id in ids]
+
+    # ------------------------------------------------------------------ #
+    # request handling (called from HTTP threads)                         #
+    # ------------------------------------------------------------------ #
+
+    def handle_get(
+        self, path: str, query: Dict[str, list[str]]
+    ) -> tuple[int, Any]:
+        if path == "/healthz":
+            with self._lock:
+                state, error = self._state, self._error
+            return 200, {
+                "status": "ok",
+                "state": state,
+                "error": error,
+                "simulated_time": self.observer.simulated_time,
+                "pending_commands": self.commands.pending,
+            }
+        if path == "/configuration":
+            return 200, {
+                "state": self.state,
+                "simulated_time": self.observer.simulated_time,
+                "configuration": self.observer.configuration,
+            }
+        if path == "/telemetry":
+            limit = _int_param(query, "limit")
+            return 200, {
+                "samples": self.observer.telemetry.snapshot(limit=limit),
+                "total": self.observer.telemetry.total,
+                "dropped": self.observer.telemetry.dropped,
+            }
+        if path == "/metrics":
+            return 200, self.observer.metrics.render()
+        if path == "/plans":
+            plans = replay_plans(self.observer.audit)
+            return 200, {"plans": plans, "count": len(plans)}
+        if path == "/audit":
+            kinds = query.get("kind")
+            entries = self.observer.audit.entries(
+                offset=_int_param(query, "offset") or 0,
+                limit=_int_param(query, "limit"),
+                kind=kinds[0] if kinds else None,
+            )
+            return 200, {"entries": entries, "total": len(self.observer.audit)}
+        if path == "/result":
+            result = self.observer.result
+            if result is None:
+                raise _HTTPError(404, f"no result yet (state: {self.state})")
+            return 200, result.to_dict()
+        if path == "/commands":
+            return 200, {
+                "pending": self.commands.pending,
+                "applied": list(self.commands.applied),
+                "errors": [
+                    {"label": label, "error": error}
+                    for label, error in self.commands.errors
+                ],
+            }
+        if path == "/campaigns":
+            return 200, {"campaigns": self.campaigns()}
+        if path.startswith("/campaigns/"):
+            return 200, self.campaign_status(path[len("/campaigns/"):])
+        raise _HTTPError(404, f"unknown path {path!r}")
+
+    def handle_post(self, path: str, payload: Any) -> tuple[int, Any]:
+        if path == "/run":
+            self.start_run()
+            return 202, {"state": self.state}
+        if path == "/vjobs":
+            try:
+                workload = workload_from_dict(_require_object(payload, "vjob"))
+            except ValueError as error:
+                raise _HTTPError(400, str(error)) from None
+            self.commands.submit_workload(workload)
+            return 202, {
+                "queued": workload.vjob.name,
+                "pending_commands": self.commands.pending,
+            }
+        if path == "/faults":
+            try:
+                event = fault_event_from_dict(_require_object(payload, "fault"))
+            except ValueError as error:
+                raise _HTTPError(400, str(error)) from None
+            self.commands.inject_fault(event)
+            return 202, {
+                "queued": f"{event.kind.value}:{event.target}",
+                "pending_commands": self.commands.pending,
+            }
+        if path == "/campaigns":
+            campaign_id = self.start_campaign(
+                _require_object(payload, "campaign")
+            )
+            return 202, self.campaign_status(campaign_id)
+        raise _HTTPError(404, f"unknown path {path!r}")
+
+
+def _require_object(payload: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise _HTTPError(400, f"the {what} payload must be a JSON object")
+    return payload
+
+
+def _int_param(query: Dict[str, list[str]], name: str) -> Optional[int]:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        raise _HTTPError(400, f"query parameter {name!r} must be an integer")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the owning :class:`OperatorDaemon`."""
+
+    server_version = "repro-operator/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def operator(self) -> OperatorDaemon:
+        return self.server.operator  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # keep test output and operator terminals quiet
+
+    def _reply(self, status: int, body: Any) -> None:
+        if isinstance(body, str):
+            data = body.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = (json.dumps(body, sort_keys=True) + "\n").encode()
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, handler: Callable[[], tuple[int, Any]]) -> None:
+        try:
+            status, body = handler()
+        except _HTTPError as error:
+            self._reply(error.status, {"error": error.message})
+        except Exception as error:  # the daemon must outlive a bad request
+            self._reply(500, {"error": repr(error)})
+        else:
+            self._reply(status, body)
+
+    def do_GET(self) -> None:
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        self._dispatch(lambda: self.operator.handle_get(parsed.path, query))
+
+    def do_POST(self) -> None:
+        parsed = urlparse(self.path)
+
+        def handle() -> tuple[int, Any]:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw = self.rfile.read(length) if length else b""
+            if raw:
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError as error:
+                    raise _HTTPError(400, f"request body is not JSON: {error}")
+            else:
+                payload = {}
+            return self.operator.handle_post(parsed.path, payload)
+
+        self._dispatch(handle)

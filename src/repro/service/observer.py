@@ -1,0 +1,280 @@
+"""The observer that feeds the daemon: telemetry, metrics, audit entries.
+
+:class:`ServiceObserver` is a plain :class:`~repro.api.events.LoopObserver`
+— it attaches to any run through ``Scenario(observers=[...])``, with or
+without the HTTP daemon on top — and translates loop events into the three
+operator-facing stores:
+
+* a :class:`~repro.service.telemetry.TelemetryBuffer` of per-round samples
+  (bounded ring buffer, oldest dropped first);
+* a :class:`~repro.service.metrics.MetricsRegistry` rendered by
+  ``GET /metrics`` (wall-clock round-latency histogram, migration /
+  violation / fault / SLA counters, live gauges);
+* an :class:`~repro.service.audit.AuditLog` recording every executed plan
+  (in the canonical :func:`~repro.service.serialize.plan_to_dict` shape,
+  replayable byte-for-byte), every fault, repair and vjob completion.
+
+The observer also keeps a thread-safe snapshot of the latest observed
+configuration for ``GET /configuration``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..api.events import LoopObserver
+from .audit import AuditLog
+from .metrics import MetricsRegistry
+from .serialize import ConfigurationSnapshot, capture_configuration, plan_to_dict
+from .telemetry import TelemetryBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.context_switch import ContextSwitchReport
+    from ..model.configuration import Configuration
+    from ..api.decision import Decision
+    from ..api.results import (
+        ConstraintViolationRecord,
+        ContextSwitchRecord,
+        FaultRecord,
+        RunResult,
+        UtilizationSample,
+    )
+
+__all__ = ["ServiceObserver"]
+
+
+class ServiceObserver(LoopObserver):
+    """Streams a run into telemetry, metrics and the audit log.
+
+    All three stores can be shared with a daemon (which serves them over
+    HTTP) or used standalone; pass ``audit_path`` to mirror the audit log to
+    an append-only JSONL file that survives the process.
+    """
+
+    def __init__(
+        self,
+        telemetry: Optional[TelemetryBuffer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        audit: Optional[AuditLog] = None,
+        audit_path: Optional[str] = None,
+        telemetry_capacity: int = 512,
+    ) -> None:
+        self.telemetry = telemetry or TelemetryBuffer(capacity=telemetry_capacity)
+        self.metrics = metrics or MetricsRegistry()
+        self.audit = audit or AuditLog(path=audit_path)
+        self._lock = threading.Lock()
+        self._snapshot: Optional[ConfigurationSnapshot] = None
+        self._last_time = 0.0
+        self._round_started: Optional[float] = None
+        self._result: Optional["RunResult"] = None
+
+        m = self.metrics
+        self.rounds = m.counter(
+            "repro_loop_rounds_total", "Control-loop iterations executed."
+        )
+        self.round_latency = m.histogram(
+            "repro_round_latency_seconds",
+            "Wall-clock latency of one observe/decide/plan/execute round.",
+        )
+        self.switches = m.counter(
+            "repro_context_switches_total",
+            "Cluster-wide context switches executed (labelled by fallback use).",
+        )
+        self.actions = m.counter(
+            "repro_actions_total",
+            "VM actions executed across all switches, by kind.",
+        )
+        self.switch_cost = m.counter(
+            "repro_switch_cost_total",
+            "Cumulative cost (paper Section 4.3 estimate) of executed switches.",
+        )
+        self.faults = m.counter(
+            "repro_faults_total", "Faults applied to the cluster, by kind."
+        )
+        self.failed_migrations = m.counter(
+            "repro_failed_migrations_total",
+            "Migration attempts aborted by fault injection.",
+        )
+        self.repairs = m.counter(
+            "repro_repairs_total", "VJobs recovered after a crash."
+        )
+        self.repair_latency = m.histogram(
+            "repro_repair_latency_seconds",
+            "Crash-to-running repair latency (simulated seconds).",
+            buckets=(30.0, 60.0, 120.0, 240.0, 480.0, 960.0, 1920.0),
+        )
+        self.violations = m.counter(
+            "repro_constraint_violations_total",
+            "Placement-constraint violations observed, by phase.",
+        )
+        self.completions = m.counter(
+            "repro_vjobs_completed_total", "VJobs that ran to completion."
+        )
+        self.sla_violations = m.counter(
+            "repro_sla_violations_total",
+            "VJobs whose turnaround exceeded the SLA factor (set at run end).",
+        )
+        self.lost_vjobs = m.counter(
+            "repro_lost_vjobs_total",
+            "Submitted vjobs that never completed (set at run end).",
+        )
+        self.sim_time = m.gauge(
+            "repro_simulated_time_seconds", "Latest observed simulated time."
+        )
+        self.viable = m.gauge(
+            "repro_configuration_viable",
+            "1 when the latest observed configuration is viable, else 0.",
+        )
+        self.vm_count = m.gauge(
+            "repro_vms", "VMs known to the cluster at the latest observation."
+        )
+        self.runs_completed = m.gauge(
+            "repro_runs_completed", "Control-loop runs finished by this observer."
+        )
+
+    # ------------------------------------------------------------------ #
+    # state exposed to the daemon                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def configuration(self) -> Optional[dict[str, Any]]:
+        """Latest observed configuration snapshot (JSON-safe), or None
+        before the first iteration.  The JSON shape is built here, on
+        demand: ``GET /configuration`` is operator-paced while
+        :meth:`on_iteration` runs on every loop round."""
+        with self._lock:
+            snapshot = self._snapshot
+        return None if snapshot is None else snapshot.to_dict()
+
+    @property
+    def simulated_time(self) -> float:
+        with self._lock:
+            return self._last_time
+
+    @property
+    def result(self) -> Optional["RunResult"]:
+        """The finished run's result, or None while running."""
+        with self._lock:
+            return self._result
+
+    # ------------------------------------------------------------------ #
+    # LoopObserver hooks                                                  #
+    # ------------------------------------------------------------------ #
+
+    def on_run_start(self, loop: Any) -> None:
+        with self._lock:
+            self._result = None
+        self.audit.append(
+            "run_start",
+            0.0,
+            policy=getattr(loop, "policy_name", ""),
+            nodes=len(loop.cluster.configuration.nodes),
+            workloads=len(loop.workloads),
+        )
+
+    def on_iteration(self, time: float, configuration: "Configuration") -> None:
+        snapshot = capture_configuration(configuration)
+        with self._lock:
+            self._snapshot = snapshot
+            self._last_time = time
+            self._round_started = _time.perf_counter()
+        self.rounds.inc()
+        self.sim_time.set(time)
+        self.viable.set(1.0 if snapshot.viable else 0.0)
+        self.vm_count.set(len(snapshot.vms))
+
+    def on_switch(
+        self, record: "ContextSwitchRecord", report: "ContextSwitchReport"
+    ) -> None:
+        fallback = "yes" if record.used_fallback else "no"
+        self.switches.inc(fallback=fallback)
+        self.switch_cost.inc(record.cost)
+        for kind, count in (
+            ("migrate", record.migrations),
+            ("run", record.runs),
+            ("stop", record.stops),
+            ("suspend", record.suspends),
+            ("resume", record.resumes),
+        ):
+            if count:
+                self.actions.inc(count, kind=kind)
+        if record.failed_migrations:
+            self.failed_migrations.inc(record.failed_migrations)
+        self.audit.append(
+            "plan",
+            record.time,
+            cost=record.cost,
+            duration=record.duration,
+            used_fallback=record.used_fallback,
+            plan=plan_to_dict(report.plan),
+        )
+
+    def on_sample(self, sample: "UtilizationSample") -> None:
+        with self._lock:
+            started = self._round_started
+            self._round_started = None
+        if started is not None:
+            self.round_latency.observe(_time.perf_counter() - started)
+        self.telemetry.append(
+            {
+                "time": sample.time,
+                "cpu_demand_units": sample.cpu_demand_units,
+                "cpu_used_units": sample.cpu_used_units,
+                "cpu_capacity_units": sample.cpu_capacity_units,
+                "memory_used_mb": sample.memory_used_mb,
+                "cpu_fraction": sample.cpu_fraction,
+                "cpu_demand_fraction": sample.cpu_demand_fraction,
+            }
+        )
+
+    def on_vjob_completed(self, name: str, time: float) -> None:
+        self.completions.inc()
+        self.audit.append("vjob_completed", time, vjob=name)
+
+    def on_fault(self, record: "FaultRecord") -> None:
+        self.faults.inc(kind=record.kind)
+        self.audit.append(
+            "fault",
+            record.time,
+            fault_kind=record.kind,
+            target=record.target,
+            detected_at=record.detected_at,
+            affected_vjobs=list(record.affected_vjobs),
+            detail=record.detail,
+        )
+
+    def on_repair(self, name: str, latency: float) -> None:
+        self.repairs.inc()
+        self.repair_latency.observe(latency)
+        self.audit.append("repair", self.simulated_time, vjob=name, latency=latency)
+
+    def on_constraint_violation(
+        self, record: "ConstraintViolationRecord"
+    ) -> None:
+        self.violations.inc(phase=record.phase)
+        self.audit.append(
+            "constraint_violation",
+            record.time,
+            constraint=record.constraint,
+            phase=record.phase,
+            message=record.message,
+        )
+
+    def on_run_end(self, result: "RunResult") -> None:
+        with self._lock:
+            self._result = result
+        if result.sla_violations:
+            self.sla_violations.inc(len(result.sla_violations))
+        if result.unfinished_vjobs:
+            self.lost_vjobs.inc(len(result.unfinished_vjobs))
+        self.runs_completed.inc()
+        self.audit.append(
+            "run_end",
+            result.makespan,
+            makespan=result.makespan,
+            switches=result.switch_count,
+            completed=len(result.completion_times),
+            lost=result.lost_vjob_count,
+        )

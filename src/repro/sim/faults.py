@@ -279,6 +279,9 @@ class FaultInjector:
         self.fired: list[FaultEvent] = []
         #: One-shot scripted migration failures, armed until consumed.
         self._pending_migration_faults: list[FaultEvent] = []
+        #: Events added at runtime via :meth:`inject` (the schedule object
+        #: stays untouched — it may be shared across runs).
+        self.injected: list[FaultEvent] = []
         self._rng = random.Random(schedule.seed)
         self._slowdowns: list[FaultEvent] = []
         for event in schedule.ordered():
@@ -294,6 +297,32 @@ class FaultInjector:
 
     def _schedule(self, event: FaultEvent) -> None:
         self._engine.schedule_at(event.time, lambda e=event: self._due.append(e))
+
+    def inject(self, event: FaultEvent) -> None:
+        """Add one fault event to a *live* injector (operator-daemon path).
+
+        Scripted schedules are fixed at construction; this is the runtime
+        escape hatch the service's ``POST /faults`` endpoint uses.  An event
+        whose time is already in the simulated past is scheduled *now* — it
+        fires at the next :meth:`fire` call (you cannot crash a node
+        retroactively).  ``DELAYED_BOOT`` cannot be injected at runtime: the
+        held-back node set is fixed when the control loop is built.
+        """
+        if event.kind is FaultKind.DELAYED_BOOT:
+            raise ValueError(
+                "delayed_boot faults cannot be injected into a running loop; "
+                "declare them on the scenario's FaultSchedule instead"
+            )
+        self.injected.append(event)
+        if event.kind is FaultKind.MIGRATION_FAILURE:
+            self._pending_migration_faults.append(event)
+            return
+        if event.kind is FaultKind.NODE_SLOWDOWN:
+            self._slowdowns.append(event)
+        effective = max(event.time, self._engine.now)
+        self._engine.schedule_at(
+            effective, lambda e=event: self._due.append(e)
+        )
 
     # ------------------------------------------------------------------ #
     # queries                                                             #

@@ -1,0 +1,60 @@
+"""The append-only audit log and its byte-for-byte plan replay."""
+
+import json
+
+from repro.service.audit import AuditLog, replay_plans
+
+
+def test_entries_are_sequenced_and_filterable():
+    log = AuditLog()
+    log.append("run_start", 0.0, policy="consolidation")
+    log.append("plan", 0.0, plan={"pools": [], "action_count": 0})
+    log.append("plan", 30.0, plan={"pools": [], "action_count": 0})
+    assert [e["seq"] for e in log.entries()] == [0, 1, 2]
+    assert len(log.of_kind("plan")) == 2
+    assert log.entries(offset=1, limit=1)[0]["kind"] == "plan"
+    assert len(log) == 3
+
+
+def test_jsonl_mirror_round_trips(tmp_path):
+    path = tmp_path / "audit" / "run.jsonl"
+    log = AuditLog(path=path)
+    log.append("run_start", 0.0, policy="consolidation")
+    log.append("fault", 120.0, fault_kind="node_crash", target="node-1")
+    loaded = AuditLog.load(path)
+    assert loaded == log.entries()
+    # The file is canonical JSONL: one sort_keys object per line.
+    lines = path.read_text().splitlines()
+    assert lines == [json.dumps(e, sort_keys=True) for e in log.entries()]
+
+
+def test_load_stops_at_a_malformed_line(tmp_path):
+    path = tmp_path / "run.jsonl"
+    good = json.dumps({"seq": 0, "kind": "run_start", "time": 0.0})
+    path.write_text(good + "\n{truncated\n" + good + "\n")
+    assert AuditLog.load(path) == [json.loads(good)]
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert AuditLog.load(tmp_path / "absent.jsonl") == []
+
+
+def test_replay_plans_reproduces_the_sequence_byte_for_byte(tmp_path):
+    path = tmp_path / "run.jsonl"
+    log = AuditLog(path=path)
+    plans = [
+        {"pools": [[{"kind": "run", "vm": "a.vm0", "node": "node-0"}]],
+         "action_count": 1},
+        {"pools": [[{"kind": "migrate", "vm": "a.vm0", "source": "node-0",
+                     "destination": "node-1"}]], "action_count": 1},
+    ]
+    log.append("run_start", 0.0)
+    for index, plan in enumerate(plans):
+        log.append("plan", 30.0 * index, plan=plan)
+    log.append("run_end", 60.0)
+
+    for source in (log, path, log.entries()):
+        replayed = replay_plans(source)
+        assert [json.dumps(p, sort_keys=True) for p in replayed] == [
+            json.dumps(p, sort_keys=True) for p in plans
+        ]

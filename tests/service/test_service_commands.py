@@ -1,0 +1,103 @@
+"""The loop command queue: mid-run vjob submission and fault injection."""
+
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.model.node import make_working_nodes
+from repro.service.commands import LoopCommandQueue
+from repro.sim.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.testing import make_workload
+
+
+def fast_scenario(**overrides):
+    defaults = dict(
+        nodes=make_working_nodes(4),
+        workloads=[make_workload("base", vm_count=2, duration=120.0)],
+        optimizer_timeout=2.0,
+        use_optimizer=False,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def test_queued_workload_is_submitted_and_completes():
+    queue = LoopCommandQueue()
+    queue.submit_workload(make_workload("late", vm_count=2, duration=60.0))
+    result = fast_scenario().build(command_queue=queue).run()
+    assert result.completed("base")
+    assert result.completed("late")
+    assert queue.applied == ["submit_vjob:late"]
+    assert queue.errors == []
+    assert queue.pending == 0
+
+
+def test_queued_fault_fires_during_the_run():
+    queue = LoopCommandQueue()
+    queue.inject_fault(
+        FaultEvent(time=30.0, kind=FaultKind.NODE_CRASH, target="node-3")
+    )
+    scenario = fast_scenario(faults=FaultSchedule())
+    result = scenario.build(command_queue=queue).run()
+    assert [(f.kind, f.target) for f in result.faults] == [
+        ("node_crash", "node-3")
+    ]
+    assert result.completed("base")
+
+
+def test_duplicate_vjob_is_recorded_as_error_not_crash():
+    queue = LoopCommandQueue()
+    queue.submit_workload(make_workload("base", vm_count=2, duration=60.0))
+    result = fast_scenario().build(command_queue=queue).run()
+    assert result.completed("base")
+    assert queue.applied == []
+    (label, error) = queue.errors[0]
+    assert label == "submit_vjob:base"
+    assert "already submitted" in error
+
+
+def test_fault_without_injector_is_recorded_as_error():
+    queue = LoopCommandQueue()
+    queue.inject_fault(
+        FaultEvent(time=30.0, kind=FaultKind.NODE_CRASH, target="node-0")
+    )
+    # No FaultSchedule attached: the loop has no injector.
+    result = fast_scenario().build(command_queue=queue).run()
+    assert result.faults == []
+    (label, error) = queue.errors[0]
+    assert label.startswith("inject_fault:")
+    assert "no fault injector" in error
+
+
+def test_delayed_boot_injection_is_rejected():
+    queue = LoopCommandQueue()
+    queue.inject_fault(
+        FaultEvent(time=30.0, kind=FaultKind.DELAYED_BOOT, target="node-1")
+    )
+    fast_scenario(faults=FaultSchedule()).build(command_queue=queue).run()
+    (label, error) = queue.errors[0]
+    assert "delayed_boot" in error
+
+
+def test_generic_call_runs_at_the_boundary():
+    queue = LoopCommandQueue()
+    seen = []
+    queue.call(lambda loop, now: seen.append(now), label="probe")
+    fast_scenario().build(command_queue=queue).run()
+    assert seen == [0.0]
+    assert "probe" in queue.applied
+
+
+def test_past_fault_time_is_clamped_to_now():
+    # A fault stamped in the simulated past must not crash the engine: it
+    # fires at the next boundary instead.
+    queue = LoopCommandQueue()
+    queue.inject_fault(
+        FaultEvent(time=0.0, kind=FaultKind.NODE_CRASH, target="node-3")
+    )
+    result = (
+        fast_scenario(faults=FaultSchedule())
+        .build(command_queue=queue)
+        .run()
+    )
+    assert len(result.faults) == 1
+    assert result.faults[0].detected_at >= 0.0
