@@ -1,0 +1,279 @@
+"""Repair-based vs cold replanning under churn — the incremental bench (PR 7).
+
+The fixture generates one Section 5.1-shaped fleet per sample and drives it
+through ``rounds`` churn rounds: each round a seeded ~``churn`` fraction of
+the running VMs is knocked back to Waiting (the shape of a crash or an
+arrival burst), and the round is replanned twice on the *identical*
+perturbed configuration —
+
+* **cold**: a fresh monolithic :class:`ContextSwitchOptimizer` solve, the
+  price every round paid before PR 7;
+* **repair**: the :class:`~repro.repair.RepairOptimizer` warm-started on
+  the previous round's accepted assignment, freezing the clean region and
+  solving the dirty one.
+
+The churn then advances along the repair trajectory (``current`` becomes
+the repaired target), mirroring the control loop's steady state.  Both
+sides run the identical code path around the search — one global planner
+pass, the same checker pipeline — and every repaired plan is validated:
+it reaches a viable target and the checker accepts it.
+
+``speedup`` is the per-round ratio ``cold/repair`` of wall-clock
+``optimize()`` latency; a sample keeps the median over its rounds, a tier
+the median over its samples (paired medians — both sides see the same
+instances).
+
+The PR 7 acceptance gate: on the 200-VM churn tier with <= 10 % of the VMs
+perturbed per round, the repair engine's median per-round solve latency is
+**>= 2x** faster than the cold solve (enforced in CI through
+``benchmarks/harness.py --min-repair-speedup 2.0``).
+
+Run standalone (``python benchmarks/bench_repair.py``) for the full sweep,
+or through ``benchmarks/harness.py`` which records the results into
+``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import statistics
+import time
+from typing import Optional, Sequence
+
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.decision import ConsolidationDecisionModule
+from repro.model.vm import VMState
+from repro.repair import RepairOptimizer
+from repro.workloads import TraceConfigurationGenerator
+
+#: (total VMs, churn fraction) of the sweep; the largest tier is the CI gate.
+TIERS = ((100, 0.1), (200, 0.1))
+SAMPLES_PER_TIER = 3
+#: Churn rounds replanned per sample; each round's cold/repair ratio is one
+#: paired measurement.
+ROUNDS = 5
+#: Wall-clock safety cap per solve, seconds.
+TIMEOUT_S = 120.0
+#: Dirty-region co-host expansion (the control loop's default).
+HALO = 1
+
+
+def build_instance(vm_count: int, seed: int = 0):
+    """One generated fleet (Section 5.1 shape: 2 VMs per node density).
+
+    Returns ``(configuration, queue, vjob_of_vm)``.
+    """
+    generator = TraceConfigurationGenerator(
+        node_count=max(2, vm_count // 2), seed=seed
+    )
+    scenario = generator.generate(vm_count)
+    return scenario.configuration, scenario.queue, scenario.vjob_of_vm()
+
+
+def run_tier(
+    vm_count: int,
+    churn: float,
+    samples: int = SAMPLES_PER_TIER,
+    timeout: float = TIMEOUT_S,
+    rounds: int = ROUNDS,
+    halo: int = HALO,
+) -> dict:
+    """Benchmark one (VM-count, churn) tier."""
+    tier_samples = []
+    for sample in range(samples):
+        seed = 10 * vm_count + sample
+        configuration, queue, vjob_of_vm = build_instance(vm_count, seed=seed)
+        decision = ConsolidationDecisionModule().decide(configuration, queue)
+        states = dict(decision.vm_states)
+
+        cold_solver = ContextSwitchOptimizer(
+            timeout=timeout, first_solution_only=True
+        )
+        engine = RepairOptimizer(
+            ContextSwitchOptimizer(timeout=timeout, first_solution_only=True),
+            timeout=timeout,
+            halo=halo,
+        )
+        # Warm-up round: the cold start that seeds the previous assignment.
+        warm = engine.optimize(configuration, states, vjob_of_vm=vjob_of_vm)
+        current = warm.target
+
+        rng = random.Random(seed)
+        victims_per_round = max(1, math.ceil(vm_count * churn))
+        round_records = []
+        for _ in range(rounds):
+            running = sorted(
+                vm
+                for vm in current.vm_names
+                if current.state_of(vm) is VMState.RUNNING
+                and states.get(vm) is VMState.RUNNING
+            )
+            victims = rng.sample(running, min(victims_per_round, len(running)))
+            for victim in victims:
+                current.set_waiting(victim)
+
+            started = time.monotonic()
+            cold_result = cold_solver.optimize(
+                current, states, vjob_of_vm=vjob_of_vm
+            )
+            cold_seconds = time.monotonic() - started
+
+            engine.mark_dirty(victims)
+            started = time.monotonic()
+            repaired = engine.optimize(current, states, vjob_of_vm=vjob_of_vm)
+            repair_seconds = time.monotonic() - started
+
+            # Repaired plans must be exactly as trustworthy as cold ones.
+            repaired.plan.check_reaches(repaired.target)
+            assert repaired.target.is_viable()
+            for victim in victims:
+                assert repaired.target.state_of(victim) is VMState.RUNNING
+
+            round_records.append(
+                {
+                    "victims": len(victims),
+                    "mode": repaired.mode,
+                    "dirty_count": repaired.dirty_count,
+                    "frozen_count": repaired.frozen_count,
+                    "cold_seconds": round(cold_seconds, 6),
+                    "repair_seconds": round(repair_seconds, 6),
+                    "cold_cost": cold_result.cost,
+                    "repair_cost": repaired.cost,
+                    "speedup": round(cold_seconds / repair_seconds, 2)
+                    if repair_seconds
+                    else None,
+                }
+            )
+            current = repaired.target
+
+        ratios = [r["speedup"] for r in round_records if r["speedup"] is not None]
+        tier_samples.append(
+            {
+                "seed": seed,
+                "rounds": round_records,
+                "repair_rounds": sum(
+                    1 for r in round_records if r["mode"] == "repair"
+                ),
+                "median": {
+                    "cold_seconds": round(
+                        statistics.median(
+                            r["cold_seconds"] for r in round_records
+                        ),
+                        6,
+                    ),
+                    "repair_seconds": round(
+                        statistics.median(
+                            r["repair_seconds"] for r in round_records
+                        ),
+                        6,
+                    ),
+                    "speedup": round(statistics.median(ratios), 2)
+                    if ratios
+                    else None,
+                },
+            }
+        )
+
+    paired = [
+        s["median"]["speedup"]
+        for s in tier_samples
+        if s["median"]["speedup"] is not None
+    ]
+    return {
+        "vm_count": vm_count,
+        "churn": churn,
+        "rounds": rounds,
+        "halo": halo,
+        "timeout_seconds": timeout,
+        "samples": tier_samples,
+        "median": {
+            "cold_seconds": round(
+                statistics.median(
+                    s["median"]["cold_seconds"] for s in tier_samples
+                ),
+                6,
+            ),
+            "repair_seconds": round(
+                statistics.median(
+                    s["median"]["repair_seconds"] for s in tier_samples
+                ),
+                6,
+            ),
+            "speedup": round(statistics.median(paired), 2) if paired else None,
+        },
+    }
+
+
+def run(
+    tiers: Sequence[Sequence[float]] = TIERS,
+    samples: int = SAMPLES_PER_TIER,
+    timeout: float = TIMEOUT_S,
+    rounds: int = ROUNDS,
+    halo: int = HALO,
+) -> dict:
+    """Run every tier and return the full result document."""
+    return {
+        "methodology": (
+            "seeded churn rounds on one generated fleet per sample; each "
+            "round knocks ~churn of the running VMs to Waiting and replans "
+            "the identical perturbed configuration cold (monolithic) and "
+            "incrementally (repair, warm-started on the previous round); "
+            "speedup is the per-round cold/repair wall-clock ratio, "
+            "aggregated as paired medians"
+        ),
+        "tiers": [
+            run_tier(
+                int(vm_count),
+                churn,
+                samples=samples,
+                timeout=timeout,
+                rounds=rounds,
+                halo=halo,
+            )
+            for vm_count, churn in tiers
+        ],
+    }
+
+
+def largest_tier_speedup(results: dict) -> Optional[float]:
+    """Median speedup of the largest tier — what the CI gate checks."""
+    tier = max(results["tiers"], key=lambda t: t["vm_count"])
+    return tier["median"]["speedup"]
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        "Repair vs cold replanning under churn "
+        "(paired rounds on identical perturbed configurations)",
+        f"{'VMs':>5}  {'churn':>6}  {'cold (s)':>9}  {'repair (s)':>10}  "
+        f"{'speedup':>8}",
+    ]
+    for tier in results["tiers"]:
+        median = tier["median"]
+        lines.append(
+            f"{tier['vm_count']:>5}  {tier['churn']:>6.0%}  "
+            f"{median['cold_seconds']:>9.3f}  "
+            f"{median['repair_seconds']:>10.3f}  "
+            f"{median['speedup'] or float('nan'):>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def bench_repair_smoke():
+    """One-sample smoke of the smallest tier, for ``pytest benchmarks``."""
+    results = run(tiers=(TIERS[0],), samples=1, rounds=2)
+    print()
+    print(format_results(results))
+    sample = results["tiers"][0]["samples"][0]
+    assert sample["repair_rounds"] >= 1
+    for record in sample["rounds"]:
+        assert record["mode"] in ("repair", "full")
+        assert record["repair_seconds"] > 0
+
+
+if __name__ == "__main__":
+    full = run()
+    print(format_results(full))
+    print(json.dumps(full, indent=2))

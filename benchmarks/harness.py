@@ -5,12 +5,13 @@ executes the figure/table benchmarks (as a timed pytest pass per module), the
 solver scaling sweep (``bench_solver_scaling.py``), the chaos recovery
 campaigns (``bench_chaos_recovery.py``), the placement-constraint overhead
 sweep (``bench_constraints.py``), the partitioned-solve sweep
-(``bench_partitioning.py``) and the operator-service overhead measurement
-(``bench_service_overhead.py``), and writes a single JSON document with the
+(``bench_partitioning.py``), the operator-service overhead measurement
+(``bench_service_overhead.py``) and the repair-vs-cold replanning sweep
+(``bench_repair.py``), and writes a single JSON document with the
 numbers.  The output path is *not* hard-coded per PR any more: pass
 ``-o/--output`` or set the ``BENCH_OUTPUT`` environment variable (default:
-``BENCH_PR6.json`` at the repository root, the committed snapshot for this
-PR; ``BENCH_PR2.json``..``BENCH_PR5.json`` stay as previous points of the
+``BENCH_PR7.json`` at the repository root, the committed snapshot for this
+PR; ``BENCH_PR2.json``..``BENCH_PR6.json`` stay as previous points of the
 trajectory).  CI re-runs the smallest tiers as a smoke job and uploads the
 fresh document as an artifact.
 
@@ -34,8 +35,10 @@ reports the partitioned vs monolithic end-to-end solve latency on exact
 fence-partitioned instances (>= 1.5x on the 400-VM / 4-zone tier is the PR5
 acceptance gate); the service-overhead section reports the round-latency
 share of the operator service's instrumentation (< 5 % is the PR6
-acceptance gate).  See ``docs/PERFORMANCE.md`` for how to read the
-document.
+acceptance gate); the repair section reports the incremental repair
+engine's per-round solve latency against the cold monolithic solve under
+seeded churn (>= 2x on the 200-VM / 10 %-churn tier is the PR7 acceptance
+gate).  See ``docs/PERFORMANCE.md`` for how to read the document.
 """
 
 from __future__ import annotations
@@ -53,7 +56,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
 #: One knob instead of a per-PR patch: ``-o/--output`` or ``BENCH_OUTPUT``.
-DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR6.json")
+DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR7.json")
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -64,6 +67,7 @@ sys.path.insert(0, str(BENCH_DIR))
 import bench_chaos_recovery  # noqa: E402  (path set up above)
 import bench_constraints  # noqa: E402
 import bench_partitioning  # noqa: E402
+import bench_repair  # noqa: E402
 import bench_service_overhead  # noqa: E402
 import bench_solver_scaling  # noqa: E402
 
@@ -73,6 +77,7 @@ _NATIVE_MODULES = (
     "bench_chaos_recovery.py",
     "bench_constraints.py",
     "bench_partitioning.py",
+    "bench_repair.py",
     "bench_service_overhead.py",
 )
 
@@ -193,6 +198,27 @@ def main(argv: list[str] | None = None) -> int:
              "— the PR4 acceptance gate (< 2x on the 200-VM tier)",
     )
     parser.add_argument(
+        "--repair-tiers", type=int, nargs="+",
+        default=[vms for vms, _ in bench_repair.TIERS],
+        help="VM counts of the repair-vs-cold replanning sweep (each "
+             "selects its (VMs, churn) tier from bench_repair.TIERS)",
+    )
+    parser.add_argument(
+        "--repair-samples", type=int, default=bench_repair.SAMPLES_PER_TIER,
+        help="seeded samples per repair tier",
+    )
+    parser.add_argument(
+        "--skip-repair", action="store_true",
+        help="skip the repair-vs-cold replanning sweep",
+    )
+    parser.add_argument(
+        "--min-repair-speedup", type=float, default=None,
+        help="fail (exit 1) when the largest repair tier's median "
+             "repair-vs-cold per-round speedup drops below this threshold "
+             "— the PR7 acceptance gate (>= 2x on the 200-VM / 10 %%-churn "
+             "tier)",
+    )
+    parser.add_argument(
         "--service-samples", type=int, default=bench_service_overhead.SAMPLES,
         help="instrumented runs measured by the service-overhead sweep",
     )
@@ -229,6 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         args.constraint_tiers = [min(args.constraint_tiers)]
         args.partition_tiers = [min(args.partition_tiers)]
         args.partition_samples = 1
+        args.repair_tiers = [min(args.repair_tiers)]
+        args.repair_samples = 1
         args.service_samples = min(args.service_samples, 3)
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
@@ -295,6 +323,31 @@ def main(argv: list[str] | None = None) -> int:
             zone_executor=args.partition_zone_executor,
         )
         print(bench_partitioning.format_results(document["partitioning"]))
+
+    if not args.skip_repair:
+        available_repair = {vms: (vms, churn)
+                            for vms, churn in bench_repair.TIERS}
+        unknown = sorted(set(args.repair_tiers) - set(available_repair))
+        if unknown:
+            # A typo must fail loudly, not silently shrink the sweep (and
+            # later crash the gate on an empty tier list).
+            print(
+                f"ERROR: unknown repair tiers {unknown}; available VM "
+                f"counts: {sorted(available_repair)}"
+            )
+            return 2
+        repair_tiers = [
+            tier for tier in bench_repair.TIERS
+            if tier[0] in set(args.repair_tiers)
+        ]
+        print(f"repair replanning: tiers={repair_tiers} "
+              f"samples={args.repair_samples}")
+        document["repair"] = bench_repair.run(
+            tiers=repair_tiers,
+            samples=args.repair_samples,
+            timeout=args.timeout,
+        )
+        print(bench_repair.format_results(document["repair"]))
 
     if not args.skip_service:
         print(f"service overhead: samples={args.service_samples}")
@@ -422,6 +475,26 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"service overhead gate ok: {overhead} % <= "
             f"{args.max_service_overhead} %"
+        )
+
+    if args.min_repair_speedup is not None:
+        if "repair" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --min-repair-speedup was given "
+                "but the repair sweep did not run (--skip-repair?)"
+            )
+            return 1
+        speedup = bench_repair.largest_tier_speedup(document["repair"])
+        if speedup is None or speedup < args.min_repair_speedup:
+            print(
+                f"REGRESSION: repair replanning speedup {speedup}x is "
+                f"below the {args.min_repair_speedup}x gate"
+            )
+            return 1
+        print(
+            f"repair speedup gate ok: {speedup}x >= "
+            f"{args.min_repair_speedup}x"
         )
     return 0
 

@@ -24,10 +24,16 @@ nodes join the configuration mid-run.  Repair latencies, SLA violations and
 wasted migrations are reported on the :class:`~repro.api.results.RunResult`.
 
 ``engine`` selects how each planning round is solved: the monolithic
-optimizer's propagation engines (``"event"`` / ``"fixpoint"``) or
+optimizer's propagation engines (``"event"`` / ``"fixpoint"``),
 ``"partitioned"`` — the cluster is decomposed into independent placement
 zones solved concurrently on ``max_workers`` processes
-(:mod:`repro.scale`), with a transparent monolithic fallback.
+(:mod:`repro.scale`), with a transparent monolithic fallback — or the
+incremental ``"repair"`` / ``"repair-partitioned"`` engines
+(:mod:`repro.repair`).  For the repair engines the loop tracks the VMs each
+round actually perturbed — crash victims, new arrivals, members of violated
+constraints — and hands them to the planner, which freezes everything else
+and re-solves only the dirty region (``repair_halo`` widens it by that many
+rounds of co-host expansion).
 
 With ``constraints`` (the :mod:`repro.constraints` catalog), every planning
 round honours the declared placement relations: the optimizer compiles them
@@ -106,6 +112,7 @@ class ControlLoop:
         use_optimizer: bool = True,
         engine: str = "event",
         max_workers: Optional[int] = None,
+        repair_halo: int = 1,
         hypervisor: HypervisorModel = DEFAULT_HYPERVISOR,
         monitoring_delay: float = config.MONITORING_DELAY_S,
         max_time: float = 24 * 3600.0,
@@ -149,6 +156,12 @@ class ControlLoop:
         self._submitted: set[str] = set()
         #: vjob name -> time of the crash that knocked it out, until repaired.
         self._repair_pending: dict[str, float] = {}
+        #: VMs perturbed since the last planning round (crash victims, new
+        #: arrivals, members of violated constraints) — the dirty region the
+        #: repair engines re-solve; a no-op hint for the cold engines.
+        self._perturbed: set[str] = set()
+        #: Set by :meth:`request_stop`; checked at every iteration boundary.
+        self._stop_requested = False
         #: Late-booting nodes held back until their DELAYED_BOOT event fires.
         self._delayed_nodes: dict[str, Node] = {}
         if self.faults is not None:
@@ -183,6 +196,7 @@ class ControlLoop:
             use_optimizer=use_optimizer,
             engine=engine,
             max_workers=max_workers,
+            repair_halo=repair_halo,
         )
         self.executor = PlanExecutor(
             hypervisor=hypervisor, fault_injector=fault_injector
@@ -210,6 +224,9 @@ class ControlLoop:
             if vjob.name not in self._submitted and vjob.submitted_at <= now:
                 self.queue.submit(vjob)
                 self._submitted.add(vjob.name)
+                # New arrivals perturb their own VMs only: the repair
+                # engines place them without re-solving the whole fleet.
+                self._perturbed.update(vjob.vm_names)
 
     def _vjob_of_vm(self) -> dict[str, str]:
         mapping: dict[str, str] = {}
@@ -263,6 +280,18 @@ class ControlLoop:
         many loops never accumulate worker processes."""
         self.switcher.close()
 
+    def request_stop(self) -> None:
+        """Ask a running loop to stop at the next iteration boundary.
+
+        Thread-safe in the way the operator daemon needs it: the flag is a
+        plain attribute written once, and :meth:`run` checks it exactly where
+        it drains the command queue, so the loop finishes the in-flight
+        iteration (its switch, samples and bookkeeping stay consistent) and
+        then returns normally — :meth:`run`'s ``finally`` still calls
+        :meth:`close`, so no worker pool leaks.  Runs cut short this way set
+        ``metadata["stopped_early"]``."""
+        self._stop_requested = True
+
     def run(self) -> RunResult:
         try:
             return self._run_loop()
@@ -275,9 +304,10 @@ class ControlLoop:
         vjob_of_vm = self._vjob_of_vm()
         planning_failures = 0
         consecutive_failures = 0
+        repair_traces: list[dict] = []
         self._notify("on_run_start", self)
 
-        while now < self.max_time:
+        while now < self.max_time and not self._stop_requested:
             # operator commands first: a vjob submitted or a fault injected
             # through the command queue lands at this iteration boundary, so
             # runs stay deterministic for a given arrival round
@@ -316,6 +346,13 @@ class ControlLoop:
             switch_duration = 0.0
             involved_nodes: set[str] = set()
             report = None
+            if self._perturbed:
+                # Hand this round's perturbed VMs to the repair engine (the
+                # cold engines ignore the hint).  The engine accumulates
+                # marks until its next solve, so nothing is lost when this
+                # iteration needs no switch.
+                self.switcher.mark_dirty(sorted(self._perturbed))
+                self._perturbed.clear()
             if needs_switch(self.cluster.configuration, decision):
                 try:
                     report = self._plan(decision, vjob_of_vm)
@@ -359,6 +396,8 @@ class ControlLoop:
                 involved_nodes = execution.involved_nodes()
                 record = self._record_switch(now, report, execution)
                 result.switches.append(record)
+                if report.repair is not None:
+                    repair_traces.append(report.repair)
                 self._record_migration_faults(execution, result)
                 self._record_switch_violations(now, report, execution, result)
                 self._notify("on_switch", record, report)
@@ -393,6 +432,25 @@ class ControlLoop:
         result.metadata["final_viable"] = self.cluster.configuration.is_viable()
         result.metadata["simulated_time"] = now
         result.metadata["planning_failures"] = planning_failures
+        if self._stop_requested:
+            result.metadata["stopped_early"] = True
+        if repair_traces:
+            result.metadata["repair_engine"] = {
+                "repair_rounds": sum(
+                    1 for t in repair_traces if t.get("mode") == "repair"
+                ),
+                "full_rounds": sum(
+                    1 for t in repair_traces if t.get("mode") == "full"
+                ),
+                "dirty_vms_total": sum(t.get("dirty_count", 0) for t in repair_traces),
+                "frozen_vms_total": sum(
+                    t.get("frozen_count", 0) for t in repair_traces
+                ),
+                "attempts_total": sum(t.get("attempts", 0) for t in repair_traces),
+                "reused_zones_total": sum(
+                    t.get("reused_zones", 0) for t in repair_traces
+                ),
+            }
         if self._declared_constraints:
             # The declared catalog (stable identity of a constrained run) and
             # the post-repair set actually enforced at the end — they differ
@@ -402,6 +460,12 @@ class ControlLoop:
                 c.label for c in self.constraints
             ]
         if self.faults is not None:
+            # Settle the pending-repair set one last time: a vjob repaired
+            # (or terminated) by the *final* switch — or that finished after
+            # its last switch — must not linger in the metadata as
+            # unrepaired.  ``now`` already includes the final iteration's
+            # switch duration, so latencies recorded here stay non-negative.
+            self._check_repairs(now, result)
             result.metadata["unrepaired_vjobs"] = sorted(self._repair_pending)
         self._notify("on_run_end", result)
         return result
@@ -494,9 +558,11 @@ class ControlLoop:
         iteration — that repetition *is* the timeline)."""
         if not self.constraints:
             return
+        violated_labels: set[str] = set()
         for violation in check_configuration(
             self.cluster.configuration, self.constraints
         ):
+            violated_labels.add(violation.constraint)
             self._record_violation(
                 ConstraintViolationRecord(
                     time=time,
@@ -506,6 +572,14 @@ class ControlLoop:
                 ),
                 result,
             )
+        if violated_labels:
+            # Members of a breached constraint are perturbed: the repair
+            # engines must be free to move them (and compute_dirty_set
+            # additionally re-opens any frozen placement a shrunken
+            # constraint no longer allows).
+            for constraint in self.constraints:
+                if constraint.label in violated_labels:
+                    self._perturbed.update(constraint.vms)
 
     # ------------------------------------------------------------------ #
     # fault handling                                                      #
@@ -589,6 +663,9 @@ class ControlLoop:
             vjob.state = VJobState.WAITING
             self._repair_pending.setdefault(name, crash_time)
             repaired_names.append(name)
+            # Every sibling VM must be replanned together (consistency of
+            # Section 4.1), so the whole vjob joins the dirty region.
+            self._perturbed.update(vjob.vm_names)
         for vm in eviction.affected_vms:
             self.cluster.images.discard(vm)
         return tuple(repaired_names)
@@ -608,6 +685,9 @@ class ControlLoop:
                 or failure.reason != "migration-fault"
             ):
                 continue
+            # The VM stayed on its source node, diverging from the accepted
+            # plan — mark it so the repair engines replan it next round.
+            self._perturbed.add(failure.action.vm)
             record = FaultRecord(
                 time=failure.start,
                 kind=FaultKind.MIGRATION_FAILURE.value,

@@ -55,7 +55,12 @@ class Scenario:
     propagation engine, ``"partitioned"`` decomposes the cluster into
     independent placement zones solved concurrently on ``max_workers``
     processes (:mod:`repro.scale`), falling back to the monolithic solve
-    whenever no decomposition exists.
+    whenever no decomposition exists.  ``"repair"`` and
+    ``"repair-partitioned"`` (:mod:`repro.repair`) replan incrementally:
+    the loop tracks the VMs each round perturbed (crash victims, arrivals,
+    violated-constraint members), the solver freezes everything else and
+    re-solves the dirty region only — widened by ``repair_halo`` rounds of
+    co-host expansion — falling back to the full solve on infeasibility.
     """
 
     nodes: Sequence[Node] = ()
@@ -67,6 +72,7 @@ class Scenario:
     use_optimizer: bool = True
     engine: str = "event"
     max_workers: Optional[int] = None
+    repair_halo: int = 1
     hypervisor: HypervisorModel = DEFAULT_HYPERVISOR
     monitoring_delay: float = config.MONITORING_DELAY_S
     max_time: float = 24 * 3600.0
@@ -162,6 +168,7 @@ class Scenario:
             use_optimizer=self.use_optimizer,
             engine=self.engine,
             max_workers=self.max_workers,
+            repair_halo=self.repair_halo,
             hypervisor=self.hypervisor,
             monitoring_delay=self.monitoring_delay,
             max_time=self.max_time,
@@ -321,14 +328,21 @@ class ExperimentBuilder:
         return self
 
     def engine(self, engine: str) -> "ExperimentBuilder":
-        """Solver engine: ``"event"``, ``"fixpoint"`` or ``"partitioned"``
-        (zones solved concurrently — see :mod:`repro.scale`)."""
+        """Solver engine: ``"event"``, ``"fixpoint"``, ``"partitioned"``
+        (zones solved concurrently — see :mod:`repro.scale`), ``"repair"``
+        or ``"repair-partitioned"`` (incremental replanning over the
+        perturbed region only — see :mod:`repro.repair`)."""
         self._overrides["engine"] = engine
         return self
 
     def max_workers(self, count: int) -> "ExperimentBuilder":
         """Worker processes for the partitioned engine's zone solves."""
         self._overrides["max_workers"] = count
+        return self
+
+    def repair_halo(self, rounds: int) -> "ExperimentBuilder":
+        """Co-host expansion rounds of the repair engines' dirty region."""
+        self._overrides["repair_halo"] = rounds
         return self
 
     def hypervisor(self, model: HypervisorModel) -> "ExperimentBuilder":

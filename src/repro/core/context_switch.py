@@ -32,6 +32,10 @@ class ContextSwitchReport:
     plan: ReconfigurationPlan
     cost: PlanCost
     used_fallback: bool = False
+    #: Repair-engine trace (:meth:`repro.repair.RepairResult.trace`) when the
+    #: switch was computed by ``engine="repair"`` / ``"repair-partitioned"``;
+    #: ``None`` for the cold engines.
+    repair: Optional[dict] = None
 
     @property
     def total_cost(self) -> int:
@@ -54,16 +58,22 @@ class ClusterContextSwitch:
         engine: str = "event",
         max_workers: Optional[int] = None,
         zone_executor: str = "auto",
+        repair_halo: int = 1,
     ) -> None:
         """``engine`` selects the solving strategy: a propagation engine of
-        the monolithic optimizer (``"event"`` / ``"fixpoint"``) or
+        the monolithic optimizer (``"event"`` / ``"fixpoint"``),
         ``"partitioned"``, which decomposes the cluster into independent
         placement zones solved concurrently (:mod:`repro.scale.parallel`)
         and transparently falls back to the monolithic solve when no
-        decomposition exists.  ``max_workers`` / ``zone_executor`` only
-        apply to the partitioned engine."""
+        decomposition exists, or the incremental ``"repair"`` /
+        ``"repair-partitioned"`` engines (:mod:`repro.repair`), which
+        freeze the VMs outside the round's perturbed region and solve the
+        dirty region only, falling back to the full solve on
+        infeasibility.  ``max_workers`` / ``zone_executor`` only apply to
+        the partitioned engines; ``repair_halo`` tunes the dirty region's
+        co-host expansion for the repair engines."""
         self.planner = ReconfigurationPlanner(planner_options)
-        if engine == "partitioned":
+        if engine in ("partitioned", "repair-partitioned"):
             # Deferred import: repro.scale builds on repro.core.
             from ..scale.parallel import ParallelOptimizer
 
@@ -73,11 +83,25 @@ class ClusterContextSwitch:
                 max_workers=max_workers,
                 zone_executor=zone_executor,
             )
+        elif engine == "repair":
+            self.optimizer = ContextSwitchOptimizer(
+                timeout=optimizer_timeout,
+                planner_options=planner_options,
+            )
         else:
             self.optimizer = ContextSwitchOptimizer(
                 timeout=optimizer_timeout,
                 planner_options=planner_options,
                 engine=engine,
+            )
+        if engine in ("repair", "repair-partitioned"):
+            # Deferred import: repro.repair builds on repro.core and scale.
+            from ..repair import RepairOptimizer
+
+            self.optimizer = RepairOptimizer(
+                self.optimizer,
+                timeout=optimizer_timeout,
+                halo=repair_halo,
             )
         self.engine = engine
         self.use_optimizer = use_optimizer
@@ -92,6 +116,13 @@ class ClusterContextSwitch:
         closer = getattr(self.optimizer, "close", None)
         if closer is not None:
             closer()
+
+    def mark_dirty(self, vms) -> None:
+        """Forward the round's perturbed VMs to the repair engine; a no-op
+        for the cold engines (they re-solve everything anyway)."""
+        marker = getattr(self.optimizer, "mark_dirty", None)
+        if marker is not None:
+            marker(vms)
 
     def __enter__(self) -> "ClusterContextSwitch":
         return self
@@ -125,12 +156,14 @@ class ClusterContextSwitch:
                 fallback_target=fallback_target,
                 constraints=constraints,
             )
+            trace = getattr(result, "trace", None)
             return ContextSwitchReport(
                 current=current,
                 target=result.target,
                 plan=result.plan,
                 cost=plan_cost(result.plan),
                 used_fallback=result.used_fallback,
+                repair=trace() if callable(trace) else None,
             )
         if fallback_target is None:
             raise ValueError(

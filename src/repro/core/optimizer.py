@@ -107,6 +107,7 @@ class ContextSwitchOptimizer:
         vjob_of_vm: Optional[Mapping[str, str]] = None,
         fallback_target: Optional[Configuration] = None,
         constraints: Sequence["PlacementConstraint"] = (),
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> OptimizationResult:
         """Compute an optimized target configuration and its plan.
 
@@ -126,13 +127,19 @@ class ContextSwitchOptimizer:
             Placement relations (:mod:`repro.core.placement`) the target
             configuration must honour, e.g. spreading the VMs of a vjob over
             distinct nodes for high availability.
+        pinned:
+            VM -> node-name placements frozen by the repair engine
+            (:mod:`repro.repair`): pinned VMs must end up exactly there, so
+            the search only branches over the remaining (dirty) VMs.  An
+            unsatisfiable pin makes the search fail rather than silently
+            unpinning — the repair layer then widens its neighbourhood.
         """
         states = self._complete_states(current, target_states)
         running_vms = [name for name, state in states.items() if state is VMState.RUNNING]
         fixed_cost = self._fixed_cost(current, states)
 
         named_assignment, statistics, improving = self.search_assignment(
-            current, target_states, constraints
+            current, target_states, constraints, pinned=pinned
         )
 
         if named_assignment is None:
@@ -184,6 +191,7 @@ class ContextSwitchOptimizer:
         current: Configuration,
         target_states: Mapping[str, VMState],
         constraints: Sequence["PlacementConstraint"] = (),
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> tuple[Optional[dict[str, str]], SearchStatistics, list[int]]:
         """Run only the CP search and return a VM -> node *name* assignment.
 
@@ -198,7 +206,7 @@ class ContextSwitchOptimizer:
             name for name, state in states.items() if state is VMState.RUNNING
         ]
         assignment, statistics, improving = self._search(
-            current, states, running_vms, constraints
+            current, states, running_vms, constraints, pinned=pinned
         )
         if assignment is None:
             return None, statistics, improving
@@ -280,6 +288,7 @@ class ContextSwitchOptimizer:
         self,
         current: Configuration,
         running_vms: list[str],
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> Optional[dict[str, int]]:
         """A cheap repair of the current placement used to seed the search.
 
@@ -289,6 +298,11 @@ class ContextSwitchOptimizer:
         "assign each running VM to its initial location in priority" strategy
         of Section 4.3 and gives branch-and-bound a strong incumbent; the CP
         search then tries to improve on it within its time budget.
+
+        With ``pinned``, the pinned VMs are placed first at exactly their
+        pinned host (failure to fit them means there is no incumbent under
+        these pins) — the warm start of the repair engine: clean VMs stay
+        put, dirty VMs are packed around them.
         """
         node_names = current.node_names
         node_index = {name: i for i, name in enumerate(node_names)}
@@ -311,8 +325,16 @@ class ContextSwitchOptimizer:
                 return True
             return False
 
+        # Pinned VMs go exactly where the repair engine froze them.
+        if pinned:
+            for vm_name in running_vms:
+                if vm_name in pinned and not try_place(vm_name, pinned[vm_name]):
+                    return None
+
         # Keep running VMs in place, resume sleeping VMs locally.
         for vm_name in running_vms:
+            if pinned and vm_name in pinned:
+                continue
             state = current.state_of(vm_name)
             preferred = None
             if state is VMState.RUNNING:
@@ -346,6 +368,7 @@ class ContextSwitchOptimizer:
         states: Mapping[str, VMState],
         running_vms: list[str],
         constraints: Sequence["PlacementConstraint"] = (),
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> tuple[Optional[dict[str, int]], SearchStatistics, list[int]]:
         """Run the CP search; returns (assignment or None, statistics,
         improving objective values)."""
@@ -354,11 +377,28 @@ class ContextSwitchOptimizer:
             # Nothing to place: the empty assignment is trivially optimal.
             return {}, SearchStatistics(proven_optimal=True), [0]
 
+        node_index = {name: i for i, name in enumerate(node_names)}
+        pins: dict[str, str] = {}
+        if pinned:
+            running_set = set(running_vms)
+            for vm_name in sorted(pinned):
+                if vm_name not in running_set:
+                    continue
+                if pinned[vm_name] not in node_index:
+                    # Pinned to a node that left the configuration — the
+                    # caller's dirty tracking missed a retirement; fail so
+                    # the repair layer widens instead of planning onto it.
+                    return None, SearchStatistics(), []
+                pins[vm_name] = pinned[vm_name]
+        if pins and not constraints:
+            # Repair fast path: fold the frozen VMs into the node capacities
+            # so the model (and the search) only covers the dirty region.
+            return self._search_folded(current, running_vms, pins)
+
         model = Model()
         assignment_vars: list[IntVar] = []
         tables: list[dict[int, int]] = []
         preferences: dict[str, int] = {}
-        node_index = {name: i for i, name in enumerate(node_names)}
 
         for vm_name in running_vms:
             # Unary placement constraints (Ban/Fence) shrink the domain of the
@@ -370,6 +410,20 @@ class ContextSwitchOptimizer:
                     allowed &= restriction
             if not allowed:
                 return None, SearchStatistics(), []
+            pin = pins.get(vm_name)
+            if pin is not None:
+                if pin not in allowed:
+                    # The pin violates a (possibly crash-shrunken) unary
+                    # constraint: refuse rather than silently unpin, so the
+                    # repair layer widens its neighbourhood.
+                    return None, SearchStatistics(), []
+                # With relational constraints in play the frozen VMs cannot
+                # be folded away (MaxOnline/RunningCapacity count them), so
+                # they stay in the model as unary-domain variables.
+                var = model.pinned_var(f"x({vm_name})", node_index[pin])
+                assignment_vars.append(var)
+                tables.append(self._movement_cost_table(current, vm_name))
+                continue
             domain = [node_index[name] for name in node_names if name in allowed]
             var = model.int_var(f"x({vm_name})", domain)
             assignment_vars.append(var)
@@ -467,6 +521,123 @@ class ContextSwitchOptimizer:
         if greedy is not None:
             # The search did not improve on (or ran out of time before
             # matching) the greedy incumbent: use the incumbent.
+            return greedy, result.statistics, improving
+        return None, result.statistics, improving
+
+    def _search_folded(
+        self,
+        current: Configuration,
+        running_vms: list[str],
+        pins: Mapping[str, str],
+    ) -> tuple[Optional[dict[str, int]], SearchStatistics, list[int]]:
+        """Repair fast path: solve the dirty region only.
+
+        The frozen VMs never enter the model — their demands are subtracted
+        from the capacities of their pinned hosts and their (constant)
+        movement costs are excluded from the objective — so model building
+        and search both scale with the dirty region, not the fleet.  Only
+        valid without placement constraints: a relational constraint must see
+        the frozen placements (the unary-pinned-variable path covers that).
+        """
+        node_names = current.node_names
+        node_index = {name: i for i, name in enumerate(node_names)}
+        free_capacity = [
+            list(current.node(name).capacity.as_tuple()) for name in node_names
+        ]
+        pinned_assignment: dict[str, int] = {}
+        for vm_name in sorted(pins):
+            index = node_index[pins[vm_name]]
+            demand = current.vm(vm_name).demand.as_tuple()
+            free_capacity[index][0] -= demand[0]
+            free_capacity[index][1] -= demand[1]
+            pinned_assignment[vm_name] = index
+        if any(cpu < 0 or memory < 0 for cpu, memory in free_capacity):
+            # The frozen region alone overloads a node (post-crash slack is
+            # gone): infeasible under these pins, the repair layer widens.
+            return None, SearchStatistics(), []
+
+        free_vms = [name for name in running_vms if name not in pins]
+        if not free_vms:
+            # Everything is frozen: the previous placement *is* the solution.
+            return pinned_assignment, SearchStatistics(proven_optimal=True), [0]
+
+        model = Model()
+        assignment_vars: list[IntVar] = []
+        tables: list[dict[int, int]] = []
+        preferences: dict[str, int] = {}
+        all_nodes = list(range(len(node_names)))
+        for vm_name in free_vms:
+            var = model.int_var(f"x({vm_name})", all_nodes)
+            assignment_vars.append(var)
+            tables.append(self._movement_cost_table(current, vm_name))
+            state = current.state_of(vm_name)
+            if state is VMState.RUNNING:
+                preferences[var.name] = node_index[current.location_of(vm_name)]
+            elif state is VMState.SLEEPING:
+                image = current.image_location_of(vm_name)
+                if image is not None:
+                    preferences[var.name] = node_index[image]
+
+        demands = [current.vm(name).demand.as_tuple() for name in free_vms]
+        capacities = [tuple(capacity) for capacity in free_capacity]
+        model.add_constraint(VectorPacking(assignment_vars, demands, capacities))
+
+        upper = sum(max(table.values()) for table in tables)
+        scale = max(1, math.gcd(*(v for t in tables for v in t.values())) or 1)
+        if upper // scale > _MAX_OBJECTIVE_RANGE:
+            scale = max(scale, math.ceil(upper / _MAX_OBJECTIVE_RANGE))
+        scaled_tables = [
+            {k: math.ceil(v / scale) for k, v in table.items()} for table in tables
+        ]
+        scaled_upper = sum(max(table.values()) for table in scaled_tables)
+        total_var = model.interval_var("total_cost", 0, scaled_upper)
+        model.add_constraint(ElementSum(assignment_vars, scaled_tables, total_var))
+
+        order = sorted(
+            range(len(free_vms)),
+            key=lambda i: (demands[i][0], demands[i][1]),
+            reverse=True,
+        )
+        ordered_vars = [assignment_vars[i] for i in order]
+
+        greedy = (
+            self._greedy_assignment(current, running_vms, pinned=pins)
+            if self.use_greedy_bound
+            else None
+        )
+        initial_bound = None
+        if greedy is not None:
+            initial_bound = sum(
+                scaled_tables[i][greedy[vm_name]]
+                for i, vm_name in enumerate(free_vms)
+            )
+
+        solver = Solver(
+            model,
+            variable_selector=ActivityLastConflict(static_order(ordered_vars)),
+            value_selector=prefer_value(preferences),
+            engine=self.engine,
+        )
+        result = solver.solve(
+            minimize=total_var,
+            timeout=self.timeout,
+            collect_all=True,
+            first_solution_only=self.first_solution_only,
+            initial_bound=initial_bound,
+            node_limit=self.node_limit,
+        )
+        improving = [
+            solution.objective * scale
+            for solution in result.all_solutions
+            if solution.objective is not None
+        ]
+        if result.best is not None:
+            assignment = dict(pinned_assignment)
+            for vm_name in free_vms:
+                assignment[vm_name] = result.best[f"x({vm_name})"]
+            return assignment, result.statistics, improving
+        if greedy is not None:
+            # ``greedy`` already covers the pinned VMs (placed first).
             return greedy, result.statistics, improving
         return None, result.statistics, improving
 

@@ -35,7 +35,13 @@ from .solver import (
     prefer_value,
     static_order,
 )
-from .variables import IntVar, make_int_var, make_interval_var, value_of
+from .variables import (
+    IntVar,
+    make_int_var,
+    make_interval_var,
+    make_pinned_var,
+    value_of,
+)
 
 __all__ = [
     "AllDifferent",
@@ -66,5 +72,6 @@ __all__ = [
     "IntVar",
     "make_int_var",
     "make_interval_var",
+    "make_pinned_var",
     "value_of",
 ]

@@ -33,11 +33,11 @@ import itertools
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from ..model.errors import InconsistencyError, SolverError
 from .constraints import Constraint
-from .variables import IntVar, make_interval_var
+from .variables import IntVar, make_interval_var, make_pinned_var
 
 VariableSelector = Callable[[Sequence[IntVar]], Optional[IntVar]]
 ValueSelector = Callable[[IntVar], Sequence[int]]
@@ -161,6 +161,14 @@ class Model:
         """A variable over a contiguous ``[lower, upper]`` domain with O(1)
         bound tightening — use for wide objective domains."""
         return self.add_variable(make_interval_var(name, lower, upper))
+
+    def pinned_var(self, name: str, value: int) -> IntVar:
+        """A frozen variable instantiated at ``value`` (unary domain).
+
+        The repair engine declares one per clean VM: global constraints see
+        the full placement while the search only branches over the dirty
+        region."""
+        return self.add_variable(make_pinned_var(name, value))
 
     def add_constraint(self, constraint: Constraint) -> Constraint:
         self._constraints.append(constraint)
@@ -432,6 +440,7 @@ class Solver:
         first_solution_only: bool = False,
         initial_bound: Optional[int] = None,
         node_limit: Optional[int] = None,
+        assumptions: Optional[Mapping[IntVar, int]] = None,
     ) -> SearchResult:
         """Run the search.
 
@@ -460,6 +469,18 @@ class Solver:
             Maximum number of search-tree nodes to expand; like the timeout,
             reaching it returns the best solution so far without an optimality
             proof.  Handy for deterministic effort caps in benchmarks.
+        assumptions:
+            Root-level forced assignments (warm-start pins): each
+            ``var -> value`` is applied once before the initial propagation,
+            in iteration order.  An assumption whose value is no longer in
+            the variable's domain — or whose application propagates to a
+            contradiction — makes the whole search infeasible and an empty
+            result is returned immediately (no exception); the repair layer
+            reacts by widening its neighbourhood or falling back to the
+            monolithic solve.  Note that with assumptions an exhausted
+            search only proves optimality *of the assumed subproblem*;
+            callers must not surface ``proven_optimal`` as a claim about
+            the unpinned problem.
         """
         event = self._engine == "event"
         store = _Store(self._watchers, event_mode=event)
@@ -597,7 +618,20 @@ class Solver:
                         constraint, (var.index for var in constraint.variables())
                     )
                     store.schedule(constraint)
-            if propagate():
+            feasible = True
+            if assumptions:
+                try:
+                    for pinned_var, pinned_value in assumptions.items():
+                        if pinned_value not in pinned_var:
+                            raise InconsistencyError(
+                                f"assumption {pinned_var.name}={pinned_value} "
+                                "is outside the variable's domain"
+                            )
+                        store.assign(pinned_var, pinned_value)
+                except InconsistencyError:
+                    store.clear_queue()
+                    feasible = False
+            if feasible and propagate():
                 search()
         finally:
             # Unwind every level so the model's domains are restored even when

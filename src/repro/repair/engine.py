@@ -1,0 +1,452 @@
+"""The repair optimizer: freeze the clean region, solve the dirty one.
+
+The engine keeps the previous round's assignment across calls.  Each round
+it derives the *dirty region* — the VMs whose placement may have to change —
+from four deterministic rules (:func:`compute_dirty_set`):
+
+1. **external marks** — VMs the control loop flagged as perturbed this round
+   (crashed-node victims, new arrivals, members of violated constraints),
+   handed over through :meth:`RepairOptimizer.mark_dirty`;
+2. **needs placement** — VMs that must run but are not currently running
+   (also covers resumes and failed migrations re-observed as waiting);
+3. **invalidated placements** — running VMs whose current host is no longer
+   allowed by the (possibly crash-shrunken) unary constraints, or whose host
+   diverges from the previous assignment;
+4. **relational closure and halo** — any dirty member of a relational group
+   dirties the whole group, and ``halo`` rounds of co-host expansion dirty
+   the VMs sharing a node with a dirty running VM.
+
+Everything else is *frozen*: pinned to its current host and handed to the
+inner optimizer as ``pinned``.  On infeasibility the neighbourhood widens
+deterministically (the VMs frozen on the emptiest quarter, then half, of the
+nodes are released), and the last step is always the full monolithic solve
+with the caller's real fallback target — so the repair engine accepts
+exactly the instances the cold solve accepts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+from typing import Iterable, Mapping, Optional, Sequence, Set
+
+from ..constraints.base import PlacementConstraint
+from ..core.optimizer import ContextSwitchOptimizer, OptimizationResult
+from ..model.configuration import Configuration
+from ..model.errors import PlanningError
+from ..model.vm import VMState
+
+#: Smallest wall-clock budget a single LNS attempt can be carved down to —
+#: mirrors the zone floor of :mod:`repro.scale.parallel`.
+_MIN_ATTEMPT_TIMEOUT_S = 0.05
+
+#: Floor of the full-solve fallback's budget, as a fraction of the global
+#: timeout: failed LNS attempts may have burned the round, but the fallback
+#: must still be able to find *a* solution.
+_FALLBACK_TIMEOUT_FRACTION = 0.1
+
+
+@dataclass
+class RepairResult(OptimizationResult):
+    """An :class:`~repro.core.optimizer.OptimizationResult` plus the repair
+    trace.  ``mode`` is ``"repair"`` when a frozen-region solve was accepted
+    and ``"full"`` when the engine fell back to the monolithic solve (cold
+    start, fleet-wide dirty region, exhausted neighbourhood schedule or
+    exhausted budget — see ``reason``)."""
+
+    mode: str = "full"
+    reason: str = ""
+    dirty_count: int = 0
+    frozen_count: int = 0
+    attempts: int = 0
+    #: Zones whose previous sub-assignment was reused verbatim (only set by
+    #: the partitioned composition, ``engine="repair-partitioned"``).
+    reused_zones: int = 0
+
+    def trace(self) -> dict:
+        """The repair telemetry attached to
+        :class:`~repro.core.context_switch.ContextSwitchReport` and
+        aggregated into ``RunResult.metadata["repair_engine"]``."""
+        return {
+            "mode": self.mode,
+            "reason": self.reason,
+            "dirty_count": self.dirty_count,
+            "frozen_count": self.frozen_count,
+            "attempts": self.attempts,
+            "reused_zones": self.reused_zones,
+        }
+
+
+def _relational_closure(
+    dirty: Set[str],
+    constraints: Sequence[PlacementConstraint],
+    placed: Set[str],
+) -> None:
+    """Dirty any relational group with a dirty member (in place, to a
+    fixpoint: ``Among`` groups may chain through shared members)."""
+    changed = True
+    while changed:
+        changed = False
+        for constraint in constraints:
+            if not getattr(constraint, "relational", True):
+                # Unary constraints (Fence, Ban) restrict each member
+                # independently — a dirty member never forces the others to
+                # move; their per-VM domains are enforced by the
+                # invalidated-placement rule instead.
+                continue
+            members = [vm for vm in constraint.vms if vm in placed]
+            if len(members) < 2:
+                continue
+            if any(vm in dirty for vm in members) and not all(
+                vm in dirty for vm in members
+            ):
+                dirty.update(members)
+                changed = True
+
+
+def compute_dirty_set(
+    current: Configuration,
+    states: Mapping[str, VMState],
+    running_vms: Sequence[str],
+    constraints: Sequence[PlacementConstraint] = (),
+    marks: Iterable[str] = (),
+    previous: Optional[Mapping[str, str]] = None,
+    halo: int = 1,
+) -> Set[str]:
+    """The perturbed region of one round (see the module docstring rules).
+
+    ``running_vms`` are the VMs whose target state is Running; ``marks``
+    the externally flagged perturbations; ``previous`` the assignment of
+    the last accepted round.  Deterministic: depends only on its inputs.
+    """
+    running_set = set(running_vms)
+    node_names = current.node_names
+    dirty: Set[str] = {vm for vm in marks if vm in running_set}
+    for vm in running_vms:
+        if vm in dirty:
+            continue
+        if current.state_of(vm) is not VMState.RUNNING:
+            # Arrivals, resumes, crash victims: nothing to freeze.
+            dirty.add(vm)
+            continue
+        host = current.location_of(vm)
+        if previous is not None and previous.get(vm) != host:
+            # Execution diverged from the last plan (e.g. a failed
+            # migration): re-decide this VM rather than trusting the pin.
+            dirty.add(vm)
+            continue
+        for constraint in constraints:
+            allowed = constraint.allowed_nodes(vm, node_names, current)
+            if allowed is not None and host not in allowed:
+                # The placement was invalidated after the fact — typically
+                # an elastic Fence that shrank when a node crashed.  The
+                # frozen region must not pin onto a retired domain.
+                dirty.add(vm)
+                break
+    _relational_closure(dirty, constraints, running_set)
+    for _ in range(max(0, halo)):
+        hosts = {
+            current.location_of(vm)
+            for vm in dirty
+            if current.state_of(vm) is VMState.RUNNING
+        }
+        if not hosts:
+            break
+        before = len(dirty)
+        for vm in running_vms:
+            if (
+                vm not in dirty
+                and current.state_of(vm) is VMState.RUNNING
+                and current.location_of(vm) in hosts
+            ):
+                dirty.add(vm)
+        _relational_closure(dirty, constraints, running_set)
+        if len(dirty) == before:
+            break
+    return dirty
+
+
+class RepairOptimizer:
+    """Drop-in optimizer adding incremental repair on top of ``inner``.
+
+    ``inner`` is either a
+    :class:`~repro.core.optimizer.ContextSwitchOptimizer`
+    (``engine="repair"``) or a
+    :class:`~repro.scale.parallel.ParallelOptimizer`
+    (``engine="repair-partitioned"``); both accept ``pinned`` and share the
+    mutable ``timeout`` attribute the repair engine carves per attempt.
+
+    ``halo`` is the number of co-host expansion rounds applied to the dirty
+    region (0 freezes everything but the directly perturbed VMs; larger
+    values trade solve time for repacking freedom around the perturbation).
+    ``lns_steps`` bounds the deterministic widening schedule before the
+    full-solve fallback.
+    """
+
+    def __init__(
+        self,
+        inner,
+        timeout: float = 40.0,
+        halo: int = 1,
+        lns_steps: int = 2,
+    ) -> None:
+        self.inner = inner
+        self.timeout = timeout
+        self.halo = halo
+        self.lns_steps = lns_steps
+        self._previous: Optional[dict[str, str]] = None
+        self._marks: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # control-loop surface                                                #
+    # ------------------------------------------------------------------ #
+
+    def mark_dirty(self, vms: Iterable[str]) -> None:
+        """Flag VMs as perturbed; consumed (and cleared) by the next
+        :meth:`optimize` call."""
+        self._marks.update(vms)
+
+    @property
+    def previous_assignment(self) -> Optional[Mapping[str, str]]:
+        """The accepted assignment of the last round (``None`` before the
+        first solve — the next call is a cold start)."""
+        return self._previous
+
+    def forget(self) -> None:
+        """Drop the previous assignment: the next solve is a cold start."""
+        self._previous = None
+
+    def close(self) -> None:
+        closer = getattr(self.inner, "close", None)
+        if callable(closer):
+            closer()
+
+    # ------------------------------------------------------------------ #
+    # solving                                                             #
+    # ------------------------------------------------------------------ #
+
+    def optimize(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        vjob_of_vm: Optional[Mapping[str, str]] = None,
+        fallback_target: Optional[Configuration] = None,
+        constraints: Sequence[PlacementConstraint] = (),
+    ) -> RepairResult:
+        """Same contract as :meth:`ContextSwitchOptimizer.optimize`.
+
+        LNS attempts never use ``fallback_target`` — an infeasible frozen
+        region must widen, not degrade to the FFD fallback — so only the
+        final full solve can set ``used_fallback``.
+        """
+        marks = sorted(self._marks)
+        self._marks.clear()
+        deadline = time.monotonic() + self.timeout
+        states = ContextSwitchOptimizer._complete_states(current, target_states)
+        running_vms = [
+            name for name, state in states.items() if state is VMState.RUNNING
+        ]
+        previous = self._previous
+        saved_timeout = self.inner.timeout
+        try:
+            if previous is None:
+                return self._full_solve(
+                    current,
+                    target_states,
+                    vjob_of_vm,
+                    fallback_target,
+                    constraints,
+                    deadline,
+                    reason="cold start (no previous assignment)",
+                    dirty_count=len(running_vms),
+                    attempts=0,
+                )
+            dirty = compute_dirty_set(
+                current,
+                states,
+                running_vms,
+                constraints,
+                marks,
+                previous,
+                self.halo,
+            )
+            attempts = 0
+            for level in range(self.lns_steps + 1):
+                pins = {
+                    vm: current.location_of(vm)
+                    for vm in running_vms
+                    if vm not in dirty
+                }
+                if not pins:
+                    return self._full_solve(
+                        current,
+                        target_states,
+                        vjob_of_vm,
+                        fallback_target,
+                        constraints,
+                        deadline,
+                        reason="dirty region covers the whole fleet",
+                        dirty_count=len(dirty),
+                        attempts=attempts,
+                    )
+                remaining = deadline - time.monotonic()
+                if attempts and remaining <= _MIN_ATTEMPT_TIMEOUT_S:
+                    return self._full_solve(
+                        current,
+                        target_states,
+                        vjob_of_vm,
+                        fallback_target,
+                        constraints,
+                        deadline,
+                        reason="neighbourhood budget exhausted",
+                        dirty_count=len(dirty),
+                        attempts=attempts,
+                    )
+                self.inner.timeout = max(_MIN_ATTEMPT_TIMEOUT_S, remaining)
+                attempts += 1
+                result: Optional[OptimizationResult]
+                try:
+                    result = self.inner.optimize(
+                        current,
+                        target_states,
+                        vjob_of_vm=vjob_of_vm,
+                        fallback_target=None,
+                        constraints=constraints,
+                        pinned=pins,
+                    )
+                except PlanningError:
+                    result = None
+                if result is not None:
+                    return self._accept(
+                        result,
+                        mode="repair",
+                        reason=(
+                            "repaired within the initial region"
+                            if level == 0
+                            else f"repaired after widening {level}x"
+                        ),
+                        dirty_count=len(dirty),
+                        frozen_count=len(pins),
+                        attempts=attempts,
+                    )
+                dirty |= self._widened(current, running_vms, dirty, level + 1)
+                _relational_closure(dirty, constraints, set(running_vms))
+            return self._full_solve(
+                current,
+                target_states,
+                vjob_of_vm,
+                fallback_target,
+                constraints,
+                deadline,
+                reason=f"neighbourhood schedule exhausted ({attempts} attempts)",
+                dirty_count=len(dirty),
+                attempts=attempts,
+            )
+        finally:
+            self.inner.timeout = saved_timeout
+
+    # ------------------------------------------------------------------ #
+    # internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _widened(
+        self,
+        current: Configuration,
+        running_vms: Sequence[str],
+        dirty: Set[str],
+        level: int,
+    ) -> Set[str]:
+        """Deterministic widening: release the VMs frozen on the emptiest
+        ``level``/4 of the nodes (most free memory first) — capacity relief
+        for a dirty region that does not fit between the frozen VMs."""
+        node_names = current.node_names
+        free: dict[str, list[int]] = {
+            name: list(current.node(name).capacity.as_tuple())
+            for name in node_names
+        }
+        for vm in running_vms:
+            if current.state_of(vm) is VMState.RUNNING:
+                cpu, memory = current.vm(vm).demand.as_tuple()
+                host = current.location_of(vm)
+                free[host][0] -= cpu
+                free[host][1] -= memory
+        count = max(1, len(node_names) * level // 4)
+        emptiest = sorted(
+            node_names, key=lambda name: (-free[name][1], -free[name][0], name)
+        )[:count]
+        hosts = set(emptiest)
+        return {
+            vm
+            for vm in running_vms
+            if vm not in dirty
+            and current.state_of(vm) is VMState.RUNNING
+            and current.location_of(vm) in hosts
+        }
+
+    def _full_solve(
+        self,
+        current: Configuration,
+        target_states: Mapping[str, VMState],
+        vjob_of_vm: Optional[Mapping[str, str]],
+        fallback_target: Optional[Configuration],
+        constraints: Sequence[PlacementConstraint],
+        deadline: float,
+        reason: str,
+        dirty_count: int,
+        attempts: int,
+    ) -> RepairResult:
+        remaining = max(
+            self.timeout * _FALLBACK_TIMEOUT_FRACTION,
+            deadline - time.monotonic(),
+        )
+        self.inner.timeout = remaining
+        result = self.inner.optimize(
+            current,
+            target_states,
+            vjob_of_vm=vjob_of_vm,
+            fallback_target=fallback_target,
+            constraints=constraints,
+        )
+        return self._accept(
+            result,
+            mode="full",
+            reason=reason,
+            dirty_count=dirty_count,
+            frozen_count=0,
+            attempts=attempts + 1,
+        )
+
+    def _accept(
+        self,
+        result: OptimizationResult,
+        mode: str,
+        reason: str,
+        dirty_count: int,
+        frozen_count: int,
+        attempts: int,
+    ) -> RepairResult:
+        self._previous = {
+            vm: result.target.location_of(vm)
+            for vm in result.target.vm_names
+            if result.target.state_of(vm) is VMState.RUNNING
+        }
+        values = {
+            f.name: getattr(result, f.name) for f in fields(OptimizationResult)
+        }
+        reused = sum(
+            1 for report in getattr(result, "zone_reports", ()) if report.reused
+        )
+        repaired = RepairResult(
+            mode=mode,
+            reason=reason,
+            dirty_count=dirty_count,
+            frozen_count=frozen_count,
+            attempts=attempts,
+            reused_zones=reused,
+            **values,
+        )
+        if mode == "repair" and frozen_count and repaired.statistics is not None:
+            # Exhausting the search under pins only proves optimality of the
+            # frozen-region subproblem — never surface it as a global claim.
+            repaired.statistics.proven_optimal = False
+        return repaired

@@ -46,7 +46,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..constraints.base import PlacementConstraint
 from ..core.cost import plan_cost
@@ -102,6 +102,10 @@ class ZoneTask:
     node_limit: Optional[int] = None
     use_greedy_bound: bool = True
     first_solution_only: bool = False
+    #: VM -> node-name placements frozen by the repair engine (only pins
+    #: whose VM *and* node lie inside the zone are carried; a zone whose VMs
+    #: are all pinned never reaches a worker — see ``_solve_zones``).
+    pinned: Optional[dict[str, str]] = None
 
 
 @dataclass
@@ -112,6 +116,9 @@ class ZoneOutcome:
     assignment: Optional[dict[str, str]]
     statistics: SearchStatistics
     elapsed: float
+    #: True when the zone was untouched by the repair round: its previous
+    #: sub-assignment was reused verbatim without entering a solver.
+    reused: bool = False
 
 
 @dataclass
@@ -123,6 +130,7 @@ class ZoneReport:
     vm_count: int
     elapsed: float
     statistics: SearchStatistics
+    reused: bool = False
 
 
 @dataclass
@@ -176,7 +184,10 @@ def solve_zone(task: ZoneTask) -> ZoneOutcome:
     states = {vm: VMState.RUNNING for vm in task.zone.vms}
     started = time.monotonic()
     assignment, statistics, _ = optimizer.search_assignment(
-        task.configuration, states, constraints=task.zone.constraints
+        task.configuration,
+        states,
+        constraints=task.zone.constraints,
+        pinned=task.pinned,
     )
     return ZoneOutcome(
         index=task.zone.index,
@@ -286,10 +297,18 @@ class ParallelOptimizer:
         vjob_of_vm: Optional[Mapping[str, str]] = None,
         fallback_target: Optional[Configuration] = None,
         constraints: Sequence[PlacementConstraint] = (),
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> PartitionedResult:
         """Same contract as
         :meth:`ContextSwitchOptimizer.optimize`, returning a
-        :class:`PartitionedResult` with the partition trace attached."""
+        :class:`PartitionedResult` with the partition trace attached.
+
+        ``pinned`` composes the repair engine with partitioning: a zone
+        whose VMs are all pinned short-circuits to its previous
+        sub-assignment verbatim (no solver, no worker), a partially-dirty
+        zone solves with its clean VMs pinned, and only pins whose node
+        lies inside the zone are honoured (the partitioner anchors VMs to
+        their current host's zone, so that is the common case)."""
         started = time.monotonic()
         states = ContextSwitchOptimizer._complete_states(current, target_states)
         decomposition = partition(
@@ -304,9 +323,10 @@ class ParallelOptimizer:
                 constraints,
                 method="monolithic",
                 reason=decomposition.reason,
+                pinned=pinned,
             )
 
-        outcomes = self._solve_zones(current, decomposition)
+        outcomes = self._solve_zones(current, decomposition, pinned=pinned)
         if any(outcome.assignment is None for outcome in outcomes):
             failed = [o.index for o in outcomes if o.assignment is None]
             # The zones already consumed part of the round's budget: the
@@ -327,6 +347,7 @@ class ParallelOptimizer:
                 method="monolithic",
                 reason=f"zones {failed} found no viable assignment",
                 timeout_override=remaining,
+                pinned=pinned,
             )
 
         # Deterministic merge: zones are index-ordered, assignments are
@@ -359,6 +380,7 @@ class ParallelOptimizer:
                     vm_count=len(decomposition.zones[o.index].vms),
                     elapsed=o.elapsed,
                     statistics=o.statistics,
+                    reused=o.reused,
                 )
                 for o in sorted(outcomes, key=lambda o: o.index)
             ],
@@ -366,24 +388,46 @@ class ParallelOptimizer:
 
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _zone_pins(
+        zone: Zone, pinned: Optional[Mapping[str, str]]
+    ) -> dict[str, str]:
+        """The pins relevant to one zone: its VMs pinned to its own nodes.
+        A pin targeting a node outside the zone is dropped — the VM is then
+        solved freely inside the zone, which is always sound (just less
+        incremental)."""
+        if not pinned:
+            return {}
+        inside = set(zone.nodes)
+        return {
+            vm: pinned[vm]
+            for vm in zone.vms
+            if vm in pinned and pinned[vm] in inside
+        }
+
     def _zone_tasks(
         self,
         current: Configuration,
-        decomposition: PartitionResult,
+        zones: Union[PartitionResult, Sequence[Zone]],
         waves: int = 1,
+        pins_by_zone: Optional[Mapping[int, dict[str, str]]] = None,
     ) -> List[ZoneTask]:
         """One task per zone, with the global budgets carved: each zone gets
         the ``node_limit`` search budget proportionally to its share of the
         placed VMs, and — when the executor cannot overlap every zone —
         ``1/waves`` of the wall-clock ``timeout`` (``waves`` is how many
         batches the zones queue in), so a partitioned solve never exceeds
-        the control loop's per-round time budget."""
-        total_vms = sum(zone.size for zone in decomposition.zones) or 1
+        the control loop's per-round time budget.  ``zones`` is a full
+        decomposition or the subset of its zones still pending after the
+        repair composition reused the fully-pinned ones."""
+        zones = getattr(zones, "zones", zones)
+        total_vms = sum(zone.size for zone in zones) or 1
         tasks = []
-        for zone in decomposition.zones:
+        for zone in zones:
             budget = None
             if self.node_limit is not None:
                 budget = max(1, round(self.node_limit * zone.size / total_vms))
+            pins = (pins_by_zone or {}).get(zone.index) or None
             tasks.append(
                 ZoneTask(
                     zone=zone,
@@ -395,34 +439,65 @@ class ParallelOptimizer:
                     node_limit=budget,
                     use_greedy_bound=self.use_greedy_bound,
                     first_solution_only=self.first_solution_only,
+                    pinned=pins,
                 )
             )
         return tasks
 
     def _solve_zones(
-        self, current: Configuration, decomposition: PartitionResult
+        self,
+        current: Configuration,
+        decomposition: PartitionResult,
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> List[ZoneOutcome]:
+        # Repair composition: a zone whose VMs are all pinned is untouched
+        # by this round — reuse its previous sub-assignment verbatim and
+        # never ship it to a worker.  Only the dirty zones are solved, and
+        # they keep their clean VMs pinned.
+        reused: List[ZoneOutcome] = []
+        pending: List[Zone] = []
+        pins_by_zone: dict[int, dict[str, str]] = {}
+        for zone in decomposition.zones:
+            pins = self._zone_pins(zone, pinned)
+            if zone.vms and len(pins) == len(zone.vms):
+                reused.append(
+                    ZoneOutcome(
+                        index=zone.index,
+                        assignment=dict(pins),
+                        statistics=SearchStatistics(),
+                        elapsed=0.0,
+                        reused=True,
+                    )
+                )
+            else:
+                pending.append(zone)
+                pins_by_zone[zone.index] = pins
+        if not pending:
+            return reused
+
         executor = resolve_zone_executor(self.zone_executor)
-        if executor == "serial" or len(decomposition.zones) == 1:
+        if executor == "serial" or len(pending) == 1:
             # Zones run one after another, so they share the single global
             # wall-clock budget: each gets what the earlier ones left over
             # (a small floor keeps every zone able to at least attempt a
             # first solution; an out-of-budget zone fails fast and triggers
             # the monolithic fallback).
-            tasks = self._zone_tasks(current, decomposition)
+            tasks = self._zone_tasks(current, pending, pins_by_zone=pins_by_zone)
             deadline = time.monotonic() + self.timeout
-            outcomes = []
+            outcomes = list(reused)
             for task in tasks:
                 task.timeout = max(
                     _MIN_ZONE_TIMEOUT_S, deadline - time.monotonic()
                 )
                 outcomes.append(solve_zone(task))
             return outcomes
-        wanted = self.max_workers or len(decomposition.zones)
+        wanted = self.max_workers or len(pending)
         # More zones than workers queue in ceil(zones/workers) waves on the
         # pool; carve the budget per wave so wall-clock stays <= timeout.
-        waves = -(-len(decomposition.zones) // wanted)
-        tasks = self._zone_tasks(current, decomposition, waves=waves)
+        waves = -(-len(pending) // wanted)
+        tasks = self._zone_tasks(
+            current, pending, waves=waves, pins_by_zone=pins_by_zone
+        )
         if self._pool is not None and self._pool_size < wanted:
             # A later round partitioned into more zones than the cached pool
             # can overlap: respawn rather than silently serializing on an
@@ -431,7 +506,7 @@ class ParallelOptimizer:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=wanted)
             self._pool_size = wanted
-        return list(self._pool.map(solve_zone, tasks))
+        return reused + list(self._pool.map(solve_zone, tasks))
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent; the optimizer
@@ -459,6 +534,7 @@ class ParallelOptimizer:
         method: str,
         reason: str,
         timeout_override: Optional[float] = None,
+        pinned: Optional[Mapping[str, str]] = None,
     ) -> PartitionedResult:
         previous = self.monolithic.timeout
         if timeout_override is not None:
@@ -470,6 +546,7 @@ class ParallelOptimizer:
                 vjob_of_vm=vjob_of_vm,
                 fallback_target=fallback_target,
                 constraints=constraints,
+                pinned=pinned,
             )
         finally:
             self.monolithic.timeout = previous

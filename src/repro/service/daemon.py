@@ -38,6 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
+from ..api.loop import ControlLoop
 from ..api.results import RunResult
 from ..api.scenario import Scenario
 from ..scale.campaign import (
@@ -155,6 +156,10 @@ class OperatorDaemon:
         self._state = "idle"
         self._error: Optional[str] = None
         self._run_thread: Optional[threading.Thread] = None
+        #: The live control loop of the in-flight run, published by the run
+        #: thread as soon as it is built so :meth:`close` can stop it.
+        self._loop: Optional[ControlLoop] = None
+        self._closing = False
         self._campaigns: Dict[str, Dict[str, Any]] = {}
         self._campaign_counter = 0
         self._server: Optional[ThreadingHTTPServer] = None
@@ -180,7 +185,13 @@ class OperatorDaemon:
         return self
 
     def close(self) -> None:
-        """Stop serving; a running control loop finishes in the background."""
+        """Stop serving and wind down an in-flight run.
+
+        A running control loop is asked to stop at its next iteration
+        boundary (:meth:`ControlLoop.request_stop`) and joined, so its
+        planning engine is released deterministically — a partitioned or
+        repair run must never leak its worker-process pool past the daemon's
+        lifetime.  Idempotent."""
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -188,6 +199,18 @@ class OperatorDaemon:
         if self._server_thread is not None:
             self._server_thread.join(timeout=5.0)
             self._server_thread = None
+        with self._lock:
+            self._closing = True
+            loop, thread = self._loop, self._run_thread
+        if loop is not None:
+            loop.request_stop()
+        if thread is not None:
+            thread.join(timeout=30.0)
+        if loop is not None:
+            # run() already closed the loop on its way out; this is the
+            # belt-and-braces for a run thread that never reached run()
+            # (close() is idempotent).
+            loop.close()
 
     def __enter__(self) -> "OperatorDaemon":
         return self.start()
@@ -232,7 +255,15 @@ class OperatorDaemon:
 
         def _run() -> None:
             try:
-                self.scenario.build(command_queue=self.commands).run()
+                loop = self.scenario.build(command_queue=self.commands)
+                with self._lock:
+                    self._loop = loop
+                    closing = self._closing
+                if closing:
+                    # close() raced the build: stop before the first
+                    # iteration so run() releases the loop immediately.
+                    loop.request_stop()
+                loop.run()
             except Exception as error:
                 with self._lock:
                     self._state = "failed"

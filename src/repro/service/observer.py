@@ -100,6 +100,16 @@ class ServiceObserver(LoopObserver):
         self.repairs = m.counter(
             "repro_repairs_total", "VJobs recovered after a crash."
         )
+        self.repair_solves = m.counter(
+            "repro_repair_solves_total",
+            "Planning rounds solved by the repair engine, by mode "
+            "(repair = incremental over the dirty region, full = fallback).",
+        )
+        self.repair_dirty_vms = m.histogram(
+            "repro_repair_dirty_vms",
+            "Size of the dirty region the repair engine re-solved per round.",
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0),
+        )
         self.repair_latency = m.histogram(
             "repro_repair_latency_seconds",
             "Crash-to-running repair latency (simulated seconds).",
@@ -202,6 +212,10 @@ class ServiceObserver(LoopObserver):
                 self.actions.inc(count, kind=kind)
         if record.failed_migrations:
             self.failed_migrations.inc(record.failed_migrations)
+        repair = getattr(report, "repair", None)
+        if repair is not None:
+            self.repair_solves.inc(mode=str(repair.get("mode", "full")))
+            self.repair_dirty_vms.observe(float(repair.get("dirty_count", 0)))
         self.audit.append(
             "plan",
             record.time,

@@ -42,6 +42,7 @@ campaign byte-for-byte.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import random
 from dataclasses import dataclass, field
@@ -313,13 +314,19 @@ class FaultInjector:
                 "delayed_boot faults cannot be injected into a running loop; "
                 "declare them on the scenario's FaultSchedule instead"
             )
+        effective = max(event.time, self._engine.now)
+        if effective != event.time:
+            # Re-stamp the event at its effective time so every consumer —
+            # the fault timeline, slowdown windows, repair-latency
+            # attribution — sees when the fault actually happened, not the
+            # stale past timestamp the operator asked for.
+            event = dataclasses.replace(event, time=effective)
         self.injected.append(event)
         if event.kind is FaultKind.MIGRATION_FAILURE:
             self._pending_migration_faults.append(event)
             return
         if event.kind is FaultKind.NODE_SLOWDOWN:
             self._slowdowns.append(event)
-        effective = max(event.time, self._engine.now)
         self._engine.schedule_at(
             effective, lambda e=event: self._due.append(e)
         )

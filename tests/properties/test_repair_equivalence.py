@@ -1,0 +1,214 @@
+"""Property-based agreement between repair-based and cold solving.
+
+The repair engine's core claim is *safety by fallback*: freezing the clean
+region is only ever an acceleration, never a semantic change.  These
+properties hold :class:`~repro.repair.RepairOptimizer` against the cold
+monolithic solve on randomly generated perturbed rounds:
+
+* **feasibility agreement** — a perturbed round is repairable exactly when
+  the cold solve can place it (the widening schedule ends in the full solve,
+  making this an iff);
+* **fallback identity** — when the engine falls back (cold start), its
+  result is exactly the monolithic result on the same instance;
+* **plan validity** — every repaired plan reaches a viable target that the
+  independent checker accepts, and `check_plan` accepts every intermediate
+  state against the active catalog;
+* **no retired pins** — with an elastic ``Fence`` that shrank, the repaired
+  target never leaves a member on a node outside the shrunken domain
+  (satellite: frozen placements invalidated by constraint repair become
+  dirty instead of being pinned).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import Fence
+from repro.constraints.checker import check_configuration, check_plan
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.model.configuration import Configuration
+from repro.model.errors import PlanningError
+from repro.model.node import Node
+from repro.model.vm import VirtualMachine, VMState
+from repro.repair import RepairOptimizer, compute_dirty_set
+
+MEMORY_CHOICES = (256, 512, 1024)
+
+
+@st.composite
+def perturbed_instances(draw):
+    """A placed fleet plus a perturbation: some VMs knocked to Waiting.
+
+    Node and VM sizes are drawn so tight (and occasionally infeasible)
+    rounds appear — the agreement properties must hold on both outcomes.
+    """
+    node_count = draw(st.integers(min_value=3, max_value=6))
+    configuration = Configuration()
+    nodes = [
+        Node(
+            name=f"n{i}",
+            cpu_capacity=draw(st.integers(min_value=1, max_value=2)),
+            memory_capacity=draw(st.sampled_from((2048, 4096))),
+        )
+        for i in range(node_count)
+    ]
+    for node in nodes:
+        configuration.add_node(node)
+    vm_count = draw(st.integers(min_value=3, max_value=8))
+    names = []
+    for i in range(vm_count):
+        vm = VirtualMachine(
+            name=f"v{i}",
+            memory=draw(st.sampled_from(MEMORY_CHOICES)),
+            cpu_demand=draw(st.integers(min_value=0, max_value=1)),
+        )
+        configuration.add_vm(vm)
+        configuration.set_running(vm.name, nodes[i % node_count].name)
+        names.append(vm.name)
+    victim_count = draw(st.integers(min_value=1, max_value=max(1, vm_count // 3)))
+    victims = draw(
+        st.lists(
+            st.sampled_from(names),
+            min_size=victim_count,
+            max_size=victim_count,
+            unique=True,
+        )
+    )
+    halo = draw(st.integers(min_value=0, max_value=2))
+    return configuration, names, victims, halo
+
+
+def _states(names):
+    return {name: VMState.RUNNING for name in names}
+
+
+def _optimize(optimizer, configuration, names, constraints=()):
+    try:
+        return optimizer.optimize(
+            configuration, _states(names), constraints=constraints
+        )
+    except PlanningError:
+        return None
+
+
+def _assignment(result):
+    return {
+        vm: result.target.location_of(vm)
+        for vm in result.target.vm_names
+        if result.target.state_of(vm) is VMState.RUNNING
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(perturbed_instances())
+def test_repair_and_cold_solve_agree_on_feasibility(instance):
+    configuration, names, victims, halo = instance
+    engine = RepairOptimizer(
+        ContextSwitchOptimizer(timeout=10.0), timeout=10.0, halo=halo
+    )
+    warm = _optimize(engine, configuration, names)
+    if warm is None:
+        return  # the unperturbed instance itself is infeasible
+    current = warm.target
+    for victim in victims:
+        current.set_waiting(victim)
+    engine.mark_dirty(victims)
+    repaired = _optimize(engine, current, names)
+    cold = _optimize(
+        ContextSwitchOptimizer(timeout=10.0), current, names
+    )
+    assert (repaired is None) == (cold is None)
+    if repaired is None:
+        return
+    # repaired plans are exactly as trustworthy as cold ones
+    repaired.plan.check_reaches(repaired.target)
+    assert repaired.target.is_viable()
+    for victim in victims:
+        assert repaired.target.state_of(victim) is VMState.RUNNING
+
+
+@settings(max_examples=15, deadline=None)
+@given(perturbed_instances())
+def test_cold_start_fallback_is_identical_to_the_monolithic_result(instance):
+    configuration, names, _victims, _halo = instance
+    engine = RepairOptimizer(
+        ContextSwitchOptimizer(timeout=10.0), timeout=10.0
+    )
+    via_repair = _optimize(engine, configuration, names)
+    monolithic = _optimize(
+        ContextSwitchOptimizer(timeout=10.0), configuration, names
+    )
+    assert (via_repair is None) == (monolithic is None)
+    if via_repair is None:
+        return
+    assert via_repair.mode == "full"
+    assert _assignment(via_repair) == _assignment(monolithic)
+    assert via_repair.movement_cost == monolithic.movement_cost
+
+
+@settings(max_examples=15, deadline=None)
+@given(perturbed_instances())
+def test_repaired_plans_pass_the_checker_on_every_intermediate_state(instance):
+    configuration, names, victims, halo = instance
+    fence_nodes = sorted(configuration.node_names)[:-1]
+    fence = Fence(list(names[:2]), fence_nodes)
+    engine = RepairOptimizer(
+        ContextSwitchOptimizer(timeout=10.0), timeout=10.0, halo=halo
+    )
+    warm = _optimize(engine, configuration, names, constraints=[fence])
+    if warm is None:
+        return
+    current = warm.target
+    for victim in victims:
+        current.set_waiting(victim)
+    engine.mark_dirty(victims)
+    repaired = _optimize(engine, current, names, constraints=[fence])
+    if repaired is None:
+        return
+    repaired.plan.check_reaches(repaired.target)
+    assert check_configuration(repaired.target, [fence]) == []
+    # every intermediate state of the plan agrees with the checker: the
+    # recorded violations are exactly what an independent re-check derives
+    derived = check_plan(repaired.plan, [fence])
+    assert repaired.plan.constraint_violations == derived
+
+
+@settings(max_examples=25, deadline=None)
+@given(perturbed_instances())
+def test_shrunken_fence_members_are_never_pinned_to_retired_nodes(instance):
+    configuration, names, victims, halo = instance
+    node_names = sorted(configuration.node_names)
+    wide = Fence(list(names[:3]), node_names)
+    engine = RepairOptimizer(
+        ContextSwitchOptimizer(timeout=10.0), timeout=10.0, halo=halo
+    )
+    warm = _optimize(engine, configuration, names, constraints=[wide])
+    if warm is None:
+        return
+    current = warm.target
+    # the fence shrinks (e.g. its last node crashed and the elastic repair
+    # hook dropped it); members frozen on the retired domain must be dirty
+    shrunk = Fence(list(names[:3]), node_names[:-1])
+    for victim in victims:
+        current.set_waiting(victim)
+    engine.mark_dirty(victims)
+    dirty = compute_dirty_set(
+        current,
+        _states(names),
+        names,
+        constraints=[shrunk],
+        marks=victims,
+        previous=engine.previous_assignment,
+        halo=0,
+    )
+    for member in names[:3]:
+        if (
+            current.state_of(member) is VMState.RUNNING
+            and current.location_of(member) == node_names[-1]
+        ):
+            assert member in dirty
+    repaired = _optimize(engine, current, names, constraints=[shrunk])
+    if repaired is None:
+        return
+    for member in names[:3]:
+        assert repaired.target.location_of(member) in node_names[:-1]

@@ -1,0 +1,282 @@
+"""Unit tests of the repair engine: dirty rules, LNS schedule, composition."""
+
+import pytest
+
+from repro.constraints import Ban, Fence, Spread
+from repro.core.optimizer import ContextSwitchOptimizer
+from repro.model.configuration import Configuration
+from repro.model.node import Node
+from repro.model.vm import VirtualMachine, VMState
+from repro.repair import RepairOptimizer, RepairResult, compute_dirty_set
+from repro.scale import ParallelOptimizer
+
+
+def _fleet(node_count=6, vms_per_node=2, cpu=2, memory=4096, vm_memory=512):
+    configuration = Configuration()
+    for i in range(node_count):
+        configuration.add_node(
+            Node(name=f"n{i}", cpu_capacity=cpu, memory_capacity=memory)
+        )
+    names = []
+    for i in range(node_count):
+        for j in range(vms_per_node):
+            vm = VirtualMachine(
+                name=f"vm{i}-{j}", memory=vm_memory, cpu_demand=0
+            )
+            configuration.add_vm(vm)
+            configuration.set_running(vm.name, f"n{i}")
+            names.append(vm.name)
+    return configuration, names
+
+
+def _states(names):
+    return {name: VMState.RUNNING for name in names}
+
+
+class TestComputeDirtySet:
+    def test_marks_are_filtered_to_the_running_set(self):
+        configuration, names = _fleet()
+        dirty = compute_dirty_set(
+            configuration,
+            _states(names),
+            names,
+            marks=["vm0-0", "ghost"],
+            previous={n: configuration.location_of(n) for n in names},
+            halo=0,
+        )
+        assert "vm0-0" in dirty
+        assert "ghost" not in dirty
+
+    def test_vms_needing_placement_are_dirty(self):
+        configuration, names = _fleet()
+        configuration.set_waiting("vm1-0")
+        dirty = compute_dirty_set(
+            configuration,
+            _states(names),
+            names,
+            previous={n: configuration.location_of(n) for n in names},
+            halo=0,
+        )
+        assert dirty == {"vm1-0"}
+
+    def test_divergence_from_previous_assignment_is_dirty(self):
+        configuration, names = _fleet()
+        previous = {n: configuration.location_of(n) for n in names}
+        previous["vm2-1"] = "n5"  # the plan said n5, execution left it on n2
+        dirty = compute_dirty_set(
+            configuration, _states(names), names, previous=previous, halo=0
+        )
+        assert dirty == {"vm2-1"}
+
+    def test_shrunken_fence_invalidates_frozen_placements(self):
+        # satellite 3: an elastic Fence that lost a node must dirty the
+        # members still placed on the now-retired domain
+        configuration, names = _fleet()
+        fence = Fence(["vm3-0", "vm3-1"], ["n0"])  # members live on n3
+        dirty = compute_dirty_set(
+            configuration,
+            _states(names),
+            names,
+            constraints=[fence],
+            previous={n: configuration.location_of(n) for n in names},
+            halo=0,
+        )
+        assert {"vm3-0", "vm3-1"} <= dirty
+
+    def test_relational_groups_dirty_together(self):
+        configuration, names = _fleet()
+        spread = Spread(["vm0-0", "vm4-0"])
+        dirty = compute_dirty_set(
+            configuration,
+            _states(names),
+            names,
+            constraints=[spread],
+            marks=["vm0-0"],
+            previous={n: configuration.location_of(n) for n in names},
+            halo=0,
+        )
+        assert {"vm0-0", "vm4-0"} <= dirty
+
+    def test_unary_constraints_do_not_chain_the_group(self):
+        configuration, names = _fleet()
+        # a Ban over two VMs is per-VM: marking one must not dirty the other
+        ban = Ban(["vm0-0", "vm4-0"], ["n5"])
+        dirty = compute_dirty_set(
+            configuration,
+            _states(names),
+            names,
+            constraints=[ban],
+            marks=["vm0-0"],
+            previous={n: configuration.location_of(n) for n in names},
+            halo=0,
+        )
+        assert "vm0-0" in dirty
+        assert "vm4-0" not in dirty
+
+    def test_halo_expands_to_co_hosted_vms(self):
+        configuration, names = _fleet()
+        previous = {n: configuration.location_of(n) for n in names}
+        no_halo = compute_dirty_set(
+            configuration, _states(names), names,
+            marks=["vm2-0"], previous=previous, halo=0,
+        )
+        one_halo = compute_dirty_set(
+            configuration, _states(names), names,
+            marks=["vm2-0"], previous=previous, halo=1,
+        )
+        assert no_halo == {"vm2-0"}
+        assert one_halo == {"vm2-0", "vm2-1"}  # the co-hosted sibling
+
+    def test_deterministic(self):
+        configuration, names = _fleet()
+        previous = {n: configuration.location_of(n) for n in names}
+        kwargs = dict(marks=["vm1-0", "vm5-1"], previous=previous, halo=2)
+        first = compute_dirty_set(
+            configuration, _states(names), names, **kwargs
+        )
+        second = compute_dirty_set(
+            configuration, _states(names), names, **kwargs
+        )
+        assert first == second
+
+
+class TestRepairOptimizer:
+    def _warm_engine(self, timeout=5.0, halo=1):
+        configuration, names = _fleet()
+        engine = RepairOptimizer(
+            ContextSwitchOptimizer(timeout=timeout), timeout=timeout, halo=halo
+        )
+        cold = engine.optimize(configuration, _states(names))
+        assert isinstance(cold, RepairResult)
+        assert cold.mode == "full"
+        assert "cold start" in cold.reason
+        return engine, cold.target, names
+
+    def test_cold_start_falls_back_to_the_full_solve(self):
+        self._warm_engine()
+
+    def test_perturbed_round_repairs_and_freezes_the_clean_region(self):
+        engine, current, names = self._warm_engine()
+        current.set_waiting("vm0-0")
+        engine.mark_dirty(["vm0-0"])
+        before = {
+            vm: current.location_of(vm)
+            for vm in names
+            if current.state_of(vm) is VMState.RUNNING
+        }
+        result = engine.optimize(current, _states(names))
+        assert result.mode == "repair"
+        assert result.attempts == 1
+        assert result.dirty_count >= 1
+        assert result.frozen_count == len(before) - (result.dirty_count - 1)
+        # every frozen VM kept its placement
+        moved = [
+            vm
+            for vm, host in before.items()
+            if result.target.location_of(vm) != host
+        ]
+        assert len(moved) <= result.dirty_count
+        assert result.target.state_of("vm0-0") is VMState.RUNNING
+        # incremental solves never claim global optimality
+        assert not result.statistics.proven_optimal
+
+    def test_widening_releases_frozen_vms_when_the_region_is_too_tight(self):
+        configuration = Configuration()
+        for i in range(2):
+            configuration.add_node(
+                Node(name=f"n{i}", cpu_capacity=4, memory_capacity=1024)
+            )
+        for name, memory, host in (("a", 300, "n0"), ("b", 300, "n1")):
+            configuration.add_vm(VirtualMachine(name=name, memory=memory))
+            configuration.set_running(name, host)
+        configuration.add_vm(VirtualMachine(name="c", memory=800))
+        states = {n: VMState.RUNNING for n in ("a", "b", "c")}
+        engine = RepairOptimizer(
+            ContextSwitchOptimizer(timeout=5.0), timeout=5.0, halo=0
+        )
+        engine._previous = {"a": "n0", "b": "n1"}
+        result = engine.optimize(configuration, states)
+        # frozen a+b leave no node with 800 MB free: the engine must widen
+        # (or fall back) rather than fail
+        assert result.target.state_of("c") is VMState.RUNNING
+        assert result.attempts >= 2
+        if result.mode == "repair":
+            assert "widening" in result.reason
+
+    def test_previous_assignment_tracks_accepted_rounds(self):
+        engine, current, names = self._warm_engine()
+        assert engine.previous_assignment is not None
+        assert set(engine.previous_assignment) == set(names)
+        engine.forget()
+        assert engine.previous_assignment is None
+
+    def test_marks_are_consumed_by_the_next_solve(self):
+        engine, current, names = self._warm_engine()
+        engine.mark_dirty(["vm0-0"])
+        engine.optimize(current, _states(names))
+        assert engine._marks == set()
+
+    def test_deterministic_across_fresh_engines(self):
+        def run():
+            configuration, names = _fleet()
+            engine = RepairOptimizer(
+                ContextSwitchOptimizer(timeout=5.0), timeout=5.0
+            )
+            engine.optimize(configuration, _states(names))
+            configuration.set_waiting("vm0-0")
+            configuration.set_waiting("vm3-1")
+            engine.mark_dirty(["vm0-0", "vm3-1"])
+            result = engine.optimize(configuration, _states(names))
+            return result.mode, {
+                vm: result.target.location_of(vm) for vm in names
+            }
+
+        assert run() == run()
+
+    def test_timeout_attribute_is_restored_after_each_solve(self):
+        engine, current, names = self._warm_engine(timeout=5.0)
+        assert engine.inner.timeout == 5.0
+        current.set_waiting("vm0-0")
+        engine.mark_dirty(["vm0-0"])
+        engine.optimize(current, _states(names))
+        assert engine.inner.timeout == 5.0
+
+    def test_close_forwards_to_the_inner_optimizer(self):
+        closed = []
+
+        class _Inner:
+            timeout = 1.0
+
+            def close(self):
+                closed.append(True)
+
+        RepairOptimizer(_Inner()).close()
+        assert closed == [True]
+
+
+class TestPartitionedComposition:
+    def test_untouched_zones_are_reused_verbatim(self):
+        configuration, names = _fleet(node_count=6, vms_per_node=2)
+        zone_a = [n for n in names if int(n[2]) < 3]
+        zone_b = [n for n in names if int(n[2]) >= 3]
+        fences = [
+            Fence(zone_a, ["n0", "n1", "n2"]),
+            Fence(zone_b, ["n3", "n4", "n5"]),
+        ]
+        inner = ParallelOptimizer(timeout=5.0, zone_executor="serial")
+        engine = RepairOptimizer(inner, timeout=5.0, halo=0)
+        cold = engine.optimize(
+            configuration, _states(names), constraints=fences
+        )
+        assert cold.mode == "full"
+        current = cold.target
+        current.set_waiting("vm0-0")
+        engine.mark_dirty(["vm0-0"])
+        result = engine.optimize(
+            current, _states(names), constraints=fences
+        )
+        assert result.mode == "repair"
+        # the untouched fence zone was never shipped to a worker
+        assert result.reused_zones >= 1
+        for vm in zone_b:
+            assert result.target.location_of(vm) == current.location_of(vm)
