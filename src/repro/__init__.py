@@ -19,6 +19,10 @@ The package provides:
 * :mod:`repro.scale` — scale-out: the interference partitioner, the
   parallel zone optimizer (``Scenario(engine="partitioned")``) and the
   campaign runner for grids of scenarios;
+* :mod:`repro.instances` — the standalone benchmark suite: versioned
+  problem instances (fleet + vjobs + constraints + faults + seed as one
+  canonical JSON document), cluster-trace ingestion, the
+  optimizer-independent ``repro-verify`` plan verifier and baseline floors;
 * :mod:`repro.decision` — decision modules (FFD, RJSP, dynamic consolidation,
   FCFS + EASY backfilling baseline), all registered in :mod:`repro.api`;
 * :mod:`repro.sim` — a discrete-event cluster simulator calibrated on the
@@ -42,101 +46,131 @@ Quickstart::
     )
     result = scenario.run()
     print(result.makespan, result.switch_count)
+
+Top-level exports resolve lazily (PEP 562): ``import repro`` — and therefore
+any ``repro.<subpackage>`` import — stays cheap, and consumers that only need
+the model or the constraint checker (the ``repro-verify`` verifier most of
+all) never load the CP solver, the optimizer or the decision policies.
 """
 
-from . import config
-from .api import (
-    ConstraintViolationRecord,
-    ControlLoop,
-    Decision,
-    DecisionModule,
-    ExperimentBuilder,
-    FaultRecord,
-    LoopObserver,
-    RunResult,
-    Scenario,
-    UnknownDecisionModuleError,
-    available_decision_modules,
-    get_decision_module,
-    register_decision_module,
-)
-from .constraints import (
-    Among,
-    Ban,
-    Fence,
-    Gather,
-    Lonely,
-    MaxOnline,
-    PlacementConstraint,
-    Root,
-    RunningCapacity,
-    Spread,
-)
-from .sim.faults import FaultKind, FaultSchedule, random_fault_schedule
-from .core import (
-    ClusterContextSwitch,
-    ContextSwitchOptimizer,
-    ReconfigurationPlan,
-    ReconfigurationPlanner,
-    build_plan,
-    plan_cost,
-)
-from .model import (
-    Configuration,
-    Node,
-    ResourceVector,
-    VirtualMachine,
-    VJob,
-    VJobQueue,
-    VJobState,
-    VMState,
-    make_working_nodes,
-)
+from __future__ import annotations
 
-__version__ = "1.1.0"
+import importlib
+from typing import TYPE_CHECKING, Any
 
-__all__ = [
-    "config",
-    "Among",
-    "Ban",
-    "ConstraintViolationRecord",
-    "Fence",
-    "Gather",
-    "Lonely",
-    "MaxOnline",
-    "PlacementConstraint",
-    "Root",
-    "RunningCapacity",
-    "Spread",
-    "ControlLoop",
-    "Decision",
-    "DecisionModule",
-    "ExperimentBuilder",
-    "FaultKind",
-    "FaultRecord",
-    "FaultSchedule",
-    "random_fault_schedule",
-    "LoopObserver",
-    "RunResult",
-    "Scenario",
-    "UnknownDecisionModuleError",
-    "available_decision_modules",
-    "get_decision_module",
-    "register_decision_module",
-    "ClusterContextSwitch",
-    "ContextSwitchOptimizer",
-    "ReconfigurationPlan",
-    "ReconfigurationPlanner",
-    "build_plan",
-    "plan_cost",
-    "Configuration",
-    "Node",
-    "ResourceVector",
-    "VirtualMachine",
-    "VJob",
-    "VJobQueue",
-    "VJobState",
-    "VMState",
-    "make_working_nodes",
-    "__version__",
-]
+if TYPE_CHECKING:  # pragma: no cover - static-analysis / IDE resolution only
+    from . import config
+    from .api import (
+        ConstraintViolationRecord,
+        ControlLoop,
+        Decision,
+        DecisionModule,
+        ExperimentBuilder,
+        FaultRecord,
+        LoopObserver,
+        RunResult,
+        Scenario,
+        UnknownDecisionModuleError,
+        available_decision_modules,
+        get_decision_module,
+        register_decision_module,
+    )
+    from .constraints import (
+        Among,
+        Ban,
+        Fence,
+        Gather,
+        Lonely,
+        MaxOnline,
+        PlacementConstraint,
+        Root,
+        RunningCapacity,
+        Spread,
+    )
+    from .core import (
+        ClusterContextSwitch,
+        ContextSwitchOptimizer,
+        ReconfigurationPlan,
+        ReconfigurationPlanner,
+        build_plan,
+        plan_cost,
+    )
+    from .model import (
+        Configuration,
+        Node,
+        ResourceVector,
+        VirtualMachine,
+        VJob,
+        VJobQueue,
+        VJobState,
+        VMState,
+        make_working_nodes,
+    )
+    from .sim.faults import FaultKind, FaultSchedule, random_fault_schedule
+
+__version__ = "1.2.0"
+
+#: Export name -> defining module (relative), resolved on first access.
+_EXPORTS = {
+    "config": ".config",
+    "ConstraintViolationRecord": ".api",
+    "ControlLoop": ".api",
+    "Decision": ".api",
+    "DecisionModule": ".api",
+    "ExperimentBuilder": ".api",
+    "FaultRecord": ".api",
+    "LoopObserver": ".api",
+    "RunResult": ".api",
+    "Scenario": ".api",
+    "UnknownDecisionModuleError": ".api",
+    "available_decision_modules": ".api",
+    "get_decision_module": ".api",
+    "register_decision_module": ".api",
+    "Among": ".constraints",
+    "Ban": ".constraints",
+    "Fence": ".constraints",
+    "Gather": ".constraints",
+    "Lonely": ".constraints",
+    "MaxOnline": ".constraints",
+    "PlacementConstraint": ".constraints",
+    "Root": ".constraints",
+    "RunningCapacity": ".constraints",
+    "Spread": ".constraints",
+    "FaultKind": ".sim.faults",
+    "FaultSchedule": ".sim.faults",
+    "random_fault_schedule": ".sim.faults",
+    "ClusterContextSwitch": ".core",
+    "ContextSwitchOptimizer": ".core",
+    "ReconfigurationPlan": ".core",
+    "ReconfigurationPlanner": ".core",
+    "build_plan": ".core",
+    "plan_cost": ".core",
+    "Configuration": ".model",
+    "Node": ".model",
+    "ResourceVector": ".model",
+    "VirtualMachine": ".model",
+    "VJob": ".model",
+    "VJobQueue": ".model",
+    "VJobState": ".model",
+    "VMState": ".model",
+    "make_working_nodes": ".model",
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(module_name, __name__)
+    value = module if module_name == f".{name}" else getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -26,24 +26,28 @@ the heuristic packers.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..cp.constraints import (
-    AllDifferent,
-    AllDifferentExcept,
-    AllEqual,
-    Among as CPAmong,
-    Constraint as CPConstraint,
-    CountInValuesAtMost,
-    DisjointValues,
-    NotEqual,
-    UsedValuesAtMost,
-)
 from .base import NodeSetConstraint, PlacementConstraint, VMGroupConstraint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cp.constraints import Constraint as CPConstraint
     from ..cp.variables import IntVar
     from ..model.configuration import Configuration
+
+
+def _cp() -> Any:
+    """The CP propagator module, imported on first *compilation*.
+
+    The import is deferred so the catalog's checker face — the one the
+    standalone verifier (:mod:`repro.instances.verifier`) and the plan
+    checker rely on — never loads the solver: only building a CP model
+    (``cp_constraints``) pays for it, and Python caches the module after
+    the first call.
+    """
+    from ..cp import constraints as cp_constraints
+
+    return cp_constraints
 
 
 def _involved(
@@ -76,16 +80,17 @@ class Spread(VMGroupConstraint):
         involved = _involved(self.vms, variables)
         if len(involved) < 2:
             return []
+        cp = _cp()
         if self.collocation_nodes:
             excepted = {
                 node_index[name]
                 for name in self.collocation_nodes
                 if name in node_index
             }
-            return [AllDifferentExcept(involved, excepted)]
+            return [cp.AllDifferentExcept(involved, excepted)]
         if len(involved) == 2:
-            return [NotEqual(involved[0], involved[1])]
-        return [AllDifferent(involved)]
+            return [cp.NotEqual(involved[0], involved[1])]
+        return [cp.AllDifferent(involved)]
 
     def is_satisfied_by(self, configuration: "Configuration") -> bool:
         locations = [
@@ -136,7 +141,7 @@ class Gather(VMGroupConstraint):
         involved = _involved(self.vms, variables)
         if len(involved) < 2:
             return []
-        return [AllEqual(involved)]
+        return [_cp().AllEqual(involved)]
 
     def is_satisfied_by(self, configuration: "Configuration") -> bool:
         return len(set(self._running_locations(configuration))) <= 1
@@ -330,7 +335,7 @@ class Among(VMGroupConstraint):
             # Zero or one live group: the unary union restriction already
             # captures the whole relation.
             return []
-        return [CPAmong(involved, mapped)]
+        return [_cp().Among(involved, mapped)]
 
     def is_satisfied_by(self, configuration: "Configuration") -> bool:
         locations = set(self._running_locations(configuration))
@@ -460,7 +465,7 @@ class MaxOnline(NodeSetConstraint):
         watched = {node_index[n] for n in self.nodes if n in node_index}
         if not everyone or not watched:
             return []
-        return [UsedValuesAtMost(everyone, watched, self.maximum)]
+        return [_cp().UsedValuesAtMost(everyone, watched, self.maximum)]
 
     def _used_nodes(
         self, configuration: "Configuration", ignoring: Optional[str] = None
@@ -525,7 +530,7 @@ class RunningCapacity(NodeSetConstraint):
         watched = {node_index[n] for n in self.nodes if n in node_index}
         if not everyone or not watched:
             return []
-        return [CountInValuesAtMost(everyone, watched, self.maximum)]
+        return [_cp().CountInValuesAtMost(everyone, watched, self.maximum)]
 
     def _running_count(
         self, configuration: "Configuration", ignoring: Optional[str] = None
@@ -585,7 +590,7 @@ class Lonely(VMGroupConstraint):
         outside = [var for vm, var in variables.items() if vm not in members]
         if not inside or not outside:
             return []
-        return [DisjointValues(inside, outside)]
+        return [_cp().DisjointValues(inside, outside)]
 
     def _shared_nodes(self, configuration: "Configuration") -> Set[str]:
         members = set(self.vms)

@@ -4,74 +4,112 @@ Actions and their cost model (Table 1), reconfiguration graphs and plans,
 the pool-based planner that resolves sequential and inter-dependent
 constraints (Section 4.1), the plan cost model (Section 4.2) and the
 constraint-programming optimizer (Section 4.3).
+
+Exports resolve lazily (PEP 562): importing a light submodule such as
+:mod:`repro.core.actions` or :mod:`repro.core.plan` no longer loads the CP
+optimizer and its solver.  The standalone verifier
+(:mod:`repro.instances.verifier`) depends on this — it scores plans with the
+action/plan/cost machinery and the independent constraint checker, and a
+test asserts that its call path never imports the optimizer.
 """
 
-from .actions import (
-    Action,
-    ActionKind,
-    Migrate,
-    Resume,
-    Run,
-    Stop,
-    Suspend,
-    required_resources,
-)
-from .context_switch import ClusterContextSwitch, ContextSwitchReport
-from .cost import ActionCost, PlanCost, minimum_possible_cost, plan_cost, total_cost
-from .graph import Edge, ReconfigurationGraph
-from .optimizer import ContextSwitchOptimizer, OptimizationResult
-from .placement import (
-    Among,
-    Ban,
-    Fence,
-    Gather,
-    Lonely,
-    MaxOnline,
-    PlacementConstraint,
-    Root,
-    RunningCapacity,
-    Spread,
-    check_constraints,
-)
-from .plan import Pool, ReconfigurationPlan, merge_pools, plan_from_pools
-from .planner import PlannerOptions, ReconfigurationPlanner, build_plan
+from __future__ import annotations
 
-__all__ = [
-    "Action",
-    "ActionKind",
-    "Migrate",
-    "Resume",
-    "Run",
-    "Stop",
-    "Suspend",
-    "required_resources",
-    "ClusterContextSwitch",
-    "ContextSwitchReport",
-    "ActionCost",
-    "PlanCost",
-    "minimum_possible_cost",
-    "plan_cost",
-    "total_cost",
-    "Edge",
-    "ReconfigurationGraph",
-    "ContextSwitchOptimizer",
-    "OptimizationResult",
-    "Among",
-    "Ban",
-    "Fence",
-    "Gather",
-    "Lonely",
-    "MaxOnline",
-    "PlacementConstraint",
-    "Root",
-    "RunningCapacity",
-    "Spread",
-    "check_constraints",
-    "Pool",
-    "ReconfigurationPlan",
-    "merge_pools",
-    "plan_from_pools",
-    "PlannerOptions",
-    "ReconfigurationPlanner",
-    "build_plan",
-]
+import importlib
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis / IDE resolution only
+    from .actions import (
+        Action,
+        ActionKind,
+        Migrate,
+        Resume,
+        Run,
+        Stop,
+        Suspend,
+        required_resources,
+    )
+    from .context_switch import ClusterContextSwitch, ContextSwitchReport
+    from .cost import (
+        ActionCost,
+        PlanCost,
+        minimum_possible_cost,
+        plan_cost,
+        total_cost,
+    )
+    from .graph import Edge, ReconfigurationGraph
+    from .optimizer import ContextSwitchOptimizer, OptimizationResult
+    from .placement import (
+        Among,
+        Ban,
+        Fence,
+        Gather,
+        Lonely,
+        MaxOnline,
+        PlacementConstraint,
+        Root,
+        RunningCapacity,
+        Spread,
+        check_constraints,
+    )
+    from .plan import Pool, ReconfigurationPlan, merge_pools, plan_from_pools
+    from .planner import PlannerOptions, ReconfigurationPlanner, build_plan
+
+#: Export name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "Action": "actions",
+    "ActionKind": "actions",
+    "Migrate": "actions",
+    "Resume": "actions",
+    "Run": "actions",
+    "Stop": "actions",
+    "Suspend": "actions",
+    "required_resources": "actions",
+    "ClusterContextSwitch": "context_switch",
+    "ContextSwitchReport": "context_switch",
+    "ActionCost": "cost",
+    "PlanCost": "cost",
+    "minimum_possible_cost": "cost",
+    "plan_cost": "cost",
+    "total_cost": "cost",
+    "Edge": "graph",
+    "ReconfigurationGraph": "graph",
+    "ContextSwitchOptimizer": "optimizer",
+    "OptimizationResult": "optimizer",
+    "Among": "placement",
+    "Ban": "placement",
+    "Fence": "placement",
+    "Gather": "placement",
+    "Lonely": "placement",
+    "MaxOnline": "placement",
+    "PlacementConstraint": "placement",
+    "Root": "placement",
+    "RunningCapacity": "placement",
+    "Spread": "placement",
+    "check_constraints": "placement",
+    "Pool": "plan",
+    "ReconfigurationPlan": "plan",
+    "merge_pools": "plan",
+    "plan_from_pools": "plan",
+    "PlannerOptions": "planner",
+    "ReconfigurationPlanner": "planner",
+    "build_plan": "planner",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

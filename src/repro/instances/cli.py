@@ -1,0 +1,139 @@
+"""``repro-verify``: score a submitted plan against an instance file.
+
+Usage::
+
+    repro-verify INSTANCE.json SUBMISSION.json [--report out.json] [--quiet]
+    repro-verify INSTANCE.json --fingerprint
+
+Exit status:
+
+* ``0`` — the submission was scored and **passed** (feasible, viable, no
+  constraint violation at any stage);
+* ``1`` — the submission was scored and **failed**; the report says why;
+* ``2`` — the submission (or the instance) could not be scored at all:
+  malformed JSON, schema-version mismatch, truncated plan, unknown
+  constraint/VM/node...  A structured error report
+  ``{"error": {"code": ..., "message": ...}}`` is printed so drivers can
+  dispatch on the stable ``code``.
+
+The full scored report is printed as deterministic JSON (sorted keys) on
+stdout, or written to ``--report`` with only a one-line verdict on stdout.
+The verifier never imports the optimizer — see
+:mod:`repro.instances.verifier`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from .format import InstanceFormatError, load_instance
+from .verifier import SubmissionError, verify_submission
+
+#: CLI exit codes (also used by ``tools/verify_smoke.py``).
+EXIT_PASSED = 0
+EXIT_FAILED = 1
+EXIT_ERROR = 2
+
+
+def _emit(data: Any, stream: Any = None) -> None:
+    print(json.dumps(data, sort_keys=True, indent=2), file=stream or sys.stdout)
+
+
+def _error(code: str, message: str) -> int:
+    _emit({"error": {"code": code, "message": message}})
+    return EXIT_ERROR
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description=(
+            "Score a submitted reconfiguration plan or assignment against a "
+            "versioned problem instance, using only the independent checker "
+            "pipeline (never the optimizer)."
+        ),
+    )
+    parser.add_argument("instance", help="path to the instance JSON document")
+    parser.add_argument(
+        "submission",
+        nargs="?",
+        help="path to the submission JSON (a 'plan' or an 'assignment')",
+    )
+    parser.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print the instance's content fingerprint and exit",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the full JSON report here instead of stdout",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only the verdict line (implies nothing about the exit status)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        instance = load_instance(args.instance)
+    except FileNotFoundError:
+        return _error("missing-file", f"instance file not found: {args.instance}")
+    except InstanceFormatError as exc:
+        return _error(exc.code, exc.message)
+
+    if args.fingerprint:
+        print(instance.fingerprint)
+        return EXIT_PASSED
+
+    if args.submission is None:
+        return _error(
+            "malformed-submission",
+            "a submission file is required (or pass --fingerprint)",
+        )
+    try:
+        submission = json.loads(Path(args.submission).read_text())
+    except FileNotFoundError:
+        return _error(
+            "missing-file", f"submission file not found: {args.submission}"
+        )
+    except json.JSONDecodeError as exc:
+        return _error(
+            "malformed-json", f"{args.submission}: not valid JSON ({exc})"
+        )
+
+    try:
+        report = verify_submission(instance, submission)
+    except SubmissionError as exc:
+        return _error(exc.code, exc.message)
+    except InstanceFormatError as exc:
+        return _error(exc.code, exc.message)
+
+    payload = report.to_dict()
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
+    verdict = "PASSED" if report.passed else "FAILED"
+    if args.report or args.quiet:
+        print(
+            f"{verdict} {report.instance}: cost={report.switch_cost} "
+            f"migrations={report.migrations} "
+            f"violations={len(report.constraint_violations)}"
+        )
+    else:
+        _emit(payload)
+    return EXIT_PASSED if report.passed else EXIT_FAILED
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the entry point
+    raise SystemExit(main())

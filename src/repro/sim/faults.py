@@ -46,7 +46,7 @@ import dataclasses
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..model.configuration import Configuration
 from .engine import SimulationEngine
@@ -176,7 +176,7 @@ class FaultSchedule:
 
 
 def random_fault_schedule(
-    node_names: Sequence[str],
+    node_names: Iterable[str],
     horizon: float,
     seed: int = 0,
     crash_rate_per_hour: float = 0.0,
@@ -194,12 +194,21 @@ def random_fault_schedule(
     a small cluster cannot be wiped out by an unlucky seed.  The same
     arguments always produce the same schedule.
     """
+    # The per-node draws consume the seeded stream in iteration order, so an
+    # *unordered* collection (a set of node names, a dict-keys view) would
+    # make the timeline depend on hash randomization and differ between
+    # processes.  Sequences keep their caller-chosen order; anything else is
+    # canonicalized by sorting so one seed means one timeline, everywhere.
+    if isinstance(node_names, (list, tuple)):
+        ordered_nodes: Sequence[str] = node_names
+    else:
+        ordered_nodes = sorted(node_names)
     rng = random.Random(seed)
     schedule = FaultSchedule(
         migration_failure_rate=migration_failure_rate, seed=seed
     )
     crashes: list[FaultEvent] = []
-    for node in node_names:
+    for node in ordered_nodes:
         if crash_rate_per_hour > 0:
             at = rng.expovariate(crash_rate_per_hour / 3600.0)
             if at < horizon:

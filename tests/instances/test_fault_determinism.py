@@ -1,0 +1,90 @@
+"""Cross-process determinism of seeded fault schedules (ISSUE satellite).
+
+An instance embeds a seed; rebuilding its fault schedule in two *fresh*
+interpreters must yield the identical timeline.  Hash randomization made the
+old set-iterating ``random_fault_schedule`` draw events in a different order
+per process — the regression this file guards against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.sim.faults import random_fault_schedule
+
+SCHEDULE_PROBE = """
+import json
+
+from repro.sim.faults import random_fault_schedule
+
+schedule = random_fault_schedule(
+    {f"node-{i}" for i in range(12)},   # a *set*: iteration order is hashed
+    horizon=7200.0,
+    seed=47,
+    crash_rate_per_hour=0.2,
+    slowdown_rate_per_hour=0.4,
+)
+print(json.dumps([
+    [event.kind.value, event.time, event.target, event.factor, event.duration]
+    for event in schedule.events
+]))
+"""
+
+
+def timeline(schedule) -> list[tuple]:
+    return [
+        (e.kind.value, e.time, e.target, e.factor, e.duration)
+        for e in schedule.events
+    ]
+
+
+def run_fresh_process(code: str) -> str:
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src_dir, env.get("PYTHONPATH")])
+    )
+    env.pop("PYTHONHASHSEED", None)  # each process gets its own hash seed
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    ).stdout
+
+
+def test_same_seed_same_timeline_across_fresh_processes():
+    first = json.loads(run_fresh_process(SCHEDULE_PROBE))
+    second = json.loads(run_fresh_process(SCHEDULE_PROBE))
+    assert first == second
+    assert first, "the probe parameters must actually draw events"
+
+
+def test_set_and_sorted_list_inputs_agree_in_process():
+    names = {f"node-{i}" for i in range(12)}
+    from_set = random_fault_schedule(
+        names, horizon=7200.0, seed=47, slowdown_rate_per_hour=0.4
+    )
+    from_list = random_fault_schedule(
+        sorted(names), horizon=7200.0, seed=47, slowdown_rate_per_hour=0.4
+    )
+    assert timeline(from_set) == timeline(from_list)
+
+
+def test_rebuilding_from_the_same_seed_is_identical():
+    kwargs = dict(
+        horizon=7200.0,
+        seed=3,
+        crash_rate_per_hour=0.3,
+        slowdown_rate_per_hour=0.5,
+    )
+    first = random_fault_schedule([f"n{i}" for i in range(8)], **kwargs)
+    second = random_fault_schedule([f"n{i}" for i in range(8)], **kwargs)
+    assert timeline(first) == timeline(second)
+    assert first.events, "the probe parameters must actually draw events"

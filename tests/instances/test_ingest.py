@@ -1,0 +1,125 @@
+"""Cluster-trace CSV ingestion into versioned instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances.format import (
+    InstanceFormatError,
+    instance_from_dict,
+    load_instance,
+    save_instance,
+)
+from repro.instances.ingest import (
+    instance_from_trace_csv,
+    populated_instance_from_trace_csv,
+    read_trace_rows,
+    workloads_from_trace_rows,
+)
+from repro.model.vm import VMState
+
+TRACE_CSV = """\
+vjob,vm,memory_mb,phases,priority,submitted_at
+render,render.vm0,1024,120:1;60:0;240:1,0,0.0
+render,render.vm1,512,300:1,0,0.0
+db,db.vm0,2048,600:1,1,30.0
+"""
+
+
+class TestReadRows:
+    def test_reads_from_lines(self):
+        rows = read_trace_rows(TRACE_CSV.splitlines())
+        assert len(rows) == 3
+        assert rows[0]["vm"] == "render.vm0"
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(TRACE_CSV)
+        assert read_trace_rows(path) == read_trace_rows(TRACE_CSV.splitlines())
+
+    def test_missing_required_column(self):
+        with pytest.raises(InstanceFormatError) as excinfo:
+            read_trace_rows(["vjob,vm,phases", "a,a.vm0,60:1"])
+        assert "memory_mb" in str(excinfo.value)
+
+    def test_empty_input(self):
+        with pytest.raises(InstanceFormatError):
+            read_trace_rows([])
+
+
+class TestWorkloadAssembly:
+    def test_groups_rows_by_vjob(self):
+        workloads = workloads_from_trace_rows(
+            read_trace_rows(TRACE_CSV.splitlines())
+        )
+        assert [w.vjob.name for w in workloads] == ["render", "db"]
+        render = workloads[0]
+        assert [vm.name for vm in render.vjob.vms] == [
+            "render.vm0",
+            "render.vm1",
+        ]
+        assert render.traces["render.vm0"].phases[1].cpu_demand == 0
+        assert workloads[1].vjob.priority == 1
+        assert workloads[1].vjob.submitted_at == 30.0
+
+    def test_initial_cpu_demand_is_first_phase(self):
+        workloads = workloads_from_trace_rows(
+            read_trace_rows(
+                ["vjob,vm,memory_mb,phases", "j,j.vm0,512,90:0;60:1"]
+            )
+        )
+        assert workloads[0].vjob.vms[0].cpu_demand == 0
+
+    def test_malformed_phases(self):
+        with pytest.raises(InstanceFormatError) as excinfo:
+            workloads_from_trace_rows(
+                read_trace_rows(
+                    ["vjob,vm,memory_mb,phases", "j,j.vm0,512,90-1"]
+                )
+            )
+        assert excinfo.value.code == "invalid-field"
+
+    def test_non_integer_memory(self):
+        with pytest.raises(InstanceFormatError):
+            workloads_from_trace_rows(
+                read_trace_rows(
+                    ["vjob,vm,memory_mb,phases", "j,j.vm0,lots,90:1"]
+                )
+            )
+
+
+class TestInstanceFromTrace:
+    def test_round_trips_through_the_format(self, tmp_path):
+        instance = instance_from_trace_csv(
+            TRACE_CSV.splitlines(), name="traced", seed=5, node_count=4
+        )
+        assert instance.vm_count == 3
+        assert len(instance.nodes) == 4
+        assert all(
+            instance.state_of(vm) is VMState.WAITING
+            for w in instance.workloads
+            for vm in w.traces
+        )
+        path = tmp_path / "traced.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        assert loaded.fingerprint == instance.fingerprint
+        assert loaded.configuration() == instance.configuration()
+
+    def test_populated_variant_is_seed_deterministic(self):
+        a = populated_instance_from_trace_csv(
+            TRACE_CSV.splitlines(), name="populated", seed=9
+        )
+        b = populated_instance_from_trace_csv(
+            TRACE_CSV.splitlines(), name="populated", seed=9
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_populated_round_trip_preserves_drawn_states(self, tmp_path):
+        instance = populated_instance_from_trace_csv(
+            TRACE_CSV.splitlines(), name="populated", seed=9
+        )
+        document = instance.document()
+        loaded = instance_from_dict(document)
+        assert loaded.configuration() == instance.configuration()
+        assert loaded.document() == document

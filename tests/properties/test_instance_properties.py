@@ -1,0 +1,247 @@
+"""Property-based tests of the instance format and the standalone verifier.
+
+Two ISSUE-mandated invariants, over arbitrary small instances:
+
+* the JSON round trip is lossless — ``save → load → save`` is byte-stable
+  and fingerprint-preserving;
+* the standalone verifier's verdict agrees with the in-process checker
+  pipeline, on valid plans and on deliberately mutated ones (a VM moved
+  somewhere it must not go, a dropped action, a violated Spread/Fence).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import Fence, Spread
+from repro.constraints.checker import check_plan
+from repro.core.actions import Migrate
+from repro.core.plan import Pool, ReconfigurationPlan
+from repro.instances.format import (
+    Instance,
+    fingerprint_of,
+    instance_from_dict,
+    load_instance,
+    save_instance,
+)
+from repro.instances.verifier import verify_submission
+from repro.model.node import make_working_nodes
+from repro.model.vjob import VJob
+from repro.model.vm import VirtualMachine, VMState
+from repro.workloads.traces import DemandTrace, Phase, VJobWorkload
+
+MEMORY_SIZES = (256, 512, 1024)
+
+
+@st.composite
+def instances(draw):
+    """A random viable instance: every VM runs alone-per-CPU first-fit, an
+    optional Spread/Fence constraint over a drawn vjob."""
+    node_count = draw(st.integers(min_value=3, max_value=6))
+    vjob_count = draw(st.integers(min_value=1, max_value=3))
+    nodes = make_working_nodes(
+        node_count, cpu_capacity=2, memory_capacity=4096
+    )
+
+    workloads = []
+    states: dict[str, VMState] = {}
+    placement: dict[str, str] = {}
+    cpu_used = {node.name: 0 for node in nodes}
+    mem_used = {node.name: 0 for node in nodes}
+    for j in range(vjob_count):
+        vm_count = draw(st.integers(min_value=1, max_value=3))
+        vms = []
+        traces = {}
+        for i in range(vm_count):
+            name = f"job{j}.vm{i}"
+            memory = draw(st.sampled_from(MEMORY_SIZES))
+            phases = [
+                Phase(
+                    duration=float(draw(st.integers(60, 600))),
+                    cpu_demand=draw(st.integers(0, 1)),
+                )
+                for _ in range(draw(st.integers(1, 3)))
+            ]
+            vm = VirtualMachine(
+                name=name,
+                memory=memory,
+                cpu_demand=phases[0].cpu_demand,
+                vjob=f"job{j}",
+            )
+            vms.append(vm)
+            traces[name] = DemandTrace(phases)
+        vjob = VJob(name=f"job{j}", vms=vms, priority=j)
+        workloads.append(VJobWorkload(vjob=vjob, traces=traces))
+
+        # place the whole vjob running, first-fit, or leave it waiting
+        if draw(st.booleans()):
+            fits = []
+            for vm in vms:
+                host = next(
+                    (
+                        n.name
+                        for n in nodes
+                        if cpu_used[n.name] + vm.cpu_demand <= n.cpu_capacity
+                        and mem_used[n.name] + vm.memory <= n.memory_capacity
+                    ),
+                    None,
+                )
+                if host is None:
+                    fits = []
+                    break
+                fits.append((vm, host))
+                cpu_used[host] += vm.cpu_demand
+                mem_used[host] += vm.memory
+            for vm, host in fits:
+                states[vm.name] = VMState.RUNNING
+                placement[vm.name] = host
+
+    constraints = ()
+    if vjob_count >= 1 and draw(st.booleans()):
+        target = workloads[draw(st.integers(0, vjob_count - 1))]
+        vm_names = [vm.name for vm in target.vjob.vms]
+        if draw(st.booleans()):
+            constraints = (Spread(vm_names),)
+        else:
+            width = draw(st.integers(2, node_count))
+            constraints = (
+                Fence(vm_names, [f"node-{k}" for k in range(width)]),
+            )
+
+    return Instance(
+        name="prop",
+        seed=draw(st.integers(0, 2**31)),
+        nodes=tuple(nodes),
+        workloads=tuple(workloads),
+        constraints=constraints,
+        states=states,
+        placement=placement,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_round_trip_is_byte_stable_and_fingerprint_preserving(
+    tmp_path_factory, instance
+):
+    tmp_path = tmp_path_factory.mktemp("roundtrip")
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    fp1 = save_instance(instance, first)
+    loaded = load_instance(first)
+    fp2 = save_instance(loaded, second)
+    assert fp1 == fp2 == instance.fingerprint
+    assert first.read_bytes() == second.read_bytes()
+    assert loaded.configuration() == instance.configuration()
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_document_round_trip_preserves_fingerprint(instance):
+    document = instance.document()
+    rebuilt = instance_from_dict(document)
+    assert rebuilt.document() == document
+    assert fingerprint_of(rebuilt.to_dict()) == instance.fingerprint
+
+
+@st.composite
+def plans_against(draw, instance):
+    """A submitted plan over ``instance``: each pool migrates one running
+    VM to a drawn node.  ``mutate`` marks deliberate corruption — dropping
+    a leading pool so later assumptions break, or rerouting a migration."""
+    running = sorted(
+        vm
+        for w in instance.workloads
+        for vm in (v.name for v in w.vjob.vms)
+        if vm in instance.states
+        and instance.states[vm] is VMState.RUNNING
+    )
+    if not running:
+        return []
+    count = draw(st.integers(1, min(3, len(running))))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(running),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    node_names = [node.name for node in instance.nodes]
+    pools = []
+    for vm in chosen:
+        destination = draw(st.sampled_from(node_names))
+        source = instance.placement[vm]
+        if destination == source:
+            continue
+        pools.append(
+            [
+                {
+                    "kind": "migrate",
+                    "vm": vm,
+                    "source": source,
+                    "destination": destination,
+                }
+            ]
+        )
+    return pools
+
+
+@st.composite
+def verification_cases(draw):
+    instance = draw(instances())
+    pools = draw(plans_against(instance))
+    if pools and draw(st.booleans()):
+        mutation = draw(st.sampled_from(("drop-action", "reroute")))
+        if mutation == "drop-action":
+            pools = pools[1:]
+        else:
+            node_names = [node.name for node in instance.nodes]
+            action = pools[0][0]
+            action["destination"] = draw(st.sampled_from(node_names))
+            if action["destination"] == action["source"]:
+                action["destination"] = node_names[
+                    (node_names.index(action["source"]) + 1) % len(node_names)
+                ]
+    return instance, pools
+
+
+@settings(max_examples=60, deadline=None)
+@given(verification_cases())
+def test_verifier_agrees_with_in_process_checker(case):
+    """Whatever the submission — valid, rerouted into a constraint, or with
+    an action dropped — the standalone verdict must match replaying the
+    same pools through ReconfigurationPlan + check_plan directly."""
+    instance, pools = case
+    report = verify_submission(instance, {"plan": {"pools": pools}})
+
+    plan = ReconfigurationPlan(source=instance.configuration())
+    for pool_spec in pools:
+        pool = Pool()
+        for spec in pool_spec:
+            pool.add(
+                Migrate(
+                    vm=spec["vm"],
+                    source_node=spec["source"],
+                    destination_node=spec["destination"],
+                )
+            )
+        plan.append_pool(pool)
+
+    feasible = True
+    try:
+        plan.apply()
+    except Exception:
+        feasible = False
+    assert report.feasible == feasible
+
+    if feasible:
+        direct = tuple(
+            check_plan(plan, instance.constraints, include_source=False)
+        )
+        assert [
+            (v.constraint, v.message) for v in report.constraint_violations
+        ] == [(v.constraint, v.message) for v in direct]
+        assert report.passed == (not direct and report.viable)
+    else:
+        assert not report.passed

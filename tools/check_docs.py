@@ -13,8 +13,8 @@ Three passes over the repository's markdown documentation (``README.md``,
    generous CP budgets).
 3. **API-reference coverage** — every public symbol exported by the
    documented packages (``repro.api.__all__``, ``repro.repair.__all__``,
-   ``repro.scale.__all__``, ``repro.service.__all__``) must appear,
-   backtick-quoted, in
+   ``repro.scale.__all__``, ``repro.service.__all__``,
+   ``repro.instances.__all__``) must appear, backtick-quoted, in
    ``docs/API_REFERENCE.md``; an undocumented export fails the check (and
    CI), so the reference index cannot silently fall behind the code.
 
@@ -124,7 +124,13 @@ def run_doctests(verbose: bool = False) -> list[str]:
 
 
 #: Packages whose ``__all__`` must be fully covered by the API reference.
-DOCUMENTED_PACKAGES = ("repro.api", "repro.repair", "repro.scale", "repro.service")
+DOCUMENTED_PACKAGES = (
+    "repro.api",
+    "repro.repair",
+    "repro.scale",
+    "repro.service",
+    "repro.instances",
+)
 
 #: The generated-style index of the public surface.
 API_REFERENCE = DOCS_DIR / "API_REFERENCE.md"
