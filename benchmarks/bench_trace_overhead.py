@@ -1,0 +1,153 @@
+"""Span-tracing overhead of :mod:`repro.obs` on the control loop.
+
+Every traced round opens a handful of spans (round, observe, decide, plan,
+solve, cp.solve, execute, ...) whose enter/exit cost must stay invisible
+next to the planning work itself: < 5 % round-latency overhead is the PR9
+acceptance gate, enforced by ``--max-trace-overhead`` in CI.
+
+Methodology (the PR6 jitter-cancelling recipe): a span costs single-digit
+microseconds while a round takes about a millisecond, so a traced-vs-bare
+wall-clock A/B at CI scale drowns in host jitter.  Instead the harness
+
+* microbenchmarks the per-span enter/exit unit cost in a tight loop with a
+  live tracer (the exact code path a traced run executes), and
+* runs the seeded scenario traced, counts the spans and events its trace
+  actually recorded, and reports ``span_count x unit_cost`` as a fraction
+  of the remaining (un-instrumented) run time.
+
+Numerator and denominator come from the same run, so scheduler noise
+cancels instead of swamping the signal.
+
+Runnable standalone::
+
+    python benchmarks/bench_trace_overhead.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # pragma: no cover - script setup
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.scenario import Scenario  # noqa: E402
+from repro.obs import Tracer, load_trace, span  # noqa: E402
+from repro.workloads import ChurnGenerator, ProblemClass, heterogeneous_nodes  # noqa: E402
+
+#: Traced runs measured per sweep.
+SAMPLES = 5
+#: Fleet size / vjob count of the measured scenario — big enough that a
+#: round does real planning work, small enough for a CI smoke lane.
+NODE_COUNT = 8
+VJOB_COUNT = 16
+#: Span enter/exit pairs for the unit-cost microbenchmark.
+SPAN_CALLS = 20_000
+
+
+def _scenario(trace: bool) -> Scenario:
+    generator = ChurnGenerator(
+        seed=23,
+        mean_interarrival_s=30.0,
+        vm_count_choices=(2, 3),
+        problem_classes=(ProblemClass.W,),
+    )
+    return Scenario(
+        nodes=heterogeneous_nodes(NODE_COUNT, seed=5),
+        workloads=generator.workloads(VJOB_COUNT),
+        policy="consolidation",
+        optimizer_timeout=2.0,
+        use_optimizer=False,
+        trace=trace,
+    )
+
+
+def _span_microseconds() -> float:
+    """Enter/exit cost of one attributed span under a live tracer, in µs."""
+    tracer = Tracer(name="bench")
+    with tracer.activate():
+        started = time.perf_counter()
+        for index in range(SPAN_CALLS):
+            with span("bench-span", index=index) as unit:
+                unit.inc("ticks")
+        elapsed = time.perf_counter() - started
+    return elapsed / SPAN_CALLS * 1e6
+
+
+def _trace_weight(trace: dict) -> int:
+    """Spans + events recorded by a trace — the unit-cost multiplier."""
+    root = load_trace(trace)
+    spans = 0
+    events = 0
+    for node in root.walk():
+        spans += 1
+        events += len(node.events)
+    return spans + events
+
+
+def run(samples: int = SAMPLES) -> dict:
+    """Run the seeded scenario ``samples`` times traced and report the
+    tracing cost (recorded span count times the measured per-span unit
+    cost) over the bare remainder of the run."""
+    totals: list[float] = []
+    weights: list[int] = []
+    overheads: list[float] = []
+    rounds = 0
+    span_us = _span_microseconds()
+    for _ in range(samples):
+        scenario = _scenario(trace=True)
+        started = time.perf_counter()
+        result = scenario.run()
+        total = time.perf_counter() - started
+        rounds = len(result.utilization)
+        weight = _trace_weight(result.trace or {})
+        tracing = weight * span_us * 1e-6
+        bare = total - tracing
+        totals.append(total)
+        weights.append(weight)
+        overheads.append(tracing / bare * 100.0 if bare else 0.0)
+    median_total = statistics.median(totals)
+    median_weight = statistics.median(weights)
+    return {
+        "samples": samples,
+        "nodes": NODE_COUNT,
+        "vjobs": VJOB_COUNT,
+        "rounds_per_run": rounds,
+        "span_us": round(span_us, 3),
+        "spans_per_run": int(median_weight),
+        "spans_per_round": (
+            round(median_weight / rounds, 2) if rounds else 0.0
+        ),
+        "total_seconds": [round(s, 6) for s in totals],
+        "median_total_seconds": round(median_total, 6),
+        "overhead_percent": round(statistics.median(overheads), 2),
+    }
+
+
+def overhead_percent(results: dict) -> float:
+    return float(results["overhead_percent"])
+
+
+def format_results(results: dict) -> str:
+    return (
+        f"trace overhead: {results['spans_per_run']} spans/run "
+        f"({results['spans_per_round']:.1f}/round) x "
+        f"{results['span_us']:.2f} us/span over "
+        f"{results['median_total_seconds']*1000:.1f} ms run -> "
+        f"{results['overhead_percent']:+.2f} %"
+    )
+
+
+def bench_trace_overhead() -> None:
+    """Pytest entry point: the traced loop must stay within the 5 % PR9
+    gate."""
+    results = run(samples=3)
+    print(format_results(results))
+    assert results["overhead_percent"] < 5.0
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -6,19 +6,20 @@ solver scaling sweep (``bench_solver_scaling.py``), the chaos recovery
 campaigns (``bench_chaos_recovery.py``), the placement-constraint overhead
 sweep (``bench_constraints.py``), the partitioned-solve sweep
 (``bench_partitioning.py``), the operator-service overhead measurement
-(``bench_service_overhead.py``) and the repair-vs-cold replanning sweep
-(``bench_repair.py``), and writes a single JSON document with the
+(``bench_service_overhead.py``), the repair-vs-cold replanning sweep
+(``bench_repair.py``) and the span-tracing overhead measurement
+(``bench_trace_overhead.py``), and writes a single JSON document with the
 numbers.  The output path is *not* hard-coded per PR any more: pass
 ``-o/--output`` or set the ``BENCH_OUTPUT`` environment variable (default:
-``BENCH_PR7.json`` at the repository root, the committed snapshot for this
-PR; ``BENCH_PR2.json``..``BENCH_PR6.json`` stay as previous points of the
+``BENCH_PR9.json`` at the repository root, the committed snapshot for this
+PR; ``BENCH_PR2.json``..``BENCH_PR7.json`` stay as previous points of the
 trajectory).  CI re-runs the smallest tiers as a smoke job and uploads the
 fresh document as an artifact.
 
 Usage::
 
     python benchmarks/harness.py                 # full sweep -> $BENCH_OUTPUT
-                                                 # (default BENCH_PR6.json)
+                                                 # (default BENCH_PR9.json)
     python benchmarks/harness.py --quick         # smallest tiers, 1 sample,
                                                  # figure benches skipped
     python benchmarks/harness.py --tiers 200 --samples 5 --timeout 30
@@ -38,6 +39,8 @@ share of the operator service's instrumentation (< 5 % is the PR6
 acceptance gate); the repair section reports the incremental repair
 engine's per-round solve latency against the cold monolithic solve under
 seeded churn (>= 2x on the 200-VM / 10 %-churn tier is the PR7 acceptance
+gate); the trace-overhead section reports the round-latency share of the
+:mod:`repro.obs` span tracer on a traced run (< 5 % is the PR9 acceptance
 gate).  See ``docs/PERFORMANCE.md`` for how to read the document.
 """
 
@@ -56,7 +59,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
 #: One knob instead of a per-PR patch: ``-o/--output`` or ``BENCH_OUTPUT``.
-DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR7.json")
+DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR9.json")
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -70,6 +73,7 @@ import bench_partitioning  # noqa: E402
 import bench_repair  # noqa: E402
 import bench_service_overhead  # noqa: E402
 import bench_solver_scaling  # noqa: E402
+import bench_trace_overhead  # noqa: E402
 
 #: Benchmarks run natively by this harness rather than as pytest modules.
 _NATIVE_MODULES = (
@@ -79,6 +83,7 @@ _NATIVE_MODULES = (
     "bench_partitioning.py",
     "bench_repair.py",
     "bench_service_overhead.py",
+    "bench_trace_overhead.py",
 )
 
 
@@ -233,6 +238,19 @@ def main(argv: list[str] | None = None) -> int:
              "(< 5 %%)",
     )
     parser.add_argument(
+        "--trace-samples", type=int, default=bench_trace_overhead.SAMPLES,
+        help="traced runs measured by the trace-overhead sweep",
+    )
+    parser.add_argument(
+        "--skip-trace", action="store_true",
+        help="skip the span-tracing overhead measurement",
+    )
+    parser.add_argument(
+        "--max-trace-overhead", type=float, default=None,
+        help="fail (exit 1) when the span tracer's round-latency overhead "
+             "exceeds this percentage — the PR9 acceptance gate (< 5 %%)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: smallest tiers, one sample, figures skipped",
     )
@@ -258,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
         args.repair_tiers = [min(args.repair_tiers)]
         args.repair_samples = 1
         args.service_samples = min(args.service_samples, 3)
+        args.trace_samples = min(args.trace_samples, 3)
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
 
@@ -355,6 +374,13 @@ def main(argv: list[str] | None = None) -> int:
             samples=args.service_samples
         )
         print(bench_service_overhead.format_results(document["service_overhead"]))
+
+    if not args.skip_trace:
+        print(f"trace overhead: samples={args.trace_samples}")
+        document["trace_overhead"] = bench_trace_overhead.run(
+            samples=args.trace_samples
+        )
+        print(bench_trace_overhead.format_results(document["trace_overhead"]))
 
     if not args.skip_chaos:
         print(f"chaos recovery: tiers={chaos_tiers} "
@@ -475,6 +501,28 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"service overhead gate ok: {overhead} % <= "
             f"{args.max_service_overhead} %"
+        )
+
+    if args.max_trace_overhead is not None:
+        if "trace_overhead" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --max-trace-overhead was given "
+                "but the trace-overhead sweep did not run (--skip-trace?)"
+            )
+            return 1
+        overhead = bench_trace_overhead.overhead_percent(
+            document["trace_overhead"]
+        )
+        if overhead > args.max_trace_overhead:
+            print(
+                f"REGRESSION: span-tracing round-latency overhead "
+                f"{overhead} % exceeds the {args.max_trace_overhead} % gate"
+            )
+            return 1
+        print(
+            f"trace overhead gate ok: {overhead} % <= "
+            f"{args.max_trace_overhead} %"
         )
 
     if args.min_repair_speedup is not None:

@@ -58,6 +58,7 @@ from ..model.node import Node
 from ..model.queue import VJobQueue
 from ..model.vjob import VJobState
 from ..model.vm import VMState
+from ..obs import Tracer, span
 from ..sim.cluster import SimulatedCluster
 from ..sim.executor import PlanExecutor
 from ..sim.faults import FaultEvent, FaultInjector, FaultKind, evict_node
@@ -122,6 +123,7 @@ class ControlLoop:
         sla_factor: Optional[float] = None,
         constraints: Sequence[PlacementConstraint] = (),
         command_queue: Optional[Any] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.workloads = list(workloads)
         self.period = period
@@ -136,6 +138,12 @@ class ControlLoop:
         #: :mod:`repro.service` daemon's HTTP handlers — submit vjobs and
         #: inject faults at well-defined points of simulated time.
         self.commands = command_queue
+        #: Span tracer (:mod:`repro.obs`) producing the per-round phase
+        #: breakdown; ``None`` keeps every instrumented path at its no-op
+        #: cost.  Activated inside :meth:`run` on the thread that actually
+        #: iterates — contextvars do not cross thread boundaries, and the
+        #: operator daemon runs the loop on a worker thread.
+        self.tracer = tracer
         #: Placement constraints enforced by every planning round (and
         #: re-applied on fault-driven replans).  The list is live: a node
         #: crash runs each constraint's repair hook and may swap entries.
@@ -299,125 +307,165 @@ class ControlLoop:
             self.close()
 
     def _run_loop(self) -> RunResult:
+        if self.tracer is None:
+            return self._run_iterations()
+        with self.tracer.activate() as root:
+            root.set(
+                policy=self.policy_name, engine=self.switcher.engine
+            )
+            result = self._run_iterations()
+        result.trace = self.tracer.to_dict()
+        return result
+
+    def _run_iterations(self) -> RunResult:
         result = RunResult(makespan=0.0, policy=self.policy_name)
         now = 0.0
         vjob_of_vm = self._vjob_of_vm()
         planning_failures = 0
         consecutive_failures = 0
         repair_traces: list[dict] = []
+        solver_rounds: list[dict] = []
+        iteration = 0
         self._notify("on_run_start", self)
 
         while now < self.max_time and not self._stop_requested:
-            # operator commands first: a vjob submitted or a fault injected
-            # through the command queue lands at this iteration boundary, so
-            # runs stay deterministic for a given arrival round
-            if self.commands is not None and self.commands.drain(self, now):
-                vjob_of_vm = self._vjob_of_vm()
+            with span("round", index=iteration, sim_time=now) as round_span:
+                # operator commands first: a vjob submitted or a fault injected
+                # through the command queue lands at this iteration boundary, so
+                # runs stay deterministic for a given arrival round
+                if self.commands is not None and self.commands.drain(self, now):
+                    vjob_of_vm = self._vjob_of_vm()
 
-            self._submit_pending(now)
+                self._submit_pending(now)
 
-            # exogenous events first: faults scheduled since the previous
-            # iteration are detected now (monitoring-grain detection)
-            if self.faults is not None:
-                for event in self.faults.fire(now):
-                    self._apply_fault(event, now, result)
+                # exogenous events first: faults scheduled since the previous
+                # iteration are detected now (monitoring-grain detection)
+                if self.faults is not None:
+                    for event in self.faults.fire(now):
+                        self._apply_fault(event, now, result)
 
-            # (i) observe
-            observation = self.monitoring.observe(now, self.cluster.configuration)
-            for vm_name, demand in observation.cpu_demands.items():
-                self.cluster.update_demand(vm_name, demand)
-            self._notify("on_iteration", now, self.cluster.configuration)
+                # (i) observe
+                with span("observe"):
+                    observation = self.monitoring.observe(
+                        now, self.cluster.configuration
+                    )
+                    for vm_name, demand in observation.cpu_demands.items():
+                        self.cluster.update_demand(vm_name, demand)
+                    self._notify("on_iteration", now, self.cluster.configuration)
 
-            # finished applications ask the loop to stop their vjob
-            self._mark_finished_vjobs(now, result)
+                # finished applications ask the loop to stop their vjob
+                self._mark_finished_vjobs(now, result)
 
-            if self.queue.all_terminated() and len(self._submitted) == len(
-                self.workloads
-            ):
-                break
+                if self.queue.all_terminated() and len(self._submitted) == len(
+                    self.workloads
+                ):
+                    break
 
-            # (ii) decide
-            decision = self.decision_module.decide(
-                self.cluster.configuration, self.queue, observation.cpu_demands
-            )
-            self._notify("on_decision", now, decision)
+                # (ii) decide
+                with span("decide"):
+                    decision = self.decision_module.decide(
+                        self.cluster.configuration,
+                        self.queue,
+                        observation.cpu_demands,
+                    )
+                self._notify("on_decision", now, decision)
 
-            # (iii) plan and (iv) execute if something must change
-            switch_duration = 0.0
-            involved_nodes: set[str] = set()
-            report = None
-            if self._perturbed:
-                # Hand this round's perturbed VMs to the repair engine (the
-                # cold engines ignore the hint).  The engine accumulates
-                # marks until its next solve, so nothing is lost when this
-                # iteration needs no switch.
-                self.switcher.mark_dirty(sorted(self._perturbed))
-                self._perturbed.clear()
-            if needs_switch(self.cluster.configuration, decision):
-                try:
-                    report = self._plan(decision, vjob_of_vm)
-                except PlanningError:
-                    # Planning can fail transiently (e.g. a migration cycle
-                    # with no pivot node on a packed cluster).  Keep the
-                    # current configuration for this round — the next
-                    # iteration observes fresh demands and retries.
-                    planning_failures += 1
-                    report = self._fallback_plan(decision, vjob_of_vm)
-                if report is not None:
-                    consecutive_failures = 0
+                # (iii) plan and (iv) execute if something must change
+                switch_duration = 0.0
+                involved_nodes: set[str] = set()
+                report = None
+                if self._perturbed:
+                    # Hand this round's perturbed VMs to the repair engine (the
+                    # cold engines ignore the hint).  The engine accumulates
+                    # marks until its next solve, so nothing is lost when this
+                    # iteration needs no switch.
+                    self.switcher.mark_dirty(sorted(self._perturbed))
+                    self._perturbed.clear()
+                if needs_switch(self.cluster.configuration, decision):
+                    with span("plan") as plan_span:
+                        try:
+                            report = self._plan(decision, vjob_of_vm)
+                        except PlanningError:
+                            # Planning can fail transiently (e.g. a migration
+                            # cycle with no pivot node on a packed cluster).
+                            # Keep the current configuration for this round —
+                            # the next iteration observes fresh demands and
+                            # retries.
+                            planning_failures += 1
+                            plan_span.set(failed=True)
+                            report = self._fallback_plan(decision, vjob_of_vm)
+                    if report is not None:
+                        consecutive_failures = 0
+                    else:
+                        consecutive_failures += 1
+                        if (
+                            consecutive_failures
+                            >= self.max_consecutive_planning_failures
+                        ):
+                            # The decision is permanently unplannable: fail
+                            # loudly instead of spinning until max_time and
+                            # returning plausible-looking garbage.
+                            raise PlanningError(
+                                f"policy {self.policy_name!r} produced "
+                                f"{consecutive_failures} consecutive unplannable "
+                                f"decisions (last at simulated time {now:.0f}s); "
+                                "the scenario cannot make progress"
+                            )
                 else:
-                    consecutive_failures += 1
-                    if (
-                        consecutive_failures
-                        >= self.max_consecutive_planning_failures
-                    ):
-                        # The decision is permanently unplannable: fail
-                        # loudly instead of spinning until max_time and
-                        # returning plausible-looking garbage.
-                        raise PlanningError(
-                            f"policy {self.policy_name!r} produced "
-                            f"{consecutive_failures} consecutive unplannable "
-                            f"decisions (last at simulated time {now:.0f}s); "
-                            "the scenario cannot make progress"
+                    # No switch needed is progress too: a transient failure
+                    # followed by a satisfied decision must not count towards
+                    # the consecutive-failure abort.
+                    consecutive_failures = 0
+                if report is not None:
+                    execution = self.executor.execute(
+                        report.plan,
+                        self.cluster,
+                        start_time=now,
+                        constraints=self.constraints,
+                    )
+                    switch_duration = execution.duration
+                    involved_nodes = execution.involved_nodes()
+                    record = self._record_switch(now, report, execution)
+                    result.switches.append(record)
+                    round_span.set(switched=True, switch_cost=record.cost)
+                    statistics = getattr(report, "statistics", None)
+                    if statistics is not None:
+                        # Deterministic counters only (no wall-clock fields):
+                        # the HTTP-equals-in-process determinism test compares
+                        # full result documents across independent runs.
+                        solver_rounds.append(
+                            {
+                                "time": now,
+                                "nodes": statistics.nodes,
+                                "backtracks": statistics.backtracks,
+                                "propagations": statistics.propagations,
+                                "solutions": statistics.solutions,
+                                "proven_optimal": statistics.proven_optimal,
+                            }
                         )
-            else:
-                # No switch needed is progress too: a transient failure
-                # followed by a satisfied decision must not count towards
-                # the consecutive-failure abort.
-                consecutive_failures = 0
-            if report is not None:
-                execution = self.executor.execute(
-                    report.plan,
-                    self.cluster,
-                    start_time=now,
-                    constraints=self.constraints,
-                )
-                switch_duration = execution.duration
-                involved_nodes = execution.involved_nodes()
-                record = self._record_switch(now, report, execution)
-                result.switches.append(record)
-                if report.repair is not None:
-                    repair_traces.append(report.repair)
-                self._record_migration_faults(execution, result)
-                self._record_switch_violations(now, report, execution, result)
-                self._notify("on_switch", record, report)
-                self.monitoring.notify_reconfiguration(now + switch_duration)
-                self._sync_vjob_states()
-                self._check_repairs(now + switch_duration, result)
+                    if report.repair is not None:
+                        repair_traces.append(report.repair)
+                    self._record_migration_faults(execution, result)
+                    self._record_switch_violations(now, report, execution, result)
+                    self._notify("on_switch", record, report)
+                    self.monitoring.notify_reconfiguration(now + switch_duration)
+                    self._sync_vjob_states()
+                    self._check_repairs(now + switch_duration, result)
 
-            # constraint watchdog: the settled state of this iteration must
-            # honour the catalog, switch or not
-            self._record_configuration_violations(now + switch_duration, result)
+                # constraint watchdog: the settled state of this iteration must
+                # honour the catalog, switch or not
+                self._record_configuration_violations(now + switch_duration, result)
 
-            # sample utilization after the switch
-            sample = self._sample(now)
-            result.utilization.append(sample)
-            self._notify("on_sample", sample)
+                # sample utilization after the switch
+                sample = self._sample(now)
+                result.utilization.append(sample)
+                self._notify("on_sample", sample)
 
-            # advance simulated time and the progress of the running vjobs
-            step = max(self.period, switch_duration)
-            self._advance_progress(step, switch_duration, involved_nodes, now)
-            now += step
+                # advance simulated time and the progress of the running vjobs
+                step = max(self.period, switch_duration)
+                self._advance_progress(step, switch_duration, involved_nodes, now)
+                now += step
+                iteration += 1
 
         result.makespan = (
             max(result.completion_times.values()) if result.completion_times else now
@@ -434,6 +482,22 @@ class ControlLoop:
         result.metadata["planning_failures"] = planning_failures
         if self._stop_requested:
             result.metadata["stopped_early"] = True
+        if solver_rounds:
+            # Per-round CP search statistics (satellite of the tracing PR):
+            # partitioned engines report counters merged across zones, so
+            # monolithic and decomposed runs are directly comparable here.
+            result.metadata["solver"] = {
+                "rounds": solver_rounds,
+                "totals": {
+                    key: sum(r[key] for r in solver_rounds)
+                    for key in (
+                        "nodes",
+                        "backtracks",
+                        "propagations",
+                        "solutions",
+                    )
+                },
+            }
         if repair_traces:
             result.metadata["repair_engine"] = {
                 "repair_rounds": sum(

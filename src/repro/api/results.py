@@ -139,6 +139,12 @@ class RunResult:
     Constrained runs (``Scenario.with_constraints``) additionally fill
     ``constraint_violations`` — the chronological per-constraint violation
     timeline — summarized by :attr:`constraint_violation_counts`.
+
+    Traced runs (``Scenario(trace=True)``) attach the full span tree as
+    ``trace`` — a plain :meth:`repro.obs.Tracer.to_dict` document, so it
+    survives the JSON round-trip byte-stably and feeds the ``repro-trace``
+    CLI and Chrome trace-event export.  ``None`` on untraced runs, and the
+    ``"trace"`` key is then omitted from :meth:`to_dict` entirely.
     """
 
     makespan: float = 0.0
@@ -154,6 +160,7 @@ class RunResult:
     constraint_violations: list[ConstraintViolationRecord] = field(
         default_factory=list
     )
+    trace: dict[str, Any] | None = None
 
     @property
     def average_switch_duration(self) -> float:
@@ -214,8 +221,10 @@ class RunResult:
         violations, metadata).  :meth:`from_dict` is the exact inverse —
         ``RunResult.from_dict(r.to_dict()) == r`` — so results travel over
         HTTP (the :mod:`repro.service` daemon's ``GET /result``) and into
-        JSON stores without loss."""
-        return {
+        JSON stores without loss.  The ``"trace"`` key is present only on
+        traced runs, so untraced documents are byte-identical to pre-trace
+        ones."""
+        data: dict[str, Any] = {
             "policy": self.policy,
             "makespan": self.makespan,
             "switches": [
@@ -271,6 +280,9 @@ class RunResult:
                 for v in self.constraint_violations
             ],
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -337,6 +349,7 @@ class RunResult:
                 )
                 for v in data.get("constraint_violations", [])
             ],
+            trace=data.get("trace"),
         )
 
     def summary(self) -> dict[str, Any]:

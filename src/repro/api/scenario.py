@@ -24,6 +24,7 @@ from typing import Any, Mapping, Optional, Sequence
 from .. import config
 from ..constraints.base import PlacementConstraint
 from ..model.node import Node
+from ..obs import Tracer
 from ..sim.faults import FaultInjector, FaultSchedule
 from ..sim.hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
 from ..workloads.traces import VJobWorkload
@@ -61,6 +62,13 @@ class Scenario:
     violated-constraint members), the solver freezes everything else and
     re-solves the dirty region only — widened by ``repair_halo`` rounds of
     co-host expansion — falling back to the full solve on infeasibility.
+
+    ``trace=True`` attaches a :class:`repro.obs.Tracer` to the run: every
+    round records observe/decide/plan/solve/execute child spans (zone and
+    repair-attempt spans included) and the finished
+    :attr:`RunResult.trace` carries the whole span tree — summarize it
+    with the ``repro-trace`` CLI or export it to Chrome trace-event JSON
+    (see ``docs/OBSERVABILITY.md``).
     """
 
     nodes: Sequence[Node] = ()
@@ -81,6 +89,7 @@ class Scenario:
     sla_factor: Optional[float] = None
     constraints: Sequence[PlacementConstraint] = ()
     observers: list[LoopObserver] = field(default_factory=list)
+    trace: bool = False
 
     def __post_init__(self) -> None:
         self.nodes = list(self.nodes)
@@ -182,6 +191,7 @@ class Scenario:
             sla_factor=self.sla_factor,
             constraints=self.constraints,
             command_queue=command_queue,
+            tracer=Tracer() if self.trace else None,
         )
 
     def run(self) -> RunResult:
@@ -379,6 +389,11 @@ class ExperimentBuilder:
 
     def observe(self, observer: LoopObserver) -> "ExperimentBuilder":
         self._observers.append(observer)
+        return self
+
+    def trace(self, enabled: bool = True) -> "ExperimentBuilder":
+        """Record a :mod:`repro.obs` span trace on the run's result."""
+        self._overrides["trace"] = enabled
         return self
 
     def build(self) -> Scenario:

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
+from ..cp.solver import SearchStatistics
 from ..model.configuration import Configuration
 from ..model.vm import VMState
+from ..obs import span
 from .cost import PlanCost, plan_cost
 from .optimizer import ContextSwitchOptimizer, OptimizationResult
 from .placement import PlacementConstraint
@@ -36,6 +38,10 @@ class ContextSwitchReport:
     #: switch was computed by ``engine="repair"`` / ``"repair-partitioned"``;
     #: ``None`` for the cold engines.
     repair: Optional[dict] = None
+    #: CP search statistics of the optimizing solve that produced the
+    #: target (merged across zones for the partitioned engines); ``None``
+    #: when no search ran (:meth:`ClusterContextSwitch.plan_to`).
+    statistics: Optional[SearchStatistics] = None
 
     @property
     def total_cost(self) -> int:
@@ -149,13 +155,16 @@ class ClusterContextSwitch:
         (:mod:`repro.core.placement`) the target must honour.
         """
         if self.use_optimizer:
-            result: OptimizationResult = self.optimizer.optimize(
-                current,
-                target_states,
-                vjob_of_vm=vjob_of_vm,
-                fallback_target=fallback_target,
-                constraints=constraints,
-            )
+            with span("solve", engine=self.engine) as solve_span:
+                result: OptimizationResult = self.optimizer.optimize(
+                    current,
+                    target_states,
+                    vjob_of_vm=vjob_of_vm,
+                    fallback_target=fallback_target,
+                    constraints=constraints,
+                )
+                if result.used_fallback:
+                    solve_span.set(used_fallback=True)
             trace = getattr(result, "trace", None)
             return ContextSwitchReport(
                 current=current,
@@ -164,6 +173,7 @@ class ClusterContextSwitch:
                 cost=plan_cost(result.plan),
                 used_fallback=result.used_fallback,
                 repair=trace() if callable(trace) else None,
+                statistics=getattr(result, "statistics", None),
             )
         if fallback_target is None:
             raise ValueError(

@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from ..model.errors import InconsistencyError, SolverError
+from ..obs import NULL_SPAN, Span
+from ..obs import span as obs_span
 from .constraints import Constraint
 from .variables import IntVar, make_interval_var, make_pinned_var
 
@@ -482,6 +484,46 @@ class Solver:
             callers must not surface ``proven_optimal`` as a claim about
             the unpinned problem.
         """
+        # The span wraps the whole search so a trace shows the true solve
+        # duration; the search counters land on it as span counters and the
+        # improving-objective timeline as timestamped span events.  With no
+        # active tracer the span is the shared no-op and costs one
+        # contextvar read.
+        with obs_span("cp.solve", engine=self._engine) as trace_span:
+            result = self._solve_impl(
+                minimize=minimize,
+                timeout=timeout,
+                solution_limit=solution_limit,
+                collect_all=collect_all,
+                first_solution_only=first_solution_only,
+                initial_bound=initial_bound,
+                node_limit=node_limit,
+                assumptions=assumptions,
+                trace_span=trace_span,
+            )
+            stats = result.statistics
+            trace_span.inc("nodes", stats.nodes)
+            trace_span.inc("backtracks", stats.backtracks)
+            trace_span.inc("propagations", stats.propagations)
+            trace_span.inc("solutions", stats.solutions)
+            trace_span.set(
+                proven_optimal=stats.proven_optimal,
+                timed_out=stats.timed_out,
+            )
+        return result
+
+    def _solve_impl(
+        self,
+        minimize: Optional[IntVar] = None,
+        timeout: Optional[float] = None,
+        solution_limit: Optional[int] = None,
+        collect_all: bool = False,
+        first_solution_only: bool = False,
+        initial_bound: Optional[int] = None,
+        node_limit: Optional[int] = None,
+        assumptions: Optional[Mapping[IntVar, int]] = None,
+        trace_span: Span = NULL_SPAN,
+    ) -> SearchResult:
         event = self._engine == "event"
         store = _Store(self._watchers, event_mode=event)
         stats = SearchStatistics()
@@ -568,6 +610,10 @@ class Solver:
                     if best_cost is None or solution.objective < best_cost:
                         best_cost = solution.objective
                         result.best = solution
+                        trace_span.event(
+                            "improving_solution",
+                            objective=solution.objective,
+                        )
                     if first_solution_only:
                         return True
                     # keep searching for a strictly better solution

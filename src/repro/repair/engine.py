@@ -35,6 +35,7 @@ from ..core.optimizer import ContextSwitchOptimizer, OptimizationResult
 from ..model.configuration import Configuration
 from ..model.errors import PlanningError
 from ..model.vm import VMState
+from ..obs import span
 
 #: Smallest wall-clock budget a single LNS attempt can be carved down to —
 #: mirrors the zone floor of :mod:`repro.scale.parallel`.
@@ -305,17 +306,25 @@ class RepairOptimizer:
                 self.inner.timeout = max(_MIN_ATTEMPT_TIMEOUT_S, remaining)
                 attempts += 1
                 result: Optional[OptimizationResult]
-                try:
-                    result = self.inner.optimize(
-                        current,
-                        target_states,
-                        vjob_of_vm=vjob_of_vm,
-                        fallback_target=None,
-                        constraints=constraints,
-                        pinned=pins,
-                    )
-                except PlanningError:
-                    result = None
+                with span(
+                    "repair-attempt",
+                    level=level,
+                    dirty=len(dirty),
+                    frozen=len(pins),
+                ) as attempt_span:
+                    try:
+                        result = self.inner.optimize(
+                            current,
+                            target_states,
+                            vjob_of_vm=vjob_of_vm,
+                            fallback_target=None,
+                            constraints=constraints,
+                            pinned=pins,
+                        )
+                    except PlanningError:
+                        result = None
+                    if result is None:
+                        attempt_span.set(failed=True)
                 if result is not None:
                     return self._accept(
                         result,
@@ -400,13 +409,14 @@ class RepairOptimizer:
             deadline - time.monotonic(),
         )
         self.inner.timeout = remaining
-        result = self.inner.optimize(
-            current,
-            target_states,
-            vjob_of_vm=vjob_of_vm,
-            fallback_target=fallback_target,
-            constraints=constraints,
-        )
+        with span("full-solve", reason=reason, dirty=dirty_count):
+            result = self.inner.optimize(
+                current,
+                target_states,
+                vjob_of_vm=vjob_of_vm,
+                fallback_target=fallback_target,
+                constraints=constraints,
+            )
         return self._accept(
             result,
             mode="full",

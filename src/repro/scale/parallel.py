@@ -55,6 +55,7 @@ from ..cp import SearchStatistics
 from ..model.configuration import Configuration
 from ..model.errors import SolverError
 from ..model.vm import VMState
+from ..obs import Span, Tracer, current_span, current_tracer, span
 from .partition import PartitionResult, Zone, partition
 
 #: Executor kinds accepted by :class:`ParallelOptimizer`. ``"serial"`` runs
@@ -106,6 +107,10 @@ class ZoneTask:
     #: whose VM *and* node lie inside the zone are carried; a zone whose VMs
     #: are all pinned never reaches a worker — see ``_solve_zones``).
     pinned: Optional[dict[str, str]] = None
+    #: True when the parent solve is being traced: the worker records a
+    #: local :class:`repro.obs.Tracer` and ships the span tree back in
+    #: :attr:`ZoneOutcome.trace` for re-parenting.
+    trace: bool = False
 
 
 @dataclass
@@ -119,6 +124,10 @@ class ZoneOutcome:
     #: True when the zone was untouched by the repair round: its previous
     #: sub-assignment was reused verbatim without entering a solver.
     reused: bool = False
+    #: Serialized worker-side span tree (``Tracer.to_dict()``), present only
+    #: when :attr:`ZoneTask.trace` was set and the zone solved in a worker
+    #: process; the parent re-parents it into its own timeline.
+    trace: Optional[dict] = None
 
 
 @dataclass
@@ -173,7 +182,35 @@ def build_zone_configuration(
 
 
 def solve_zone(task: ZoneTask) -> ZoneOutcome:
-    """Solve one zone; module-level so process pools can import it."""
+    """Solve one zone; module-level so process pools can import it.
+
+    Tracing composes with both executors: in-process (serial) zones open a
+    ``zone`` span under whatever is already active, while worker processes
+    record a local tracer when :attr:`ZoneTask.trace` is set and ship its
+    tree back in :attr:`ZoneOutcome.trace` for the parent to re-parent.
+    The flag — not the ambient contextvar — decides, because forked
+    workers *inherit* the parent's active span and any span recorded on
+    that copied tracer would be lost with the worker.
+    """
+    if task.trace:
+        tracer = Tracer(name="zone")
+        with tracer.activate() as root:
+            # ``remote`` makes the Chrome exporter give this subtree its
+            # own track, so concurrent zones render side by side.
+            root.set(zone=task.zone.index, remote=True)
+            outcome = _solve_zone_traced(task, root)
+        outcome.trace = tracer.to_dict()
+        return outcome
+    with span("zone", zone=task.zone.index) as zone_span:
+        return _solve_zone_traced(task, zone_span)
+
+
+def _solve_zone_traced(task: ZoneTask, zone_span: Span) -> ZoneOutcome:
+    zone_span.set(
+        vms=len(task.zone.vms),
+        nodes=len(task.zone.nodes),
+        pinned=len(task.pinned or {}),
+    )
     optimizer = ContextSwitchOptimizer(
         timeout=task.timeout,
         engine=task.engine,
@@ -506,7 +543,24 @@ class ParallelOptimizer:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=wanted)
             self._pool_size = wanted
-        return reused + list(self._pool.map(solve_zone, tasks))
+        tracer = current_tracer()
+        parent_span = current_span()
+        if tracer is not None:
+            for task in tasks:
+                task.trace = True
+        submitted_at = tracer.now() if tracer is not None else 0.0
+        outcomes = list(self._pool.map(solve_zone, tasks))
+        if tracer is not None and parent_span is not None:
+            # Worker clocks are independent; aligning each zone tree to the
+            # submit time is approximate (documented by the ``adopted``
+            # attribute the graft sets) but keeps concurrent zones visible
+            # inside the parent solve span.
+            for outcome in sorted(outcomes, key=lambda o: o.index):
+                if outcome.trace is not None:
+                    tracer.adopt(
+                        parent_span, outcome.trace, offset=submitted_at
+                    )
+        return reused + outcomes
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent; the optimizer

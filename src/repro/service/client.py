@@ -136,6 +136,12 @@ class OperatorClient:
         """Queued/applied/failed operator commands, for post-run assertions."""
         return self._get_json("/commands")
 
+    def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The run's span tree (live snapshot while running, final tree
+        when done; ``None`` for untraced scenarios) plus the daemon's recent
+        per-request HTTP spans — ``limit`` bounds the request list."""
+        return self._get_json("/trace", query={"limit": limit})
+
     def result(self) -> RunResult:
         """The finished run as a full :class:`RunResult` (404 → ServiceError
         while the run is still going)."""

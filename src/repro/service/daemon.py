@@ -14,6 +14,9 @@ dependencies).  Endpoints:
 ``GET /plans``          executed plan sequence (audit replay)
 ``GET /audit``          append-only audit log entries
 ``GET /result``         the finished run's full :class:`RunResult`
+``GET /trace``          the run's span tree (:mod:`repro.obs`) — live
+                        snapshot while running, final tree when done — plus
+                        recent per-request HTTP spans
 ``POST /run``           start the scenario's control loop
 ``POST /vjobs``         submit a vjob workload (applied mid-run at the next
                         iteration boundary)
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional
 from urllib.parse import parse_qs, urlparse
@@ -41,6 +45,7 @@ from urllib.parse import parse_qs, urlparse
 from ..api.loop import ControlLoop
 from ..api.results import RunResult
 from ..api.scenario import Scenario
+from ..obs import Tracer
 from ..scale.campaign import (
     CampaignPoint,
     CampaignSpec,
@@ -138,6 +143,7 @@ class OperatorDaemon:
         port: int = 8090,
         audit_path: Optional[str] = None,
         telemetry_capacity: int = 512,
+        request_trace_capacity: int = 256,
     ) -> None:
         self.scenario = scenario
         self.host = host
@@ -162,6 +168,9 @@ class OperatorDaemon:
         self._closing = False
         self._campaigns: Dict[str, Dict[str, Any]] = {}
         self._campaign_counter = 0
+        #: Completed per-request HTTP span dicts, newest last (bounded so a
+        #: chatty operator cannot grow the daemon without limit).
+        self._request_spans: deque = deque(maxlen=request_trace_capacity)
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
 
@@ -283,6 +292,38 @@ class OperatorDaemon:
         if thread is not None:
             thread.join(timeout=timeout)
         return self.state
+
+    # ------------------------------------------------------------------ #
+    # tracing                                                             #
+    # ------------------------------------------------------------------ #
+
+    def run_trace(self) -> Optional[Dict[str, Any]]:
+        """The run's span tree: the finished result's attached trace when
+        the run is over, a live snapshot of the control loop's tracer while
+        it runs, or ``None`` for an untraced scenario."""
+        result = self.observer.result
+        if result is not None and result.trace is not None:
+            return result.trace
+        with self._lock:
+            loop = self._loop
+        tracer = getattr(loop, "tracer", None)
+        if tracer is not None:
+            return tracer.to_dict()
+        return None
+
+    def record_request_span(self, span_dict: Dict[str, Any]) -> None:
+        """Store one finished per-request span (called by HTTP threads)."""
+        with self._lock:
+            self._request_spans.append(span_dict)
+
+    def request_spans(
+        self, limit: Optional[int] = None
+    ) -> list[Dict[str, Any]]:
+        with self._lock:
+            spans = list(self._request_spans)
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return spans
 
     # ------------------------------------------------------------------ #
     # campaigns                                                           #
@@ -422,6 +463,14 @@ class OperatorDaemon:
             if result is None:
                 raise _HTTPError(404, f"no result yet (state: {self.state})")
             return 200, result.to_dict()
+        if path == "/trace":
+            return 200, {
+                "state": self.state,
+                "trace": self.run_trace(),
+                "requests": self.request_spans(
+                    limit=_int_param(query, "limit")
+                ),
+            }
         if path == "/commands":
             return 200, {
                 "pending": self.commands.pending,
@@ -512,14 +561,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(data)
 
     def _dispatch(self, handler: Callable[[], tuple[int, Any]]) -> None:
-        try:
-            status, body = handler()
-        except _HTTPError as error:
-            self._reply(error.status, {"error": error.message})
-        except Exception as error:  # the daemon must outlive a bad request
-            self._reply(500, {"error": repr(error)})
-        else:
-            self._reply(status, body)
+        # Every request gets its own transient tracer: the span times the
+        # handler (not the socket write) and lands in the daemon's bounded
+        # request-span buffer, served back by ``GET /trace``.
+        tracer = Tracer(name="request")
+        with tracer.activate() as root:
+            root.set(method=self.command, path=urlparse(self.path).path)
+            try:
+                status, body = handler()
+            except _HTTPError as error:
+                status, body = error.status, {"error": error.message}
+            except Exception as error:  # the daemon must outlive a bad request
+                status, body = 500, {"error": repr(error)}
+            root.set(status=status)
+        self.operator.record_request_span(tracer.to_dict()["root"])
+        self._reply(status, body)
 
     def do_GET(self) -> None:
         parsed = urlparse(self.path)

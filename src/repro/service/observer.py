@@ -115,6 +115,20 @@ class ServiceObserver(LoopObserver):
             "Crash-to-running repair latency (simulated seconds).",
             buckets=(30.0, 60.0, 120.0, 240.0, 480.0, 960.0, 1920.0),
         )
+        self.solver_backtracks = m.counter(
+            "repro_solver_backtracks_total",
+            "CP search backtracks across planning solves (merged across "
+            "zones for the partitioned engines).",
+        )
+        self.solver_propagations = m.counter(
+            "repro_solver_propagations_total",
+            "CP constraint propagations across planning solves (merged "
+            "across zones for the partitioned engines).",
+        )
+        self.solver_nodes = m.counter(
+            "repro_solver_nodes_total",
+            "CP search-tree nodes explored across planning solves.",
+        )
         self.violations = m.counter(
             "repro_constraint_violations_total",
             "Placement-constraint violations observed, by phase.",
@@ -216,6 +230,14 @@ class ServiceObserver(LoopObserver):
         if repair is not None:
             self.repair_solves.inc(mode=str(repair.get("mode", "full")))
             self.repair_dirty_vms.observe(float(repair.get("dirty_count", 0)))
+        statistics = getattr(report, "statistics", None)
+        if statistics is not None:
+            if statistics.backtracks:
+                self.solver_backtracks.inc(statistics.backtracks)
+            if statistics.propagations:
+                self.solver_propagations.inc(statistics.propagations)
+            if statistics.nodes:
+                self.solver_nodes.inc(statistics.nodes)
         self.audit.append(
             "plan",
             record.time,

@@ -27,6 +27,7 @@ from ..constraints.checker import check_configuration
 from ..core.actions import Action, ActionKind
 from ..core.plan import ReconfigurationPlan
 from ..model.errors import ExecutionError
+from ..obs import span
 from .cluster import SimulatedCluster
 from .hypervisor import DEFAULT_HYPERVISOR, HypervisorModel
 
@@ -175,6 +176,23 @@ class PlanExecutor:
         happened, fault-injected deviations included) and each breach is
         recorded as a :class:`ConstraintViolationEvent`.
         """
+        with span("execute") as trace_span:
+            report = self._execute_impl(
+                plan, cluster, start_time, constraints
+            )
+            trace_span.inc("pools", len(plan.pools))
+            trace_span.inc("actions", len(report.actions))
+            trace_span.inc("failed_actions", len(report.failures))
+            trace_span.set(sim_duration=report.duration)
+        return report
+
+    def _execute_impl(
+        self,
+        plan: ReconfigurationPlan,
+        cluster: SimulatedCluster,
+        start_time: float,
+        constraints: Sequence[PlacementConstraint],
+    ) -> ExecutionReport:
         report = ExecutionReport(start=start_time)
         injector = self.fault_injector
         clock = start_time

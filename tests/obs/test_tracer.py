@@ -1,0 +1,196 @@
+"""Unit tests of the span tracer core (``repro.obs.tracer``)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    span,
+)
+
+
+def ticking_tracer(step: float = 0.5, name: str = "run") -> Tracer:
+    """A tracer whose clock advances ``step`` seconds per reading."""
+    counter = iter(range(100_000))
+    return Tracer(name=name, clock=lambda: next(counter) * step)
+
+
+class TestInactiveTracing:
+    def test_span_yields_the_null_singleton_when_no_tracer_is_active(self):
+        assert current_tracer() is None
+        with span("anything", key="value") as sp:
+            assert sp is NULL_SPAN
+        assert current_span() is None
+
+    def test_null_span_swallows_all_recording(self):
+        with span("x") as sp:
+            sp.set(a=1)
+            sp.inc("ticks", 5)
+            sp.event("boom", detail="ignored")
+        assert NULL_SPAN.attributes == {}
+        assert NULL_SPAN.counters == {}
+        assert NULL_SPAN.events == []
+
+
+class TestNesting:
+    def test_children_nest_under_the_active_span(self):
+        tracer = ticking_tracer()
+        with tracer.activate() as root:
+            assert current_tracer() is tracer
+            assert current_span() is root
+            with span("round", index=0) as outer:
+                assert current_span() is outer
+                with span("solve") as inner:
+                    assert current_span() is inner
+                assert current_span() is outer
+        assert current_span() is None
+        (round_span,) = tracer.root.children
+        assert round_span.name == "round"
+        assert round_span.attributes == {"index": 0}
+        (solve_span,) = round_span.children
+        assert solve_span.name == "solve"
+
+    def test_deterministic_timestamps_with_injected_clock(self):
+        tracer = ticking_tracer(step=0.5)
+        with tracer.activate():
+            with span("a"):      # starts at 0.5, ends at 1.0
+                pass
+            with span("b"):      # starts at 1.5, ends at 2.0
+                pass
+        a, b = tracer.root.children
+        assert (a.start, a.end) == (0.5, 1.0)
+        assert (b.start, b.end) == (1.5, 2.0)
+        assert a.duration == 0.5
+        assert tracer.root.end == 2.5
+
+    def test_counters_accumulate_and_events_are_timestamped(self):
+        tracer = ticking_tracer(step=1.0)
+        with tracer.activate():
+            with span("solve") as sp:
+                sp.inc("nodes", 3)
+                sp.inc("nodes", 2)
+                sp.event("improving_solution", objective=42)
+        (solve,) = tracer.root.children
+        assert solve.counters == {"nodes": 5}
+        (event,) = solve.events
+        assert event["name"] == "improving_solution"
+        assert event["attributes"] == {"objective": 42}
+        assert solve.start < event["at"] <= solve.end
+
+    def test_start_and_finish_are_idempotent(self):
+        tracer = ticking_tracer()
+        tracer.start()
+        origin_epoch = tracer.started_at
+        tracer.start()
+        assert tracer.started_at == origin_epoch
+        tracer.finish()
+        end = tracer.root.end
+        tracer.finish()
+        assert tracer.root.end == end
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_byte_stably(self):
+        tracer = ticking_tracer()
+        with tracer.activate():
+            with span("round", index=1) as sp:
+                sp.inc("moves", 2)
+                sp.event("mark")
+                with span("solve"):
+                    pass
+        document = tracer.root.to_dict()
+        assert Span.from_dict(document).to_dict() == document
+
+    def test_empty_collections_are_omitted(self):
+        sp = Span("bare", start=1.0)
+        sp.end = 2.0
+        assert sp.to_dict() == {"name": "bare", "start": 1.0, "end": 2.0}
+
+    def test_open_span_serializes_with_null_end(self):
+        tracer = ticking_tracer()
+        tracer.start()
+        snapshot = tracer.to_dict()
+        assert snapshot["root"]["end"] is None
+        assert snapshot["version"] == 1
+
+    def test_shift_translates_the_whole_subtree(self):
+        sp = Span("zone", start=1.0)
+        sp.end = 2.0
+        sp.event("mark")
+        child = Span("cp.solve", start=1.25)
+        child.end = 1.75
+        sp.children.append(child)
+        sp.shift(10.0)
+        assert (sp.start, sp.end) == (11.0, 12.0)
+        assert (child.start, child.end) == (11.25, 11.75)
+        assert sp.events[0]["at"] == 11.0
+
+
+class TestAdoption:
+    def test_adopt_grafts_a_worker_trace_with_offset(self):
+        worker = ticking_tracer(step=0.25, name="zone")
+        with worker.activate() as root:
+            root.set(zone=3, remote=True)
+            with span("cp.solve") as sp:
+                sp.inc("nodes", 7)
+        shipped = worker.to_dict()
+
+        parent = ticking_tracer(step=1.0)
+        with parent.activate() as root:
+            with span("solve") as solve_span:
+                adopted = parent.adopt(solve_span, shipped, offset=100.0)
+        assert adopted.name == "zone"
+        assert adopted.attributes["adopted"] is True
+        assert adopted.attributes["zone"] == 3
+        assert adopted.start == 100.0
+        (cp,) = adopted.children
+        assert cp.counters == {"nodes": 7}
+        assert cp.start == 100.25
+        # The graft is reachable from the parent's tree.
+        names = [node.name for node in parent.root.walk()]
+        assert names == ["run", "solve", "zone", "cp.solve"]
+
+    def test_adopt_accepts_a_bare_span_dict(self):
+        parent = ticking_tracer()
+        with parent.activate() as root:
+            node = parent.adopt(root, {"name": "zone", "start": 0.0, "end": 1.0})
+        assert node.name == "zone"
+
+
+class TestThreads:
+    def test_context_does_not_leak_into_new_threads(self):
+        tracer = ticking_tracer()
+        seen = {}
+
+        def worker():
+            seen["tracer"] = current_tracer()
+            with span("in-thread") as sp:
+                seen["span"] = sp
+
+        with tracer.activate():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["tracer"] is None
+        assert seen["span"] is NULL_SPAN
+        assert tracer.root.children == []
+
+    def test_live_snapshot_from_another_thread(self):
+        tracer = ticking_tracer()
+        snapshots = []
+        with tracer.activate():
+            with span("round"):
+                thread = threading.Thread(
+                    target=lambda: snapshots.append(tracer.to_dict())
+                )
+                thread.start()
+                thread.join()
+        (snapshot,) = snapshots
+        (round_dict,) = snapshot["root"]["children"]
+        assert round_dict["name"] == "round"
+        assert round_dict["end"] is None  # still open when snapshotted

@@ -138,3 +138,60 @@ def test_telemetry_matches_the_utilization_series(runs):
     assert [s["time"] for s in telemetry["samples"]] == [
         u.time for u in result.utilization
     ]
+
+
+def _span_shape(node):
+    """Span tree with timestamps erased — comparable across runs."""
+    return (
+        node["name"],
+        sorted(node.get("attributes", {}).items()),
+        sorted(node.get("counters", {}).items()),
+        [event["name"] for event in node.get("events", [])],
+        [_span_shape(child) for child in node.get("children", [])],
+    )
+
+
+def test_trace_endpoint_serves_the_run_trace():
+    # A dedicated traced pair: the shared ``runs`` fixture must stay
+    # untraced so that the byte-compare above keeps holding across
+    # independent runs (span timestamps are wall-clock).
+    in_process_scenario = chaos_scenario(
+        churn_workloads(), FaultSchedule().node_crash("node-1", at=120.0)
+    )
+    in_process_scenario.trace = True
+    in_process = in_process_scenario.run()
+
+    daemon_scenario = chaos_scenario([], None)
+    daemon_scenario.trace = True
+    with daemon_scenario.serve(port=0) as daemon:
+        client = OperatorClient(daemon.url, timeout=30.0)
+        for workload in churn_workloads():
+            client.submit_vjob(workload)
+        client.inject_fault(
+            {"kind": "node_crash", "target": "node-1", "at": 120.0}
+        )
+        client.start_run()
+        assert client.wait(timeout=600.0) == "completed"
+        payload = client.trace()
+        result = client.result()
+
+    assert payload["state"] == "completed"
+    # Same run: the endpoint returns exactly the trace the result carries.
+    assert payload["trace"] == result.trace
+    # Different run, same seeds: identical span tree modulo timestamps.
+    assert _span_shape(payload["trace"]["root"]) == _span_shape(
+        in_process.trace["root"]
+    )
+    # Every HTTP request the daemon served was traced too.
+    requests = payload["requests"]
+    assert requests
+    for request_span in requests:
+        assert request_span["name"] == "request"
+        attributes = request_span["attributes"]
+        assert attributes["method"] in {"GET", "POST"}
+        assert attributes["path"].startswith("/")
+        assert attributes["status"] in {200, 202}
+    assert any(
+        r["attributes"]["path"] == "/run" and r["attributes"]["method"] == "POST"
+        for r in requests
+    )

@@ -130,6 +130,7 @@ DOCUMENTED_PACKAGES = (
     "repro.scale",
     "repro.service",
     "repro.instances",
+    "repro.obs",
 )
 
 #: The generated-style index of the public surface.
