@@ -1,0 +1,301 @@
+"""Datacenter-tier model-layer benchmark: per-round non-solve overhead.
+
+The PR10 refactor makes the *model layer* — not the CP solve — the thing
+that scales: the indexed :class:`~repro.model.Configuration` serves loads
+from columnar storage with O(changed) incremental viability, and the lazy
+:func:`~repro.scale.partition.partition` builds its interference graph from
+constraint membership indices.  This sweep measures what a control-loop
+round spends *outside* the solver on fenced fleets of 5k / 20k / 50k VMs:
+
+* **observe** — apply a seeded demand-churn batch (``replace_vm``) and run
+  the viability scan (incremental on the indexed lane, full on the naive
+  lane);
+* **partition** — decompose the fleet into zones (lazy partitioner vs the
+  retained eager :func:`~repro.scale.reference.partition_reference`);
+* **merge** — extract every zone's sub-configuration
+  (:func:`~repro.scale.parallel.build_zone_configuration`) and fold the
+  zone placements back into one global assignment.
+
+The naive lane drives the retained oracles —
+:class:`~repro.model.NaiveConfiguration` plus ``partition_reference`` — and
+is capped at :data:`NAIVE_CAP` VMs (the eager partitioner is O(VMs x
+constraints) with O(fleet) set rebuilds per member; above 5k it would
+dominate the whole harness run).  Tiers above the cap record the indexed
+lane only, which is exactly the point: they are unaffordable without the
+index.
+
+Gates (wired through ``benchmarks/harness.py``):
+
+* ``--min-model-speedup`` — naive/indexed per-round ratio on the largest
+  tier that still ran the naive lane (>= 5x on the 5k tier is the PR10
+  acceptance gate).  A paired ratio, so it is runner-speed insensitive.
+* ``--max-model-round-ms`` — absolute per-round budget for the indexed lane
+  on the smallest tier.  Absolute wall-clock *does* depend on the runner,
+  so the harness first calibrates a fixed pure-python loop and loudly
+  skips the gate on slow hosts (same pattern as the partition gate's
+  core-count skip).
+
+Runnable standalone::
+
+    python benchmarks/bench_model_scale.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # pragma: no cover - script setup
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.constraints import Fence  # noqa: E402
+from repro.model import (  # noqa: E402
+    Configuration,
+    NaiveConfiguration,
+    Node,
+    VirtualMachine,
+)
+from repro.scale.parallel import build_zone_configuration  # noqa: E402
+from repro.scale.partition import partition  # noqa: E402
+from repro.scale.reference import partition_reference  # noqa: E402
+
+#: VM counts of the sweep (nodes are ``vms / VMS_PER_NODE``).
+TIERS = (5_000, 20_000, 50_000)
+#: Measured rounds per lane and tier (median reported).
+ROUNDS = 5
+#: Largest tier that still runs the naive oracle lane.
+NAIVE_CAP = 5_000
+VMS_PER_NODE = 4
+#: Fence groups — every group welds into its own placement zone.
+ZONES = 8
+#: Fraction of the fleet whose CPU demand changes per observed round.
+CHURN_FRACTION = 0.01
+
+#: Iterations of the runner-speed calibration loop and its reference
+#: wall-clock on the machine that recorded BENCH_PR10.json.  A host whose
+#: calibration exceeds ``reference x SLOW_HOST_FACTOR`` is too slow for the
+#: absolute per-round budget gate to be meaningful.
+CALIBRATION_ITERATIONS = 2_000_000
+CALIBRATION_REFERENCE_MS = 90.0
+SLOW_HOST_FACTOR = 3.0
+
+
+def calibration_ms() -> float:
+    """Wall-clock of a fixed pure-python loop, used to detect runners too
+    slow for the absolute ``--max-model-round-ms`` gate."""
+    started = time.perf_counter()
+    total = 0
+    for i in range(CALIBRATION_ITERATIONS):
+        total += i & 7
+    assert total >= 0
+    return (time.perf_counter() - started) * 1000.0
+
+
+def build_fleet(
+    vm_count: int, seed: int, naive: bool
+) -> Tuple[Configuration, List[Fence], dict]:
+    """A seeded fenced fleet: ``ZONES`` node groups, each fencing its own
+    VM group, every VM running and viable."""
+    rng = random.Random(seed)
+    node_count = max(ZONES, vm_count // VMS_PER_NODE)
+    cls = NaiveConfiguration if naive else Configuration
+    configuration = cls()
+    node_names = [f"node-{i}" for i in range(node_count)]
+    for name in node_names:
+        # Room for VMS_PER_NODE busy VMs on both dimensions, plus slack for
+        # the uneven last fence group (integer division remainder).
+        configuration.add_node(
+            Node(name=name, cpu_capacity=2 * (VMS_PER_NODE + 2),
+                 memory_capacity=1024 * (VMS_PER_NODE + 2))
+        )
+    width = node_count // ZONES
+    groups = [
+        node_names[g * width: (g + 1) * width if g < ZONES - 1 else node_count]
+        for g in range(ZONES)
+    ]
+    group_vms: List[List[str]] = [[] for _ in range(ZONES)]
+    for i in range(vm_count):
+        group = i % ZONES
+        vm_name = f"vm-{i}"
+        vm = VirtualMachine(
+            name=vm_name, memory=1024, cpu_demand=rng.randint(1, 2)
+        )
+        configuration.add_vm(vm)
+        host = groups[group][(i // ZONES) % len(groups[group])]
+        configuration.set_running(vm_name, host)
+        group_vms[group].append(vm_name)
+    constraints = [
+        Fence(vms=group_vms[g], nodes=groups[g]) for g in range(ZONES)
+    ]
+    target_states = configuration.states()
+    return configuration, constraints, target_states
+
+
+def _measure_lane(
+    vm_count: int, seed: int, rounds: int, naive: bool
+) -> dict:
+    """Median per-round observe/partition/merge wall-clock of one lane."""
+    configuration, constraints, target_states = build_fleet(
+        vm_count, seed, naive
+    )
+    rng = random.Random(seed + 1)
+    churn = max(1, int(vm_count * CHURN_FRACTION))
+    vm_names = list(configuration.vm_names)
+    partitioner = partition_reference if naive else partition
+    observe_ms: List[float] = []
+    partition_ms: List[float] = []
+    merge_ms: List[float] = []
+    zones = 0
+    # Drain construction dirtiness so round 0 measures steady state.
+    configuration.viability_violations()
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for vm_name in rng.sample(vm_names, churn):
+            vm = configuration.vm(vm_name)
+            configuration.replace_vm(
+                vm.with_cpu_demand(rng.randint(1, 2))
+            )
+        overloaded = configuration.viability_violations(only_dirty=True)
+        assert not overloaded  # churn stays within capacity
+        mid = time.perf_counter()
+        decomposition = partitioner(
+            configuration, target_states, constraints
+        )
+        assert decomposition.method == "interference"
+        assert len(decomposition.zones) == ZONES
+        after_partition = time.perf_counter()
+        merged: dict = {}
+        for zone in decomposition.zones:
+            sub = build_zone_configuration(configuration, zone)
+            merged.update(sub.placement())
+        assert len(merged) == vm_count
+        done = time.perf_counter()
+        observe_ms.append((mid - started) * 1000.0)
+        partition_ms.append((after_partition - mid) * 1000.0)
+        merge_ms.append((done - after_partition) * 1000.0)
+        zones = len(decomposition.zones)
+    lane = {
+        "observe_ms": round(statistics.median(observe_ms), 3),
+        "partition_ms": round(statistics.median(partition_ms), 3),
+        "merge_ms": round(statistics.median(merge_ms), 3),
+    }
+    lane["round_ms"] = round(
+        lane["observe_ms"] + lane["partition_ms"] + lane["merge_ms"], 3
+    )
+    lane["zones"] = zones
+    return lane
+
+
+def run(
+    tiers: Sequence[int] = TIERS,
+    rounds: int = ROUNDS,
+    seed: int = 1007,
+    naive_cap: int = NAIVE_CAP,
+) -> dict:
+    """Run the sweep and return the recorded document section."""
+    records = []
+    for vm_count in tiers:
+        indexed = _measure_lane(vm_count, seed, rounds, naive=False)
+        naive: Optional[dict] = None
+        speedup: Optional[float] = None
+        if vm_count <= naive_cap:
+            naive = _measure_lane(vm_count, seed, rounds, naive=True)
+            if indexed["round_ms"] > 0:
+                speedup = round(naive["round_ms"] / indexed["round_ms"], 2)
+        records.append(
+            {
+                "vm_count": vm_count,
+                "node_count": max(ZONES, vm_count // VMS_PER_NODE),
+                "zones": ZONES,
+                "rounds": rounds,
+                "churn_vms": max(1, int(vm_count * CHURN_FRACTION)),
+                "indexed": indexed,
+                "naive": naive,
+                "speedup": speedup,
+            }
+        )
+    return {
+        "tiers": records,
+        "naive_cap": naive_cap,
+        "churn_fraction": CHURN_FRACTION,
+        "calibration_ms": round(calibration_ms(), 1),
+        "calibration_reference_ms": CALIBRATION_REFERENCE_MS,
+    }
+
+
+def gate_speedup(results: dict) -> Optional[float]:
+    """Speedup of the largest tier that ran the naive lane (the
+    ``--min-model-speedup`` gate input)."""
+    gated = [t for t in results["tiers"] if t["speedup"] is not None]
+    if not gated:
+        return None
+    return max(gated, key=lambda t: t["vm_count"])["speedup"]
+
+
+def gate_round_ms(results: dict) -> Optional[float]:
+    """Indexed per-round time of the smallest tier (the
+    ``--max-model-round-ms`` gate input — the 5k tier in the full sweep)."""
+    if not results["tiers"]:
+        return None
+    tier = min(results["tiers"], key=lambda t: t["vm_count"])
+    return float(tier["indexed"]["round_ms"])
+
+
+def slow_host(results: dict) -> bool:
+    """True when the runner is too slow for the absolute budget gate."""
+    return (
+        results["calibration_ms"]
+        > results["calibration_reference_ms"] * SLOW_HOST_FACTOR
+    )
+
+
+def format_results(results: dict) -> str:
+    lines = []
+    for tier in results["tiers"]:
+        indexed = tier["indexed"]
+        line = (
+            f"  {tier['vm_count']:>6} VMs / {tier['node_count']:>6} nodes: "
+            f"indexed {indexed['round_ms']:>8.2f} ms/round "
+            f"(observe {indexed['observe_ms']:.2f} + "
+            f"partition {indexed['partition_ms']:.2f} + "
+            f"merge {indexed['merge_ms']:.2f})"
+        )
+        if tier["naive"] is not None:
+            line += (
+                f" | naive {tier['naive']['round_ms']:>9.2f} ms/round "
+                f"-> {tier['speedup']}x"
+            )
+        else:
+            line += " | naive skipped (above cap)"
+        lines.append(line)
+    lines.append(
+        f"  calibration {results['calibration_ms']} ms "
+        f"(reference {results['calibration_reference_ms']} ms)"
+    )
+    return "\n".join(lines)
+
+
+def bench_model_scale_smoke():
+    """One sub-cap tier with both lanes, for ``pytest benchmarks``."""
+    results = run(tiers=(1_000,), rounds=2)
+    print()
+    print(format_results(results))
+    tier = results["tiers"][0]
+    assert tier["indexed"]["round_ms"] > 0
+    assert tier["naive"] is not None
+    assert tier["speedup"] > 1.0
+
+
+def main() -> int:
+    results = run()
+    print(format_results(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

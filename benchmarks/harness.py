@@ -7,12 +7,13 @@ campaigns (``bench_chaos_recovery.py``), the placement-constraint overhead
 sweep (``bench_constraints.py``), the partitioned-solve sweep
 (``bench_partitioning.py``), the operator-service overhead measurement
 (``bench_service_overhead.py``), the repair-vs-cold replanning sweep
-(``bench_repair.py``) and the span-tracing overhead measurement
-(``bench_trace_overhead.py``), and writes a single JSON document with the
+(``bench_repair.py``), the span-tracing overhead measurement
+(``bench_trace_overhead.py``) and the datacenter-tier model-layer sweep
+(``bench_model_scale.py``), and writes a single JSON document with the
 numbers.  The output path is *not* hard-coded per PR any more: pass
 ``-o/--output`` or set the ``BENCH_OUTPUT`` environment variable (default:
-``BENCH_PR9.json`` at the repository root, the committed snapshot for this
-PR; ``BENCH_PR2.json``..``BENCH_PR7.json`` stay as previous points of the
+``BENCH_PR10.json`` at the repository root, the committed snapshot for this
+PR; ``BENCH_PR2.json``..``BENCH_PR9.json`` stay as previous points of the
 trajectory).  CI re-runs the smallest tiers as a smoke job and uploads the
 fresh document as an artifact.
 
@@ -41,7 +42,11 @@ engine's per-round solve latency against the cold monolithic solve under
 seeded churn (>= 2x on the 200-VM / 10 %-churn tier is the PR7 acceptance
 gate); the trace-overhead section reports the round-latency share of the
 :mod:`repro.obs` span tracer on a traced run (< 5 % is the PR9 acceptance
-gate).  See ``docs/PERFORMANCE.md`` for how to read the document.
+gate); the model-scale section reports the per-round non-solve overhead
+(observe + partition + merge) of the indexed model layer against the
+retained naive oracles on 5k/20k/50k-VM fenced fleets (>= 5x on the 5k
+tier is the PR10 acceptance gate).  See ``docs/PERFORMANCE.md`` for how to
+read the document.
 """
 
 from __future__ import annotations
@@ -59,7 +64,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = Path(__file__).resolve().parent
 #: One knob instead of a per-PR patch: ``-o/--output`` or ``BENCH_OUTPUT``.
-DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR9.json")
+DEFAULT_OUTPUT = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_PR10.json")
 #: --quick runs write here by default so a local smoke never clobbers the
 #: committed full-sweep snapshot.
 QUICK_OUTPUT = REPO_ROOT / "BENCH_smoke.json"
@@ -69,6 +74,7 @@ sys.path.insert(0, str(BENCH_DIR))
 
 import bench_chaos_recovery  # noqa: E402  (path set up above)
 import bench_constraints  # noqa: E402
+import bench_model_scale  # noqa: E402
 import bench_partitioning  # noqa: E402
 import bench_repair  # noqa: E402
 import bench_service_overhead  # noqa: E402
@@ -80,6 +86,7 @@ _NATIVE_MODULES = (
     "bench_solver_scaling.py",
     "bench_chaos_recovery.py",
     "bench_constraints.py",
+    "bench_model_scale.py",
     "bench_partitioning.py",
     "bench_repair.py",
     "bench_service_overhead.py",
@@ -251,6 +258,33 @@ def main(argv: list[str] | None = None) -> int:
              "exceeds this percentage — the PR9 acceptance gate (< 5 %%)",
     )
     parser.add_argument(
+        "--model-tiers", type=int, nargs="+",
+        default=list(bench_model_scale.TIERS),
+        help="VM counts of the datacenter-tier model-layer sweep",
+    )
+    parser.add_argument(
+        "--model-rounds", type=int, default=bench_model_scale.ROUNDS,
+        help="measured rounds per model-scale tier and lane",
+    )
+    parser.add_argument(
+        "--skip-model", action="store_true",
+        help="skip the model-layer scale sweep",
+    )
+    parser.add_argument(
+        "--min-model-speedup", type=float, default=None,
+        help="fail (exit 1) when the per-round non-solve speedup of the "
+             "indexed model layer over the naive oracles drops below this "
+             "threshold on the largest naive-measured tier — the PR10 "
+             "acceptance gate (>= 5x on the 5k-VM tier)",
+    )
+    parser.add_argument(
+        "--max-model-round-ms", type=float, default=None,
+        help="fail (exit 1) when the indexed lane's per-round overhead on "
+             "the smallest model tier exceeds this many milliseconds; "
+             "skipped with a notice on slow runners (calibrated like the "
+             "partition gate's core-count skip)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smoke mode: smallest tiers, one sample, figures skipped",
     )
@@ -277,6 +311,8 @@ def main(argv: list[str] | None = None) -> int:
         args.repair_samples = 1
         args.service_samples = min(args.service_samples, 3)
         args.trace_samples = min(args.trace_samples, 3)
+        args.model_tiers = [min(args.model_tiers)]
+        args.model_rounds = min(args.model_rounds, 3)
     if args.output is None:
         args.output = QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
 
@@ -381,6 +417,14 @@ def main(argv: list[str] | None = None) -> int:
             samples=args.trace_samples
         )
         print(bench_trace_overhead.format_results(document["trace_overhead"]))
+
+    if not args.skip_model:
+        print(f"model scale: tiers={args.model_tiers} "
+              f"rounds={args.model_rounds}")
+        document["model_scale"] = bench_model_scale.run(
+            tiers=args.model_tiers, rounds=args.model_rounds
+        )
+        print(bench_model_scale.format_results(document["model_scale"]))
 
     if not args.skip_chaos:
         print(f"chaos recovery: tiers={chaos_tiers} "
@@ -544,6 +588,61 @@ def main(argv: list[str] | None = None) -> int:
             f"repair speedup gate ok: {speedup}x >= "
             f"{args.min_repair_speedup}x"
         )
+
+    if args.min_model_speedup is not None:
+        if "model_scale" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --min-model-speedup was given "
+                "but the model-scale sweep did not run (--skip-model?)"
+            )
+            return 1
+        speedup = bench_model_scale.gate_speedup(document["model_scale"])
+        if speedup is None or speedup < args.min_model_speedup:
+            print(
+                f"REGRESSION: model-layer per-round speedup {speedup}x is "
+                f"below the {args.min_model_speedup}x gate"
+            )
+            return 1
+        print(
+            f"model speedup gate ok: {speedup}x >= "
+            f"{args.min_model_speedup}x"
+        )
+
+    if args.max_model_round_ms is not None:
+        if "model_scale" not in document:
+            # An explicitly requested gate must never silently no-op.
+            print(
+                "REGRESSION GATE ERROR: --max-model-round-ms was given "
+                "but the model-scale sweep did not run (--skip-model?)"
+            )
+            return 1
+        model = document["model_scale"]
+        if bench_model_scale.slow_host(model):
+            # Unlike the paired speedup ratio this budget is absolute
+            # wall-clock: on a slow runner it reflects the host, not the
+            # code — skip loudly rather than flake (the partition gate's
+            # core-count pattern).
+            print(
+                "model round budget gate SKIPPED: runner calibration "
+                f"{model['calibration_ms']} ms exceeds "
+                f"{bench_model_scale.SLOW_HOST_FACTOR}x the reference "
+                f"{model['calibration_reference_ms']} ms — absolute "
+                "budgets are not meaningful here"
+            )
+        else:
+            round_ms = bench_model_scale.gate_round_ms(model)
+            if round_ms is None or round_ms > args.max_model_round_ms:
+                print(
+                    f"REGRESSION: indexed model-layer round overhead "
+                    f"{round_ms} ms exceeds the "
+                    f"{args.max_model_round_ms} ms budget"
+                )
+                return 1
+            print(
+                f"model round budget gate ok: {round_ms} ms <= "
+                f"{args.max_model_round_ms} ms"
+            )
     return 0
 
 

@@ -345,12 +345,25 @@ class ControlLoop:
                         self._apply_fault(event, now, result)
 
                 # (i) observe
-                with span("observe"):
+                with span("observe") as observe_span:
                     observation = self.monitoring.observe(
                         now, self.cluster.configuration
                     )
                     for vm_name, demand in observation.cpu_demands.items():
                         self.cluster.update_demand(vm_name, demand)
+                    # Incremental viability: only the nodes dirtied since the
+                    # previous round (demand updates, migrations, faults) are
+                    # re-examined — O(changed), not O(fleet).
+                    configuration = self.cluster.configuration
+                    dirty = len(configuration.dirty_nodes())
+                    overloaded = configuration.viability_violations(
+                        only_dirty=True
+                    )
+                    observe_span.set(
+                        demand_updates=len(observation.cpu_demands),
+                        dirty_nodes=dirty,
+                        overloaded=len(overloaded),
+                    )
                     self._notify("on_iteration", now, self.cluster.configuration)
 
                 # finished applications ask the loop to stop their vjob

@@ -61,6 +61,14 @@ class PlacementConstraint:
     #: one member on.
     relational_min_members: int = 2
 
+    #: True when :meth:`allowed_nodes` returns the *same* restriction for
+    #: every member VM (``Ban`` complements, ``Fence`` node sets, ``Among``
+    #: group unions depend only on the constraint itself), letting the
+    #: partitioner compute it once per decomposition instead of once per
+    #: member.  Stateful per-VM restrictions (``Root`` pins the VM's own
+    #: host) must leave this False.
+    uniform_restriction: bool = False
+
     # -- compiler face ---------------------------------------------------------
 
     def allowed_nodes(

@@ -173,6 +173,8 @@ class Gather(VMGroupConstraint):
 class Ban(VMGroupConstraint):
     """The VMs of the group may never run on the banned nodes."""
 
+    uniform_restriction = True
+
     def __init__(self, vms: Iterable[str], nodes: Iterable[str]):
         super().__init__(vms)
         self.nodes: frozenset[str] = frozenset(nodes)
@@ -231,6 +233,8 @@ class Fence(VMGroupConstraint):
     until the fence is repaired, which is the conservative reading of the
     operator's intent.
     """
+
+    uniform_restriction = True
 
     def __init__(self, vms: Iterable[str], nodes: Iterable[str], elastic: bool = False):
         super().__init__(vms)
@@ -294,6 +298,7 @@ class Among(VMGroupConstraint):
     node groups (e.g. one rack, one fault domain — whichever, but together)."""
 
     relational = True
+    uniform_restriction = True
 
     def __init__(self, vms: Iterable[str], groups: Sequence[Iterable[str]]):
         super().__init__(vms)

@@ -1,5 +1,6 @@
 """Cluster model: nodes, VMs, vjobs, configurations and their viability."""
 
+from .columns import BACKEND_ENV, LoadColumns, numpy_enabled
 from .configuration import Configuration, ViabilityViolation
 from .errors import (
     DuplicateElementError,
@@ -16,13 +17,18 @@ from .errors import (
     UnknownVMError,
 )
 from .node import Node, NodeRole, make_working_nodes
+from .reference import NaiveConfiguration
 from .queue import VJobQueue
 from .resources import ResourceVector, ZERO
 from .vjob import VJob, VJobState, index_vms_by_vjob
 from .vm import VirtualMachine, VMImage, VMState
 
 __all__ = [
+    "BACKEND_ENV",
+    "LoadColumns",
+    "numpy_enabled",
     "Configuration",
+    "NaiveConfiguration",
     "ViabilityViolation",
     "DuplicateElementError",
     "ExecutionError",

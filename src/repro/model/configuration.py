@@ -6,14 +6,33 @@ to nodes together with the state of each VM.  A configuration is *viable*
 and processing units on its host node.  Waiting and sleeping VMs do not consume
 node resources; sleeping VMs only remember the node that holds their suspend
 image because a resume on that node is cheaper (Table 1).
+
+Since PR 10 the class is *indexed* for datacenter-tier fleets: node and VM
+names are interned, per-node loads and capacities live in columnar storage
+(:class:`~repro.model.columns.LoadColumns` — numpy-backed with a pure-python
+fallback), and every node carries its running-set and suspend-image indices.
+State mutators maintain the loads incrementally and record the touched nodes
+in a dirty set, so
+
+* :meth:`usage_of` / :meth:`free_capacity` / :meth:`can_host` /
+  :meth:`total_usage` / :meth:`total_capacity` are O(1),
+* :meth:`vms_on` / :meth:`images_on` are O(answer),
+* :meth:`viability_violations` with ``only_dirty=True`` is O(changed) — it
+  re-examines only the nodes mutated since the previous scan and returns the
+  *complete* current violation list, identical to the full scan.
+
+The naive dict-walk implementations are retained on
+:class:`repro.model.reference.NaiveConfiguration` as the differential-test
+oracle (``tests/properties/test_configuration_equivalence.py`` drives both in
+lockstep under random mutation sequences).
 """
 
 from __future__ import annotations
 
-import copy as _copy
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set
 
+from .columns import LoadColumns
 from .errors import (
     DuplicateElementError,
     ModelError,
@@ -71,6 +90,21 @@ class Configuration:
         self._images: dict[str, str] = {}
         #: Explicit state of every VM.
         self._states: dict[str, VMState] = {}
+        #: Interned VM ids: name -> registration rank (VMs are never
+        #: unregistered, so the rank is stable for the configuration's life).
+        self._vm_index: dict[str, int] = {}
+        #: Per-node columnar loads/capacities with dirty tracking.
+        self._columns = LoadColumns()
+        #: node name -> names of the VMs currently RUNNING on it.
+        self._members: Dict[str, Set[str]] = {}
+        #: node name -> names of the sleeping VMs whose image it holds.
+        self._image_members: Dict[str, Set[str]] = {}
+        #: VM name -> placement rank: the order in which the VM *entered* the
+        #: placement map (migrations keep the rank, like a dict value update
+        #: keeps the key position).  :meth:`vms_on` sorts by it so the
+        #: per-node index reproduces the historical dict-walk order exactly.
+        self._placement_rank: dict[str, int] = {}
+        self._rank_counter = 0
         for node in nodes:
             self.add_node(node)
         for vm in vms:
@@ -84,10 +118,14 @@ class Configuration:
         if node.name in self._nodes:
             raise DuplicateElementError(f"node {node.name!r} already registered")
         self._nodes[node.name] = node
+        self._columns.add(node.name, node.cpu_capacity, node.memory_capacity)
+        self._members[node.name] = set()
+        self._image_members[node.name] = set()
 
     def add_vm(self, vm: VirtualMachine, state: VMState = VMState.WAITING) -> None:
         if vm.name in self._vms:
             raise DuplicateElementError(f"VM {vm.name!r} already registered")
+        self._vm_index[vm.name] = len(self._vms)
         self._vms[vm.name] = vm
         self._states[vm.name] = state
 
@@ -96,6 +134,13 @@ class Configuration:
         touching its placement or state."""
         if vm.name not in self._vms:
             raise UnknownVMError(vm.name)
+        host = self._placement.get(vm.name)
+        if host is not None:
+            old = self._vms[vm.name]
+            delta_cpu = vm.cpu_demand - old.cpu_demand
+            delta_mem = vm.memory - old.memory
+            if delta_cpu or delta_mem:
+                self._columns.add_load(host, delta_cpu, delta_mem)
         self._vms[vm.name] = vm
 
     def remove_node(self, name: str) -> Node:
@@ -106,10 +151,16 @@ class Configuration:
         :func:`repro.sim.faults.evict_node` for the crash semantics).  Returns
         the removed :class:`~repro.model.node.Node` so it can be re-added
         later (a repaired node rejoining the fleet).
+
+        Removal drops every cached index of the node — its column slot is
+        tombstoned and it leaves the dirty and overloaded caches — so a node
+        re-added under the same name (possibly with a different capacity)
+        starts from a clean slate and incremental viability never reports a
+        stale load.
         """
         node = self.node(name)
-        placed = [vm for vm, host in self._placement.items() if host == name]
-        imaged = [vm for vm, host in self._images.items() if host == name]
+        placed = self._members[name]
+        imaged = self._image_members[name]
         if placed or imaged:
             raise ModelError(
                 f"node {name!r} is not empty: running VMs {sorted(placed)} / "
@@ -117,6 +168,9 @@ class Configuration:
                 "the node can be removed"
             )
         del self._nodes[name]
+        del self._members[name]
+        del self._image_members[name]
+        self._columns.drop(name)
         return node
 
     # ------------------------------------------------------------------ #
@@ -156,6 +210,22 @@ class Configuration:
 
     def has_vm(self, name: str) -> bool:
         return name in self._vms
+
+    def node_index(self, name: str) -> int:
+        """Interned id of a node: its column slot.  Slots are assigned in
+        registration order and never reused, so sorting names by slot
+        reproduces the registration order in O(k log k) instead of an
+        O(fleet) scan of :attr:`node_names`."""
+        if name not in self._nodes:
+            raise UnknownNodeError(name)
+        return self._columns.slot(name)
+
+    def vm_index(self, name: str) -> int:
+        """Interned id of a VM (registration rank, never reused)."""
+        try:
+            return self._vm_index[name]
+        except KeyError:
+            raise UnknownVMError(name) from None
 
     def state_of(self, vm_name: str) -> VMState:
         if vm_name not in self._vms:
@@ -197,11 +267,24 @@ class Configuration:
         )
 
     def vms_on(self, node_name: str) -> tuple[str, ...]:
-        """Names of the VMs currently running on ``node_name``."""
+        """Names of the VMs currently running on ``node_name``.
+
+        Served from the per-node running-set index in O(k log k) for k
+        hosted VMs; the placement rank keeps the historical order (the
+        placement map's insertion order filtered to the node)."""
         if node_name not in self._nodes:
             raise UnknownNodeError(node_name)
         return tuple(
-            vm for vm, node in self._placement.items() if node == node_name
+            sorted(self._members[node_name], key=self._placement_rank.__getitem__)
+        )
+
+    def images_on(self, node_name: str) -> tuple[str, ...]:
+        """Names of the sleeping VMs whose suspend image ``node_name`` holds,
+        in VM-registration order (O(answer), from the per-node index)."""
+        if node_name not in self._nodes:
+            raise UnknownNodeError(node_name)
+        return tuple(
+            sorted(self._image_members[node_name], key=self._vm_index.__getitem__)
         )
 
     def placement(self) -> Mapping[str, str]:
@@ -222,13 +305,40 @@ class Configuration:
     # state changes                                                       #
     # ------------------------------------------------------------------ #
 
+    def _unplace(self, vm_name: str) -> None:
+        """Drop a VM from the placement map and its host's indices."""
+        host = self._placement.pop(vm_name, None)
+        if host is None:
+            return
+        vm = self._vms[vm_name]
+        self._members[host].discard(vm_name)
+        self._columns.add_load(host, -vm.cpu_demand, -vm.memory)
+        del self._placement_rank[vm_name]
+
+    def _drop_image(self, vm_name: str) -> None:
+        host = self._images.pop(vm_name, None)
+        if host is not None:
+            self._image_members[host].discard(vm_name)
+
     def set_running(self, vm_name: str, node_name: str) -> None:
         """Place a VM in the RUNNING state on ``node_name``."""
-        self.vm(vm_name)
+        vm = self.vm(vm_name)
         self.node(node_name)
+        previous = self._placement.get(vm_name)
+        if previous is None:
+            self._placement[vm_name] = node_name
+            self._placement_rank[vm_name] = self._rank_counter
+            self._rank_counter += 1
+            self._members[node_name].add(vm_name)
+            self._columns.add_load(node_name, vm.cpu_demand, vm.memory)
+        elif previous != node_name:
+            self._placement[vm_name] = node_name
+            self._members[previous].discard(vm_name)
+            self._members[node_name].add(vm_name)
+            self._columns.add_load(previous, -vm.cpu_demand, -vm.memory)
+            self._columns.add_load(node_name, vm.cpu_demand, vm.memory)
         self._states[vm_name] = VMState.RUNNING
-        self._placement[vm_name] = node_name
-        self._images.pop(vm_name, None)
+        self._drop_image(vm_name)
 
     def set_sleeping(self, vm_name: str, image_node: Optional[str] = None) -> None:
         """Suspend a VM; its image stays on ``image_node`` (defaults to the
@@ -238,21 +348,23 @@ class Configuration:
             image_node = self._placement.get(vm_name)
         if image_node is not None:
             self.node(image_node)
+            self._drop_image(vm_name)
             self._images[vm_name] = image_node
+            self._image_members[image_node].add(vm_name)
         self._states[vm_name] = VMState.SLEEPING
-        self._placement.pop(vm_name, None)
+        self._unplace(vm_name)
 
     def set_waiting(self, vm_name: str) -> None:
         self.vm(vm_name)
         self._states[vm_name] = VMState.WAITING
-        self._placement.pop(vm_name, None)
-        self._images.pop(vm_name, None)
+        self._unplace(vm_name)
+        self._drop_image(vm_name)
 
     def set_terminated(self, vm_name: str) -> None:
         self.vm(vm_name)
         self._states[vm_name] = VMState.TERMINATED
-        self._placement.pop(vm_name, None)
-        self._images.pop(vm_name, None)
+        self._unplace(vm_name)
+        self._drop_image(vm_name)
 
     def migrate(self, vm_name: str, destination: str) -> None:
         """Move a running VM to ``destination`` (state unchanged)."""
@@ -261,74 +373,92 @@ class Configuration:
                 f"VM {vm_name!r} is not running and cannot be migrated"
             )
         self.node(destination)
+        source = self._placement[vm_name]
+        if source == destination:
+            return
+        vm = self._vms[vm_name]
         self._placement[vm_name] = destination
+        self._members[source].discard(vm_name)
+        self._members[destination].add(vm_name)
+        self._columns.add_load(source, -vm.cpu_demand, -vm.memory)
+        self._columns.add_load(destination, vm.cpu_demand, vm.memory)
 
     # ------------------------------------------------------------------ #
     # resource accounting & viability                                     #
     # ------------------------------------------------------------------ #
 
     def usage_of(self, node_name: str) -> ResourceVector:
-        """Aggregate demand of the running VMs hosted on ``node_name``."""
+        """Aggregate demand of the running VMs hosted on ``node_name``
+        (O(1) — served from the per-node load columns)."""
         self.node(node_name)
-        return ResourceVector.total(
-            self._vms[vm].demand
-            for vm, node in self._placement.items()
-            if node == node_name
-        )
+        return ResourceVector(*self._columns.usage(node_name))
 
     def free_capacity(self, node_name: str) -> ResourceVector:
         """Remaining capacity of ``node_name`` (may be negative if
-        overloaded)."""
-        return self._nodes[node_name].capacity - self.usage_of(node_name)
+        overloaded).  O(1)."""
+        if node_name not in self._nodes:
+            # Historical contract: a plain KeyError, unlike usage_of.
+            raise KeyError(node_name)
+        return ResourceVector(*self._columns.free(node_name))
 
     def can_host(self, node_name: str, vm: VirtualMachine) -> bool:
         """True when ``node_name`` has room for ``vm`` on both dimensions."""
         return vm.demand.fits_in(self.free_capacity(node_name))
 
     def total_usage(self) -> ResourceVector:
-        return ResourceVector.total(
-            self._vms[vm].demand for vm in self._placement
-        )
+        return ResourceVector(*self._columns.total_usage())
 
     def total_capacity(self) -> ResourceVector:
-        return ResourceVector.total(node.capacity for node in self._nodes.values())
+        return ResourceVector(*self._columns.total_capacity())
 
-    def viability_violations(self) -> list[ViabilityViolation]:
+    def dirty_nodes(self) -> tuple[str, ...]:
+        """Nodes whose load changed since the last viability scan, in
+        registration order (observability hook — consuming the dirty set is
+        what :meth:`viability_violations` with ``only_dirty=True`` does)."""
+        return tuple(
+            sorted(
+                (self._columns.name_of(slot) for slot in self._columns.dirty),
+                key=self._columns.slot,
+            )
+        )
+
+    def viability_violations(
+        self, only_dirty: bool = False
+    ) -> list[ViabilityViolation]:
         """Nodes whose capacity is exceeded by their running VMs.
 
-        Accumulated in a single pass over the placement (not per-node
-        ``usage_of`` scans, which would be quadratic): viability is checked
-        every round by the constraint watchdog and the service observer, so
-        this path stays O(VMs + nodes).
+        Both faces return the complete, current violation list:
+
+        * ``only_dirty=False`` — scan every node's load column (vectorized
+          under numpy) and resynchronize the overload cache;
+        * ``only_dirty=True`` — O(changed): re-examine only the nodes whose
+          load was mutated since the previous scan and serve the rest from
+          the cache.  This is what the control loop's observe phase and the
+          sim engine consume every round.
         """
-        cpu_usage: dict[str, int] = {}
-        memory_usage: dict[str, int] = {}
-        for vm_name, node_name in self._placement.items():
-            vm = self._vms[vm_name]
-            cpu_usage[node_name] = cpu_usage.get(node_name, 0) + vm.cpu_demand
-            memory_usage[node_name] = (
-                memory_usage.get(node_name, 0) + vm.memory
-            )
+        if only_dirty:
+            slots = self._columns.overloaded_dirty()
+        else:
+            slots = self._columns.overloaded_full()
         violations = []
-        for node in self._nodes.values():
-            cpu = cpu_usage.get(node.name, 0)
-            memory = memory_usage.get(node.name, 0)
-            if cpu > node.cpu_capacity or memory > node.memory_capacity:
-                violations.append(
-                    ViabilityViolation(
-                        node=node.name,
-                        capacity=node.capacity,
-                        usage=ResourceVector(cpu, memory),
-                    )
+        for slot in slots:
+            name = self._columns.name_of(slot)
+            cpu, memory = self._columns.usage(name)
+            violations.append(
+                ViabilityViolation(
+                    node=name,
+                    capacity=self._nodes[name].capacity,
+                    usage=ResourceVector(cpu, memory),
                 )
+            )
         return violations
 
     def is_viable(self) -> bool:
         """A configuration is viable when no node is overloaded (Section 3.2)."""
-        return not self.viability_violations()
+        return not self.viability_violations(only_dirty=True)
 
     def check_viable(self) -> None:
-        violations = self.viability_violations()
+        violations = self.viability_violations(only_dirty=True)
         if violations:
             details = "; ".join(str(v) for v in violations)
             raise NonViableConfigurationError(details)
@@ -338,12 +468,20 @@ class Configuration:
     # ------------------------------------------------------------------ #
 
     def copy(self) -> "Configuration":
-        clone = Configuration()
+        clone = type(self)()
         clone._nodes = dict(self._nodes)
         clone._vms = dict(self._vms)
         clone._placement = dict(self._placement)
         clone._images = dict(self._images)
         clone._states = dict(self._states)
+        clone._vm_index = dict(self._vm_index)
+        clone._columns = self._columns.copy()
+        clone._members = {node: set(vms) for node, vms in self._members.items()}
+        clone._image_members = {
+            node: set(vms) for node, vms in self._image_members.items()
+        }
+        clone._placement_rank = dict(self._placement_rank)
+        clone._rank_counter = self._rank_counter
         return clone
 
     def same_assignment(self, other: "Configuration") -> bool:

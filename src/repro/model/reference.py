@@ -1,0 +1,90 @@
+"""Naive reference implementation of the hot Configuration reads.
+
+:class:`NaiveConfiguration` preserves the pre-PR-10 O(fleet) dict-walk
+implementations of every read that the indexed :class:`Configuration` now
+serves from its columnar caches.  It is the *oracle* of the differential test
+harness: the Hypothesis suite in
+``tests/properties/test_configuration_equivalence.py`` drives an indexed
+configuration and a naive one in lockstep through random mutation sequences
+and asserts the answers never diverge, and the scale benchmark
+(``benchmarks/bench_model_scale.py``) times both paths to prove the speedup
+claimed in PERFORMANCE.md.
+
+The class inherits every *mutator* unchanged — state transitions are not what
+the refactor touched — and overrides only the reads, recomputing each answer
+from the placement/state dicts exactly like the historical code did.  Nothing
+in the production stack should instantiate it.
+"""
+
+from __future__ import annotations
+
+from .configuration import Configuration, ViabilityViolation
+from .resources import ResourceVector
+
+
+class NaiveConfiguration(Configuration):
+    """A Configuration whose reads re-walk the placement dicts (the pre-index
+    semantics, retained as the differential-testing oracle)."""
+
+    def vms_on(self, node_name: str) -> tuple[str, ...]:
+        self.node(node_name)
+        return tuple(
+            vm for vm, node in self._placement.items() if node == node_name
+        )
+
+    def images_on(self, node_name: str) -> tuple[str, ...]:
+        # The historical computation (pre-PR-10 ``evict_node``): filter the
+        # sleeping VMs — i.e. VM registration order — by image location.
+        self.node(node_name)
+        return tuple(
+            vm
+            for vm in self.sleeping_vms()
+            if self._images.get(vm) == node_name
+        )
+
+    def usage_of(self, node_name: str) -> ResourceVector:
+        self.node(node_name)
+        return ResourceVector.total(
+            self._vms[vm].demand
+            for vm, node in self._placement.items()
+            if node == node_name
+        )
+
+    def free_capacity(self, node_name: str) -> ResourceVector:
+        return self._nodes[node_name].capacity - self.usage_of(node_name)
+
+    def total_usage(self) -> ResourceVector:
+        return ResourceVector.total(
+            self._vms[vm].demand for vm in self._placement
+        )
+
+    def total_capacity(self) -> ResourceVector:
+        return ResourceVector.total(node.capacity for node in self._nodes.values())
+
+    def viability_violations(
+        self, only_dirty: bool = False
+    ) -> list[ViabilityViolation]:
+        """Single full pass over the placement; ``only_dirty`` is accepted
+        for interface compatibility but there is nothing incremental here."""
+        del only_dirty
+        cpu_usage: dict[str, int] = {}
+        memory_usage: dict[str, int] = {}
+        for vm_name, node_name in self._placement.items():
+            vm = self._vms[vm_name]
+            cpu_usage[node_name] = cpu_usage.get(node_name, 0) + vm.cpu_demand
+            memory_usage[node_name] = (
+                memory_usage.get(node_name, 0) + vm.memory
+            )
+        violations = []
+        for node in self._nodes.values():
+            cpu = cpu_usage.get(node.name, 0)
+            memory = memory_usage.get(node.name, 0)
+            if cpu > node.cpu_capacity or memory > node.memory_capacity:
+                violations.append(
+                    ViabilityViolation(
+                        node=node.name,
+                        capacity=node.capacity,
+                        usage=ResourceVector(cpu, memory),
+                    )
+                )
+        return violations

@@ -348,9 +348,15 @@ class ParallelOptimizer:
         their current host's zone, so that is the common case)."""
         started = time.monotonic()
         states = ContextSwitchOptimizer._complete_states(current, target_states)
-        decomposition = partition(
-            current, states, constraints, shards=self.shards
-        )
+        with span("partition") as partition_span:
+            decomposition = partition(
+                current, states, constraints, shards=self.shards
+            )
+            partition_span.set(
+                method=decomposition.method,
+                zones=len(decomposition.zones),
+                exact=decomposition.exact,
+            )
         if not decomposition.is_win:
             return self._monolithic_result(
                 current,

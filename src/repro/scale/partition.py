@@ -46,7 +46,18 @@ When neither strategy yields at least two non-empty zones the result's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from itertools import chain
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..constraints.base import PlacementConstraint
 from ..model.configuration import Configuration
@@ -154,23 +165,92 @@ def placed_vms(target_states: Mapping[str, VMState]) -> List[str]:
     ]
 
 
+def _membership_index(
+    constraints: Sequence[PlacementConstraint],
+) -> Tuple[Dict[str, List[PlacementConstraint]], List[PlacementConstraint]]:
+    """Index the catalog by declared VM membership.
+
+    Returns ``(by_vm, universal)``: ``by_vm`` maps each VM name to the
+    constraints that declare it a member (in catalog order), ``universal``
+    holds the constraints with no declared members (``MaxOnline``,
+    ``RunningCapacity``…), which every VM must still ask.
+
+    This relies on the catalog contract that a constraint with declared
+    ``vms`` returns ``None`` from ``allowed_nodes`` for non-members (every
+    :class:`~repro.constraints.base.VMGroupConstraint` gates on ``vm_set``),
+    so non-members never need to ask it — the lazy domains below are exact,
+    which the differential suite pins against
+    :func:`repro.scale.reference.vm_domains_reference`.
+    """
+    by_vm: Dict[str, List[PlacementConstraint]] = {}
+    universal: List[PlacementConstraint] = []
+    for constraint in constraints:
+        if constraint.vms:
+            members: Iterable[str] = getattr(
+                constraint, "vm_set", None
+            ) or set(constraint.vms)
+            for vm_name in members:
+                by_vm.setdefault(vm_name, []).append(constraint)
+        else:
+            universal.append(constraint)
+    return by_vm, universal
+
+
+_NO_CONSTRAINTS: Tuple[PlacementConstraint, ...] = ()
+
+
+#: Per-call memo sentinel for "not computed yet" (``None`` is a valid value:
+#: it means "no restriction").
+_UNSET = object()
+
+
 def vm_domains(
     current: Configuration,
     vms: Sequence[str],
     constraints: Sequence[PlacementConstraint],
-) -> Dict[str, Optional[Set[str]]]:
+) -> Dict[str, Optional[AbstractSet[str]]]:
     """The unary placement domain of every VM in ``vms``: the intersection
-    of each constraint's ``allowed_nodes``, or ``None`` when unrestricted."""
+    of each constraint's ``allowed_nodes``, or ``None`` when unrestricted.
+
+    Lazy on two axes: each VM only asks the constraints it is a member of
+    (plus the member-less universal ones) via :func:`_membership_index` —
+    O(total memberships), not O(VMs x constraints) — and constraints whose
+    restriction is VM-independent
+    (:attr:`~repro.constraints.base.PlacementConstraint.uniform_restriction`)
+    compute it *once* per call; their members then share one frozen domain
+    object instead of each rebuilding an O(fleet) set.  Callers must treat
+    the returned domains as read-only (the partitioner only ever reads
+    them)."""
     node_names = current.node_names
-    domains: Dict[str, Optional[Set[str]]] = {}
+    by_vm, universal = _membership_index(constraints)
+    domains: Dict[str, Optional[AbstractSet[str]]] = {}
+    memo: Dict[int, Optional[AbstractSet[str]]] = {}
     for vm_name in vms:
-        allowed: Optional[Set[str]] = None
-        for constraint in constraints:
-            restriction = constraint.allowed_nodes(vm_name, node_names, current)
+        allowed: Optional[AbstractSet[str]] = None
+        for constraint in chain(
+            by_vm.get(vm_name, _NO_CONSTRAINTS), universal
+        ):
+            restriction: Optional[AbstractSet[str]]
+            if constraint.uniform_restriction:
+                cached = memo.get(id(constraint), _UNSET)
+                if cached is _UNSET:
+                    computed = constraint.allowed_nodes(
+                        vm_name, node_names, current
+                    )
+                    restriction = (
+                        None if computed is None else frozenset(computed)
+                    )
+                    memo[id(constraint)] = restriction
+                else:
+                    restriction = cached  # type: ignore[assignment]
+            else:
+                restriction = constraint.allowed_nodes(
+                    vm_name, node_names, current
+                )
             if restriction is None:
                 continue
             allowed = (
-                set(restriction) if allowed is None else allowed & restriction
+                restriction if allowed is None else allowed & restriction
             )
         domains[vm_name] = allowed
     return domains
@@ -212,12 +292,15 @@ def partition(
     tight_cap = max(1, int(len(node_names) * tight_fraction))
     uf = _UnionFind(node_names)
     touched: Set[str] = set()
+    # Registration position of every node, so domains weld in O(d log d)
+    # instead of an O(fleet) ordering scan per domain.
+    node_pos = {name: index for index, name in enumerate(node_names)}
 
     # Tight unary domains anchor their nodes together: the VM may need any
     # of them, so they must end up in a single zone.  Whole groups share one
     # domain object-for-object (a Fence restricts every member identically),
     # so identical domains are only welded once.
-    tight: Dict[str, Set[str]] = {}
+    tight: Dict[str, AbstractSet[str]] = {}
     welded: Set[frozenset] = set()
     for vm_name in placed:
         domain = domains[vm_name]
@@ -232,7 +315,7 @@ def partition(
             key = frozenset(domain)
             if key not in welded:
                 welded.add(key)
-                ordered = [n for n in node_names if n in domain]
+                ordered = sorted(domain, key=node_pos.__getitem__)
                 uf.union_all(ordered)
                 touched.update(ordered)
 
@@ -260,7 +343,7 @@ def partition(
                 )
             group |= tight[vm_name]
         if len(group) >= 2:
-            ordered = [n for n in node_names if n in group]
+            ordered = sorted(group, key=node_pos.__getitem__)
             uf.union_all(ordered)
             touched.update(ordered)
             coupled = True
@@ -275,15 +358,13 @@ def partition(
     # Components over the touched nodes; everything untouched pools into a
     # single residual zone.
     components: Dict[str, List[str]] = {}
-    for node in node_names:
-        if node not in touched:
-            continue
+    for node in sorted(touched, key=node_pos.__getitem__):
         components.setdefault(uf.find(node), []).append(node)
     residual = [n for n in node_names if n not in touched]
 
     # Zone skeletons in deterministic order (first node appearance).
     skeletons: List[List[str]] = sorted(
-        components.values(), key=lambda nodes: node_names.index(nodes[0])
+        components.values(), key=lambda nodes: node_pos[nodes[0]]
     )
     residual_index: Optional[int] = None
     if residual:
@@ -293,6 +374,7 @@ def partition(
     zone_of_node = {
         node: index for index, nodes in enumerate(skeletons) for node in nodes
     }
+    zone_sets = [set(nodes) for nodes in skeletons]
     zone_vms: List[List[str]] = [[] for _ in skeletons]
     headroom = [
         sum(current.node(n).capacity.memory for n in nodes)
@@ -309,15 +391,14 @@ def partition(
             if anchor is not None and (domain is None or anchor in domain):
                 index = zone_of_node[anchor]
             if index is None and residual_index is not None:
-                nodes = set(skeletons[residual_index])
-                if domain is None or domain & nodes:
+                if domain is None or domain & zone_sets[residual_index]:
                     index = residual_index
             if index is None:
                 # Most-headroom zone whose nodes intersect the domain.
                 candidates = [
                     i
-                    for i, nodes in enumerate(skeletons)
-                    if domain is None or domain & set(nodes)
+                    for i in range(len(skeletons))
+                    if domain is None or domain & zone_sets[i]
                 ]
                 if not candidates:
                     return PartitionResult(
@@ -352,7 +433,7 @@ def _shard(
     placed: Sequence[str],
     node_names: Sequence[str],
     shards: Optional[int],
-    domains: Mapping[str, Optional[Set[str]]],
+    domains: Mapping[str, Optional[AbstractSet[str]]],
     constraints: Sequence[PlacementConstraint],
 ) -> PartitionResult:
     """k-way node-sharding fallback for fleets without tight structure.
@@ -424,24 +505,39 @@ def _materialize(
     constraints: Sequence[PlacementConstraint],
 ) -> List[Zone]:
     """Build the final zones, dropping empty ones and scoping the catalog:
-    a constraint lands in every zone containing one of its VMs or nodes."""
-    zones: List[Zone] = []
-    for nodes, vms in zip(skeletons, zone_vms):
-        if not vms:
-            continue
-        vm_set, node_set = set(vms), set(nodes)
-        scoped = tuple(
-            c
-            for c in constraints
-            if (set(c.vms) & vm_set)
-            or (set(getattr(c, "nodes", ())) & node_set)
+    a constraint lands in every zone containing one of its VMs or nodes.
+
+    Scoping routes each constraint through per-VM / per-node zone maps —
+    O(total memberships + zones) — instead of intersecting every constraint's
+    member set against every zone.  Per-zone constraint order stays catalog
+    order, so the scoped tuples are byte-identical to the eager reference."""
+    kept = [
+        (nodes, vms) for nodes, vms in zip(skeletons, zone_vms) if vms
+    ]
+    zone_of_vm = {
+        vm: index for index, (_, vms) in enumerate(kept) for vm in vms
+    }
+    zone_of_node = {
+        node: index for index, (nodes, _) in enumerate(kept) for node in nodes
+    }
+    scoped: List[List[PlacementConstraint]] = [[] for _ in kept]
+    for constraint in constraints:
+        hit = {
+            zone_of_vm[vm] for vm in constraint.vms if vm in zone_of_vm
+        }
+        hit.update(
+            zone_of_node[node]
+            for node in getattr(constraint, "nodes", ())
+            if node in zone_of_node
         )
-        zones.append(
-            Zone(
-                index=len(zones),
-                nodes=tuple(nodes),
-                vms=tuple(vms),
-                constraints=scoped,
-            )
+        for index in sorted(hit):
+            scoped[index].append(constraint)
+    return [
+        Zone(
+            index=index,
+            nodes=tuple(nodes),
+            vms=tuple(vms),
+            constraints=tuple(scoped[index]),
         )
-    return zones
+        for index, (nodes, vms) in enumerate(kept)
+    ]

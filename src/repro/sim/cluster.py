@@ -108,7 +108,15 @@ class SimulatedCluster:
         return self.configuration.total_usage().memory
 
     def overloaded_nodes(self) -> list[str]:
-        return [v.node for v in self.configuration.viability_violations()]
+        """Nodes currently exceeding their capacity.
+
+        Uses the incremental O(changed) scan: the engine calls this every
+        round and only the nodes whose load changed since the previous call
+        (demand updates, migrations, faults) are re-examined."""
+        return [
+            v.node
+            for v in self.configuration.viability_violations(only_dirty=True)
+        ]
 
     def events_between(self, start: float, end: float) -> list[ClusterEvent]:
         return [e for e in self.events if start <= e.time < end]

@@ -257,11 +257,9 @@ def evict_node(configuration: Configuration, node_name: str) -> NodeEviction:
     sibling VM of an affected vjob so the vjob restarts consistently.
     """
     displaced = tuple(configuration.vms_on(node_name))
-    lost = tuple(
-        vm
-        for vm in configuration.sleeping_vms()
-        if configuration.image_location_of(vm) == node_name
-    )
+    # O(answer) via the per-node suspend-image index (registration order,
+    # matching the historical sleeping_vms() filter).
+    lost = configuration.images_on(node_name)
     for vm in displaced + lost:
         configuration.set_waiting(vm)
     configuration.remove_node(node_name)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.model import Configuration, Node, make_working_nodes
-from repro.testing import make_vm
+from repro.testing import make_large_fleet, make_vm
 
 
 @pytest.fixture
@@ -28,6 +28,20 @@ def empty_configuration(three_nodes) -> Configuration:
 @pytest.fixture
 def vm_factory():
     return make_vm
+
+
+@pytest.fixture(scope="session")
+def large_fleet_factory():
+    """Session-scoped access to the cached large-fleet factory.
+
+    Builds each parameter set once per test session (the 20k-VM fleet takes
+    a visible fraction of a second) and hands out *copies*, so tests can
+    mutate freely without poisoning the cache."""
+
+    def factory(vm_count: int, **kwargs) -> Configuration:
+        return make_large_fleet(vm_count, **kwargs).copy()
+
+    return factory
 
 
 @pytest.fixture

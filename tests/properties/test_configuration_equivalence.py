@@ -1,0 +1,286 @@
+"""Differential testing of the indexed Configuration against the naive oracle.
+
+PR 10 replaced every hot ``Configuration`` read with columnar caches —
+per-node load columns, running-set and suspend-image indices, a dirty set
+feeding O(changed) incremental viability.  The caches are invisible by
+construction, and this suite is the proof: Hypothesis drives an indexed
+:class:`~repro.model.Configuration` and a retained
+:class:`~repro.model.NaiveConfiguration` (the pre-index dict-walk
+implementations) in lockstep through random mutation sequences —
+add / place / migrate / sleep / terminate / demand churn / crash-evict /
+node re-add — and asserts after *every* step that
+
+* ``usage_of`` / ``free_capacity`` / ``total_usage`` / ``total_capacity``,
+* ``viability_violations`` (and ``only_dirty=True`` against the full scan),
+* ``placement()`` / ``vms_on`` / ``images_on`` / ``states()``
+
+never diverge, and that an operation raising on one side raises the same
+error on the other.  The whole suite runs under both column backends (numpy
+and the pure-python fallback).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    BACKEND_ENV,
+    Configuration,
+    NaiveConfiguration,
+    Node,
+    VirtualMachine,
+)
+from repro.model.columns import LoadColumns
+from repro.sim.faults import evict_node
+
+MEMORY_CHOICES = (256, 512, 1024)
+NODE_MEMORY = 2048
+MAX_NODES = 5
+MAX_VMS = 8
+
+#: Op kinds the sequences draw from; each op carries small integer operands
+#: resolved against the *current* node/VM name universe at apply time, so a
+#: drawn sequence stays meaningful as nodes crash and come back.
+OPS = (
+    "add_vm",
+    "set_running",
+    "migrate",
+    "set_sleeping",
+    "set_waiting",
+    "set_terminated",
+    "churn_demand",
+    "crash_evict",
+    "remove_node",
+    "re_add_node",
+)
+
+
+@st.composite
+def mutation_sequences(draw):
+    node_count = draw(st.integers(min_value=2, max_value=MAX_NODES))
+    vm_count = draw(st.integers(min_value=1, max_value=MAX_VMS))
+    vms = [
+        (
+            f"vm{i}",
+            draw(st.sampled_from(MEMORY_CHOICES)),
+            draw(st.integers(min_value=0, max_value=2)),
+        )
+        for i in range(vm_count)
+    ]
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(OPS),
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=0, max_value=31),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return node_count, vms, ops
+
+
+def _build(cls, node_count, vms):
+    configuration = cls(
+        nodes=[
+            Node(name=f"node-{i}", cpu_capacity=2, memory_capacity=NODE_MEMORY)
+            for i in range(node_count)
+        ]
+    )
+    for name, memory, cpu in vms:
+        configuration.add_vm(
+            VirtualMachine(name=name, memory=memory, cpu_demand=cpu)
+        )
+    return configuration
+
+
+def _apply(configuration, op, a, b, node_universe, vm_universe):
+    """Apply one drawn op; returns the exception type raised (or None)."""
+    kind = op
+    node = node_universe[a % len(node_universe)]
+    vm = vm_universe[b % len(vm_universe)]
+    try:
+        if kind == "add_vm":
+            configuration.add_vm(
+                VirtualMachine(
+                    name=f"extra{a}", memory=MEMORY_CHOICES[b % 3],
+                    cpu_demand=a % 3,
+                )
+            )
+        elif kind == "set_running":
+            configuration.set_running(vm, node)
+        elif kind == "migrate":
+            configuration.migrate(vm, node)
+        elif kind == "set_sleeping":
+            configuration.set_sleeping(vm)
+        elif kind == "set_waiting":
+            configuration.set_waiting(vm)
+        elif kind == "set_terminated":
+            configuration.set_terminated(vm)
+        elif kind == "churn_demand":
+            current = configuration.vm(vm)
+            configuration.replace_vm(current.with_cpu_demand(a % 4))
+        elif kind == "crash_evict":
+            evict_node(configuration, node)
+        elif kind == "remove_node":
+            configuration.remove_node(node)
+        elif kind == "re_add_node":
+            configuration.add_node(
+                Node(name=node, cpu_capacity=2, memory_capacity=NODE_MEMORY)
+            )
+    except Exception as error:  # noqa: BLE001 - symmetry is the assertion
+        return type(error)
+    return None
+
+
+def _assert_equivalent(indexed: Configuration, naive: NaiveConfiguration):
+    assert indexed.node_names == naive.node_names
+    assert indexed.vm_names == naive.vm_names
+    assert indexed.placement() == naive.placement()
+    assert indexed.states() == naive.states()
+    assert indexed.total_usage() == naive.total_usage()
+    assert indexed.total_capacity() == naive.total_capacity()
+    for node in indexed.node_names:
+        assert indexed.usage_of(node) == naive.usage_of(node)
+        assert indexed.free_capacity(node) == naive.free_capacity(node)
+        assert indexed.vms_on(node) == naive.vms_on(node)
+        assert indexed.images_on(node) == naive.images_on(node)
+    # Incremental first: if the dirty bookkeeping ever went stale the
+    # incremental list would diverge from the naive full recomputation.
+    incremental = indexed.viability_violations(only_dirty=True)
+    full = indexed.viability_violations()
+    assert incremental == full
+    assert full == naive.viability_violations()
+    assert indexed.is_viable() == naive.is_viable()
+
+
+def _run_lockstep(sequence):
+    node_count, vms, ops = sequence
+    indexed = _build(Configuration, node_count, vms)
+    naive = _build(NaiveConfiguration, node_count, vms)
+    # The name universes never shrink: crashed nodes stay addressable so
+    # re_add_node (and errors on evicted nodes) are exercised.
+    node_universe = [f"node-{i}" for i in range(node_count)]
+    vm_universe = [name for name, _, _ in vms] + [
+        f"extra{a}" for a in range(32)
+    ]
+    for kind, a, b in ops:
+        raised_indexed = _apply(
+            indexed, kind, a, b, node_universe, vm_universe
+        )
+        raised_naive = _apply(naive, kind, a, b, node_universe, vm_universe)
+        assert raised_indexed == raised_naive, (
+            f"op {kind} diverged: indexed raised {raised_indexed}, "
+            f"naive raised {raised_naive}"
+        )
+        _assert_equivalent(indexed, naive)
+    # A copy must carry consistent caches too.
+    _assert_equivalent(indexed.copy(), naive)
+
+
+@settings(max_examples=150, deadline=None)
+@given(mutation_sequences())
+def test_indexed_configuration_matches_naive_oracle(sequence):
+    _run_lockstep(sequence)
+
+
+@settings(max_examples=75, deadline=None)
+@given(mutation_sequences())
+def test_indexed_configuration_matches_naive_oracle_python_backend(sequence):
+    previous = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = "python"
+    try:
+        _run_lockstep(sequence)
+    finally:
+        if previous is None:
+            del os.environ[BACKEND_ENV]
+        else:
+            os.environ[BACKEND_ENV] = previous
+
+
+def test_python_backend_env_actually_disables_numpy():
+    previous = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = "python"
+    try:
+        columns = LoadColumns()
+        columns.add("n0", 2, 2048)
+        assert isinstance(columns._cpu_usage, list)
+    finally:
+        if previous is None:
+            del os.environ[BACKEND_ENV]
+        else:
+            os.environ[BACKEND_ENV] = previous
+
+
+def test_crash_evict_under_churn_never_leaves_stale_loads():
+    """Satellite regression: ``remove_node`` / fault eviction must drop the
+    victim's cached column slot and dirty its co-resident bookkeeping, so a
+    node re-added under the same name starts from a clean slate and the
+    incremental scan never reports a load that died with the crash."""
+    configuration = Configuration(
+        nodes=[
+            Node(name=f"node-{i}", cpu_capacity=2, memory_capacity=2048)
+            for i in range(3)
+        ]
+    )
+    for i in range(6):
+        configuration.add_vm(
+            VirtualMachine(name=f"vm{i}", memory=512, cpu_demand=1)
+        )
+        configuration.set_running(f"vm{i}", f"node-{i % 3}")
+    # Overload node-0, observe it incrementally.
+    configuration.replace_vm(
+        configuration.vm("vm0").with_cpu_demand(2)
+    )
+    configuration.replace_vm(
+        configuration.vm("vm3").with_cpu_demand(2)
+    )
+    assert [
+        v.node for v in configuration.viability_violations(only_dirty=True)
+    ] == ["node-0"]
+    # Crash it mid-churn: the violation must vanish from the incremental
+    # view immediately (the cached overload entry dies with the node).
+    eviction = evict_node(configuration, "node-0")
+    assert set(eviction.displaced_vms) == {"vm0", "vm3"}
+    assert configuration.viability_violations(only_dirty=True) == []
+    # Re-add the same name with a *smaller* capacity: the fresh node must
+    # start empty (no stale usage), and new placements must account from
+    # zero.
+    configuration.add_node(
+        Node(name="node-0", cpu_capacity=1, memory_capacity=1024)
+    )
+    assert configuration.usage_of("node-0").as_tuple() == (0, 0)
+    assert configuration.vms_on("node-0") == ()
+    configuration.set_running("vm0", "node-0")
+    configuration.set_running("vm3", "node-0")
+    incremental = configuration.viability_violations(only_dirty=True)
+    assert [v.node for v in incremental] == ["node-0"]
+    assert incremental == configuration.viability_violations()
+    # And the displaced VM's old co-resident node accounts correctly after
+    # the churn (vm0/vm3 left node-0's load behind exactly once).
+    naive = NaiveConfiguration()
+    for node in configuration.nodes:
+        naive.add_node(node)
+    for vm in configuration.vms:
+        naive.add_vm(vm)
+    for vm_name, host in configuration.placement().items():
+        naive.set_running(vm_name, host)
+    for node in configuration.node_names:
+        assert configuration.usage_of(node) == naive.usage_of(node)
+
+
+@pytest.mark.slow
+def test_large_fleet_incremental_viability_matches_full(large_fleet_factory):
+    """20k-VM smoke of the same equivalence (CI slow lane)."""
+    configuration = large_fleet_factory(20_000)
+    configuration.viability_violations()  # drain construction dirtiness
+    names = configuration.vm_names[:200]
+    for index, name in enumerate(names):
+        vm = configuration.vm(name)
+        configuration.replace_vm(vm.with_cpu_demand((index % 3)))
+    incremental = configuration.viability_violations(only_dirty=True)
+    assert incremental == configuration.viability_violations()
